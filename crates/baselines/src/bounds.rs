@@ -1,0 +1,156 @@
+//! The baseline processor bounds.
+
+use rtlb_core::{analyze, SystemModel};
+use rtlb_graph::TaskGraph;
+
+use crate::transform::{project, Projection};
+
+/// Fernandez–Bussell (1973) style lower bound on the number of
+/// (identical) processors needed to complete the application within its
+/// critical time — zero communication, no releases/deadlines/resources.
+///
+/// Computed by projecting the application onto the 1973 model and running
+/// the interval-density machinery (which, on that model, reduces exactly
+/// to the classical load-density bound).
+///
+/// # Panics
+///
+/// Panics if the projected instance is infeasible, which cannot happen:
+/// the projection's horizon is its own critical time.
+///
+/// # Example
+///
+/// ```
+/// use rtlb_baselines::fernandez_bussell_bound;
+/// use rtlb_workloads::paper_example;
+/// let ex = paper_example();
+/// // The 1973 model sees neither deadlines nor processor heterogeneity,
+/// // so its single number is far below the paper's LB_P1 + LB_P2 = 5.
+/// assert!(fernandez_bussell_bound(&ex.graph) <= 5);
+/// ```
+pub fn fernandez_bussell_bound(graph: &TaskGraph) -> u32 {
+    bound_on_projection(graph, Projection::fernandez_bussell())
+}
+
+/// Al-Mohummed (1990) style lower bound: Fernandez–Bussell extended with
+/// non-zero communication times (still a single processor type, no
+/// releases/deadlines/resources).
+///
+/// # Panics
+///
+/// Panics if the projected instance is infeasible, which cannot happen:
+/// the projection's horizon is its own critical time.
+pub fn al_mohummed_bound(graph: &TaskGraph) -> u32 {
+    bound_on_projection(graph, Projection::al_mohummed())
+}
+
+fn bound_on_projection(graph: &TaskGraph, projection: Projection) -> u32 {
+    let projected = project(graph, projection);
+    let cpu = projected
+        .catalog()
+        .lookup("CPU")
+        .expect("projection interns CPU");
+    let analysis = analyze(&projected, &SystemModel::shared())
+        .expect("projections are feasible at their own critical time");
+    analysis.units_required(cpu)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlb_graph::{Catalog, Dur, TaskGraphBuilder, TaskSpec, Time};
+
+    /// Three independent equal tasks, critical time = C: all three must
+    /// run in parallel. Both baselines see that.
+    #[test]
+    fn independent_tasks_need_width() {
+        let mut c = Catalog::new();
+        let p = c.processor("P");
+        let mut b = TaskGraphBuilder::new(c);
+        b.default_deadline(Time::new(100));
+        for i in 0..3 {
+            b.add_task(TaskSpec::new(format!("t{i}"), Dur::new(4), p))
+                .unwrap();
+        }
+        let g = b.build().unwrap();
+        assert_eq!(fernandez_bussell_bound(&g), 3);
+        assert_eq!(al_mohummed_bound(&g), 3);
+    }
+
+    /// A pure chain needs one processor under both baselines.
+    #[test]
+    fn chain_needs_one() {
+        let mut c = Catalog::new();
+        let p = c.processor("P");
+        let mut b = TaskGraphBuilder::new(c);
+        b.default_deadline(Time::new(100));
+        let mut prev = None;
+        for i in 0..4 {
+            let t = b
+                .add_task(TaskSpec::new(format!("t{i}"), Dur::new(2), p))
+                .unwrap();
+            if let Some(prev) = prev {
+                b.add_edge(prev, t, Dur::new(3)).unwrap();
+            }
+            prev = Some(t);
+        }
+        let g = b.build().unwrap();
+        assert_eq!(fernandez_bussell_bound(&g), 1);
+        assert_eq!(al_mohummed_bound(&g), 1);
+    }
+
+    /// Communication awareness separates the two baselines: a fork of two
+    /// children with big messages — Fernandez–Bussell (zero-comm view)
+    /// computes a critical time of C_root + C_child and demands 2
+    /// processors; Al-Mohummed sees that one child can be co-located but
+    /// the other must wait for its message, stretching the horizon so one
+    /// processor suffices... or conversely tightens. The two must be
+    /// allowed to differ; assert the specific values.
+    #[test]
+    fn communication_changes_the_bound() {
+        let mut c = Catalog::new();
+        let p = c.processor("P");
+        let mut b = TaskGraphBuilder::new(c);
+        b.default_deadline(Time::new(100));
+        let root = b.add_task(TaskSpec::new("root", Dur::new(2), p)).unwrap();
+        for i in 0..2 {
+            let t = b
+                .add_task(TaskSpec::new(format!("kid{i}"), Dur::new(4), p))
+                .unwrap();
+            b.add_edge(root, t, Dur::new(6)).unwrap();
+        }
+        let g = b.build().unwrap();
+        let fb = fernandez_bussell_bound(&g);
+        let am = al_mohummed_bound(&g);
+        // FB: horizon 6, work 10 -> ceil(10/6) = 2.
+        assert_eq!(fb, 2);
+        // AM: horizon 2+6+4 = 12; merging lets windows relax; one
+        // processor is enough for 10 units of work in 12 with windows
+        // [0,2],[2,12],[8?..]: compute and pin the value.
+        assert_eq!(am, 1);
+    }
+
+    /// On the Fernandez–Bussell model (single type, zero comm, default
+    /// deadlines at the critical time), the full analysis and the
+    /// baseline agree exactly.
+    #[test]
+    fn full_analysis_reduces_to_fb_on_fb_model() {
+        use rtlb_core::{analyze, SystemModel};
+        let mut c = Catalog::new();
+        let p = c.processor("P");
+        let mut b = TaskGraphBuilder::new(c);
+        // Diamond with zero comm; critical time 2+3+2 = 7.
+        b.default_deadline(Time::new(7));
+        let a = b.add_task(TaskSpec::new("a", Dur::new(2), p)).unwrap();
+        let l = b.add_task(TaskSpec::new("l", Dur::new(3), p)).unwrap();
+        let r = b.add_task(TaskSpec::new("r", Dur::new(3), p)).unwrap();
+        let z = b.add_task(TaskSpec::new("z", Dur::new(2), p)).unwrap();
+        for (f, t) in [(a, l), (a, r), (l, z), (r, z)] {
+            b.add_edge(f, t, Dur::ZERO).unwrap();
+        }
+        let g = b.build().unwrap();
+        let full = analyze(&g, &SystemModel::shared()).unwrap().units_required(p);
+        assert_eq!(full, fernandez_bussell_bound(&g));
+        assert_eq!(full, 2);
+    }
+}

@@ -1,0 +1,31 @@
+//! Prior-art baselines the ICDCS 1995 paper positions itself against.
+//!
+//! * [`fernandez_bussell_bound`] — E. B. Fernandez & B. Bussell, *Bounds
+//!   on the number of processors and time for multiprocessor optimal
+//!   schedules* (IEEE ToC 1973): identical processors, zero
+//!   communication, no releases/deadlines/resources.
+//! * [`al_mohummed_bound`] — M. A. Al-Mohummed, *Lower bound on the
+//!   number of processors and time for scheduling precedence graphs with
+//!   communication costs* (IEEE TSE 1990): adds non-zero communication.
+//! * [`level_partition`] / [`is_time_disjoint`] — Jain & Rajaraman
+//!   (IEEE TPDS 1994) style precedence-level partitioning, and the
+//!   time-disjointness check that explains why the 1995 paper replaced
+//!   it with window-based partitioning (Figure 4).
+//!
+//! The classic bounds are computed by *projecting* the application onto
+//! each baseline's restricted model ([`project`]) and reusing the shared
+//! interval-density machinery, which on those models reduces exactly to
+//! the classical formulas. The comparison experiment (EXPERIMENTS.md,
+//! E11) contrasts them with the full analysis on applications that do
+//! use deadlines, heterogeneity and resources.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bounds;
+mod levels;
+mod transform;
+
+pub use bounds::{al_mohummed_bound, fernandez_bussell_bound};
+pub use levels::{is_time_disjoint, level_partition};
+pub use transform::{project, Projection};

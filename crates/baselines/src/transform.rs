@@ -1,0 +1,190 @@
+//! Projections of a full application onto the restricted models of the
+//! prior-art baselines.
+//!
+//! Each baseline predates one or more constraint classes of the 1995
+//! paper; its "view" of an application simply cannot see them. The
+//! transforms below build that restricted view as a fresh task graph so
+//! the baseline bounds can be computed with the shared machinery — and so
+//! the experiments can show exactly what each missing constraint costs.
+
+use rtlb_graph::{Catalog, Dur, TaskGraph, TaskGraphBuilder, TaskSpec, Time};
+
+/// What a projection is allowed to keep from the original application.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Projection {
+    /// Keep per-edge message times (Al-Mohummed) or zero them
+    /// (Fernandez–Bussell).
+    pub keep_messages: bool,
+    /// Keep release times (neither classic baseline models them).
+    pub keep_releases: bool,
+    /// Keep deadlines (neither baseline models them; when dropped, the
+    /// common deadline becomes the projected application's critical time,
+    /// matching the baselines' "finish within the critical time" setting).
+    pub keep_deadlines: bool,
+}
+
+impl Projection {
+    /// Fernandez–Bussell (1973): single processor type, zero
+    /// communication, no releases, no deadlines, no resources.
+    pub fn fernandez_bussell() -> Projection {
+        Projection {
+            keep_messages: false,
+            keep_releases: false,
+            keep_deadlines: false,
+        }
+    }
+
+    /// Al-Mohummed (1990): adds non-zero communication to the
+    /// Fernandez–Bussell model; still single processor type, no releases,
+    /// no deadlines, no resources.
+    pub fn al_mohummed() -> Projection {
+        Projection {
+            keep_messages: true,
+            keep_releases: false,
+            keep_deadlines: false,
+        }
+    }
+}
+
+/// Projects `graph` onto a single-processor-type, resource-free model per
+/// `projection`. When deadlines are dropped, every sink's deadline becomes
+/// the projected critical time (longest computation+message path), i.e.
+/// the earliest horizon by which the projected application can finish.
+pub fn project(graph: &TaskGraph, projection: Projection) -> TaskGraph {
+    // Critical time of the *projected* application: longest path of
+    // computation (plus messages if kept), releases included if kept.
+    let horizon = critical_time(graph, projection);
+
+    let mut catalog = Catalog::new();
+    let cpu = catalog.processor("CPU");
+    let mut b = TaskGraphBuilder::new(catalog);
+    b.default_deadline(horizon);
+
+    for (_, task) in graph.tasks() {
+        let mut spec = TaskSpec::new(task.name(), task.computation(), cpu);
+        if projection.keep_releases {
+            spec = spec.release(task.release());
+        }
+        if projection.keep_deadlines {
+            spec = spec.deadline(task.deadline());
+        }
+        spec = spec.mode(task.mode());
+        b.add_task(spec).expect("names unique in source graph");
+    }
+    for (id, _) in graph.tasks() {
+        for e in graph.successors(id) {
+            let m = if projection.keep_messages {
+                e.message
+            } else {
+                Dur::ZERO
+            };
+            let from = rtlb_graph::TaskId::from_index(id.index());
+            b.add_edge(from, e.other, m).expect("edges unique");
+        }
+    }
+    b.build().expect("projection preserves acyclicity")
+}
+
+/// Longest path through the projected application: for each task, the
+/// earliest completion assuming unlimited processors and *no* merging
+/// benefit is `E_i + C_i` with `E_i = max over preds (E_j + C_j + m)`.
+///
+/// With merging allowed the true critical time can be smaller, but the
+/// baselines define their horizon this way (each task placed on its own
+/// processor), and a larger horizon only weakens (never invalidates) the
+/// resulting bound.
+fn critical_time(graph: &TaskGraph, projection: Projection) -> Time {
+    let mut finish = vec![Time::ZERO; graph.task_count()];
+    for &id in graph.topological_order() {
+        let task = graph.task(id);
+        let mut start = if projection.keep_releases {
+            task.release()
+        } else {
+            Time::ZERO
+        };
+        for e in graph.predecessors(id) {
+            let m = if projection.keep_messages {
+                e.message
+            } else {
+                Dur::ZERO
+            };
+            start = start.max(finish[e.other.index()] + m);
+        }
+        finish[id.index()] = start + task.computation();
+    }
+    finish.into_iter().max().expect("non-empty graph")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlb_graph::TaskId;
+
+    fn sample() -> TaskGraph {
+        let mut c = Catalog::new();
+        let p1 = c.processor("P1");
+        let p2 = c.processor("P2");
+        let r = c.resource("r");
+        let mut b = TaskGraphBuilder::new(c);
+        b.default_deadline(Time::new(100));
+        let a = b
+            .add_task(
+                TaskSpec::new("a", Dur::new(3), p1)
+                    .release(Time::new(2))
+                    .resource(r),
+            )
+            .unwrap();
+        let z = b
+            .add_task(TaskSpec::new("z", Dur::new(4), p2).deadline(Time::new(50)))
+            .unwrap();
+        b.add_edge(a, z, Dur::new(5)).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn fb_projection_strips_everything() {
+        let g = sample();
+        let p = project(&g, Projection::fernandez_bussell());
+        assert_eq!(p.task_count(), 2);
+        let a = p.task_id("a").unwrap();
+        let z = p.task_id("z").unwrap();
+        // Single processor type, no resources.
+        assert_eq!(p.task(a).processor(), p.task(z).processor());
+        assert!(p.task(a).resources().is_empty());
+        // Messages zeroed; releases dropped.
+        assert_eq!(p.message(a, z), Some(Dur::ZERO));
+        assert_eq!(p.task(a).release(), Time::ZERO);
+        // Horizon = serial critical path without messages: 3 + 4.
+        assert_eq!(p.task(z).deadline(), Time::new(7));
+    }
+
+    #[test]
+    fn am_projection_keeps_messages() {
+        let g = sample();
+        let p = project(&g, Projection::al_mohummed());
+        let a = p.task_id("a").unwrap();
+        let z = p.task_id("z").unwrap();
+        assert_eq!(p.message(a, z), Some(Dur::new(5)));
+        // Horizon: 3 + 5 + 4 (no release kept).
+        assert_eq!(p.task(z).deadline(), Time::new(12));
+    }
+
+    #[test]
+    fn custom_projection_keeps_releases_and_deadlines() {
+        let g = sample();
+        let p = project(
+            &g,
+            Projection {
+                keep_messages: true,
+                keep_releases: true,
+                keep_deadlines: true,
+            },
+        );
+        let a = p.task_id("a").unwrap();
+        let z = p.task_id("z").unwrap();
+        assert_eq!(p.task(a).release(), Time::new(2));
+        assert_eq!(p.task(z).deadline(), Time::new(50));
+        assert_eq!(p.task(a).deadline(), Time::new(100));
+        let _ = TaskId::from_index(0);
+    }
+}

@@ -1,0 +1,30 @@
+//! B2 — resource-bound sweep scaling: the full analysis pipeline
+//! (EST/LCT + partitioning + interval sweep) on growing task counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rtlb_core::{analyze, SystemModel};
+use rtlb_workloads::{independent_tasks, paper_example};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bounds/pipeline");
+    group.sample_size(20);
+    for &n in &[25usize, 50, 100, 200] {
+        let graph = independent_tasks(n, 3, 11);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &graph, |b, graph| {
+            b.iter(|| analyze(black_box(graph), &SystemModel::shared()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_paper_example(c: &mut Criterion) {
+    let ex = paper_example();
+    c.bench_function("bounds/paper_example_full", |b| {
+        b.iter(|| analyze(black_box(&ex.graph), &SystemModel::shared()).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_pipeline, bench_paper_example);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! B1 — EST/LCT analysis scaling: cost of the Figure 2/3 merge scans as
+//! the application grows (layered DAGs) and as fan-out grows (fork-join).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rtlb_core::{compute_timing, SystemModel};
+use rtlb_workloads::{fork_join, layered, LayeredConfig};
+
+fn bench_layered(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estlct/layered");
+    group.sample_size(30);
+    for &side in &[4usize, 8, 12, 16] {
+        let graph = layered(
+            &LayeredConfig {
+                layers: side,
+                width: side,
+                ..LayeredConfig::default()
+            },
+            7,
+        );
+        let model = SystemModel::shared();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(side * side),
+            &graph,
+            |b, graph| b.iter(|| compute_timing(black_box(graph), &model)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_fanout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estlct/fanout");
+    group.sample_size(30);
+    for &width in &[4usize, 16, 64] {
+        let graph = fork_join(width, 2, 2, 7);
+        let model = SystemModel::shared();
+        group.bench_with_input(BenchmarkId::from_parameter(width), &graph, |b, graph| {
+            b.iter(|| compute_timing(black_box(graph), &model))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_layered, bench_fanout);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! B4 — exact-rational simplex and branch-and-bound on covering programs
+//! shaped like the dedicated-model cost bound.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rtlb_ilp::{solve_ilp, solve_lp, Constraint, Problem, Rational};
+
+/// A random covering program: `vars` node types, `rows` coverage rows.
+fn covering(vars: usize, rows: usize, seed: u64) -> Problem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut p = Problem::new();
+    let xs: Vec<_> = (0..vars)
+        .map(|i| {
+            p.add_var(
+                format!("x{i}"),
+                Rational::from(rng.random_range(1..20i64)),
+                true,
+            )
+        })
+        .collect();
+    for _ in 0..rows {
+        let mut coeffs = Vec::new();
+        for &v in &xs {
+            if rng.random_range(0..100) < 60 {
+                coeffs.push((v, Rational::from(rng.random_range(1..3i64))));
+            }
+        }
+        let coeffs = if coeffs.is_empty() {
+            vec![(xs[0], Rational::ONE)]
+        } else {
+            coeffs
+        };
+        p.add_constraint(Constraint::ge(
+            coeffs,
+            Rational::from(rng.random_range(1..6i64)),
+        ));
+    }
+    p
+}
+
+fn bench_lp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ilp/simplex");
+    group.sample_size(40);
+    for &(vars, rows) in &[(4usize, 6usize), (8, 12), (16, 24)] {
+        let p = covering(vars, rows, 3);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{vars}v{rows}c")),
+            &p,
+            |b, p| b.iter(|| solve_lp(black_box(p))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_bb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ilp/branch_bound");
+    group.sample_size(25);
+    for &(vars, rows) in &[(4usize, 6usize), (8, 12)] {
+        let p = covering(vars, rows, 3);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{vars}v{rows}c")),
+            &p,
+            |b, p| b.iter(|| solve_ilp(black_box(p)).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lp, bench_bb);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! B3 — Theorem 5 ablation as a timed benchmark: the interval sweep with
+//! and without Figure 4 partitioning (the bounds are identical; the work
+//! is not).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rtlb_core::{analyze_with, AnalysisOptions, SystemModel};
+use rtlb_workloads::independent_tasks;
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition_ablation");
+    group.sample_size(15);
+    for &n in &[50usize, 100, 200] {
+        let graph = independent_tasks(n, 3, 42);
+        group.bench_with_input(BenchmarkId::new("partitioned", n), &graph, |b, graph| {
+            b.iter(|| {
+                analyze_with(
+                    black_box(graph),
+                    &SystemModel::shared(),
+                    AnalysisOptions::default(),
+                )
+                .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("flat", n), &graph, |b, graph| {
+            b.iter(|| {
+                analyze_with(
+                    black_box(graph),
+                    &SystemModel::shared(),
+                    AnalysisOptions {
+                        partitioning: false,
+                        ..AnalysisOptions::default()
+                    },
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! B5 — schedulers: the merge-guided list scheduler on growing
+//! workloads, and the exact search on small instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rtlb_core::{analyze, SystemModel};
+use rtlb_sched::{find_schedule_exact, list_schedule, Capacities, SearchBudget};
+use rtlb_workloads::{independent_tasks, paper_example};
+
+fn bench_list(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sched/list");
+    group.sample_size(20);
+    for &n in &[30usize, 60, 120] {
+        let graph = independent_tasks(n, 3, 11);
+        let lb = analyze(&graph, &SystemModel::shared())
+            .unwrap()
+            .bounds()
+            .iter()
+            .map(|b| b.bound)
+            .max()
+            .unwrap_or(1);
+        let caps = Capacities::uniform(&graph, lb + 2);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(graph, caps),
+            |b, (graph, caps)| b.iter(|| list_schedule(black_box(graph), caps)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_list_paper(c: &mut Criterion) {
+    let ex = paper_example();
+    let caps = Capacities::uniform(&ex.graph, 5);
+    c.bench_function("sched/list_paper_example", |b| {
+        b.iter(|| list_schedule(black_box(&ex.graph), &caps).unwrap())
+    });
+}
+
+fn bench_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sched/exact");
+    group.sample_size(15);
+    for &n in &[4usize, 5, 6] {
+        let graph = independent_tasks(n, 2, 5);
+        let caps = Capacities::uniform(&graph, 2);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(graph, caps),
+            |b, (graph, caps)| {
+                b.iter(|| {
+                    find_schedule_exact(black_box(graph), caps, SearchBudget::default()).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_list, bench_list_paper, bench_exact);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! B7 — simulator throughput: schedule replay and online dispatch under
+//! both network models, plus the flow-based preemptive oracle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rtlb_sched::{list_schedule, preemptive_min_processors, Capacities};
+use rtlb_sim::{online_dispatch, replay, NetworkModel};
+use rtlb_workloads::{independent_tasks, layered, paper_example, LayeredConfig};
+
+fn bench_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/replay");
+    group.sample_size(30);
+    for &side in &[4usize, 8] {
+        let graph = layered(
+            &LayeredConfig {
+                layers: side,
+                width: side,
+                ..LayeredConfig::default()
+            },
+            7,
+        );
+        let caps = Capacities::uniform(&graph, 6);
+        let Ok(schedule) = list_schedule(&graph, &caps) else {
+            continue;
+        };
+        for model in [NetworkModel::Ideal, NetworkModel::SharedBus] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{model:?}"), side * side),
+                &(&graph, &caps, &schedule),
+                |b, (graph, caps, schedule)| {
+                    b.iter(|| replay(black_box(graph), caps, schedule, model).unwrap())
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_online(c: &mut Criterion) {
+    let ex = paper_example();
+    let caps = Capacities::uniform(&ex.graph, 5);
+    c.bench_function("sim/online_paper_example", |b| {
+        b.iter(|| online_dispatch(black_box(&ex.graph), &caps, NetworkModel::SharedBus))
+    });
+}
+
+fn bench_flow_oracle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/flow_oracle");
+    group.sample_size(20);
+    for &n in &[10usize, 20, 40] {
+        // Strip edges/preemption constraints by regenerating independent
+        // preemptive sets.
+        let graph = independent_tasks(n, 3, 5);
+        // independent_tasks mixes preemptive/non-preemptive and resources;
+        // the oracle only needs independence + one type, which holds.
+        group.bench_with_input(BenchmarkId::from_parameter(n), &graph, |b, graph| {
+            b.iter(|| preemptive_min_processors(black_box(graph)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_replay, bench_online, bench_flow_oracle);
+criterion_main!(benches);

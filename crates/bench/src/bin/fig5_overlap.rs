@@ -1,0 +1,92 @@
+//! E5 — regenerates Figure 5's case analysis: the five geometric
+//! relations between a task window `[E, L]` and an interval `[t1, t2]`,
+//! tabulating Ψ for preemptive (Theorem 3) and non-preemptive
+//! (Theorem 4) execution, with an exhaustive cross-check against
+//! brute-force minimum overlaps.
+//!
+//! ```sh
+//! cargo run -p rtlb-bench --bin fig5_overlap
+//! ```
+
+use rtlb_bench::TextTable;
+use rtlb_core::{overlap, TaskWindow};
+use rtlb_graph::{Dur, ExecutionMode, Time};
+
+fn window(e: i64, l: i64) -> TaskWindow {
+    TaskWindow {
+        est: Time::new(e),
+        lct: Time::new(l),
+    }
+}
+
+fn psi(mode: ExecutionMode, e: i64, l: i64, c: i64, t1: i64, t2: i64) -> i64 {
+    overlap(window(e, l), Dur::new(c), mode, Time::new(t1), Time::new(t2)).ticks()
+}
+
+fn brute_np(e: i64, l: i64, c: i64, t1: i64, t2: i64) -> i64 {
+    (e..=(l - c))
+        .map(|s| (t2.min(s + c) - t1.max(s)).max(0))
+        .min()
+        .expect("feasible window")
+}
+
+fn brute_p(e: i64, l: i64, c: i64, t1: i64, t2: i64) -> i64 {
+    let before = (t1.min(l) - e).max(0);
+    let after = (l - t2.max(e)).max(0);
+    (c - before - after).max(0)
+}
+
+fn main() {
+    println!("E5: Figure 5 overlap cases (Theorems 3 and 4)\n");
+
+    // Representative instance of each of the five cases.
+    let cases: [(&str, i64, i64, i64, i64, i64); 5] = [
+        ("1: window misses interval", 0, 5, 3, 6, 10),
+        ("2: window inside interval", 3, 8, 4, 0, 10),
+        ("3: window starts earlier", 0, 8, 6, 4, 10),
+        ("4: window ends later", 4, 15, 7, 0, 10),
+        ("5: interval inside window", 0, 10, 8, 3, 7),
+    ];
+
+    let mut table = TextTable::new([
+        "case", "[E,L]", "C", "[t1,t2]", "Ψ preemptive", "Ψ non-preemptive",
+    ]);
+    for (name, e, l, c, t1, t2) in cases {
+        table.row([
+            name.to_owned(),
+            format!("[{e},{l}]"),
+            c.to_string(),
+            format!("[{t1},{t2}]"),
+            psi(ExecutionMode::Preemptive, e, l, c, t1, t2).to_string(),
+            psi(ExecutionMode::NonPreemptive, e, l, c, t1, t2).to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+
+    // Exhaustive verification over a dense grid.
+    let mut checked = 0u64;
+    for e in 0..6i64 {
+        for l in (e + 1)..=12 {
+            for c in 1..=(l - e) {
+                for t1 in 0..12i64 {
+                    for t2 in (t1 + 1)..=13 {
+                        let p = psi(ExecutionMode::Preemptive, e, l, c, t1, t2);
+                        let np = psi(ExecutionMode::NonPreemptive, e, l, c, t1, t2);
+                        assert_eq!(p, brute_p(e, l, c, t1, t2), "Ψ_p at {e},{l},{c},{t1},{t2}");
+                        assert_eq!(
+                            np,
+                            brute_np(e, l, c, t1, t2),
+                            "Ψ_np at {e},{l},{c},{t1},{t2}"
+                        );
+                        assert!(p <= np);
+                        checked += 1;
+                    }
+                }
+            }
+        }
+    }
+    println!(
+        "\nExhaustive check: both closed forms equal brute-force minima on \
+         {checked} (window, interval) combinations; Ψ_p <= Ψ_np throughout."
+    );
+}

@@ -1,0 +1,135 @@
+//! E14 — network-contention sensitivity. The paper charges exactly `m`
+//! per message and ignores the interconnection network's capacity
+//! (Section 2.2). This experiment replays schedules on a simulated
+//! system under (a) that ideal assumption and (b) a single shared bus,
+//! and measures when the assumption starts costing deadlines; it also
+//! quantifies the value of merge-aware *planning* by comparing the
+//! static schedule against an online dispatcher that must pay every
+//! message on the wire.
+//!
+//! ```sh
+//! cargo run -p rtlb-bench --bin network_contention
+//! ```
+
+use rtlb_bench::TextTable;
+use rtlb_graph::{Catalog, Dur, TaskGraph, TaskGraphBuilder, TaskSpec, Time};
+use rtlb_sched::{list_schedule, Capacities};
+use rtlb_sim::{online_dispatch, replay, NetworkModel};
+use rtlb_workloads::paper_example;
+
+/// `k` parallel pipelines of `depth` stages alternating between two
+/// processor types; every hop crosses the network. Deadlines leave 50%
+/// slack over the ideal-network critical path.
+fn cross_type_pipelines(k: usize, depth: usize, m: i64) -> TaskGraph {
+    let mut catalog = Catalog::new();
+    let p0 = catalog.processor("P0");
+    let p1 = catalog.processor("P1");
+    let mut b = TaskGraphBuilder::new(catalog);
+    let stage_c = 3i64;
+    let critical = depth as i64 * stage_c + (depth as i64 - 1) * m;
+    b.default_deadline(Time::new(critical * 3 / 2));
+    for pipe in 0..k {
+        let mut prev = None;
+        for stage in 0..depth {
+            let t = b
+                .add_task(TaskSpec::new(
+                    format!("p{pipe}s{stage}"),
+                    Dur::new(stage_c),
+                    if stage % 2 == 0 { p0 } else { p1 },
+                ))
+                .expect("unique");
+            if let Some(prev) = prev {
+                b.add_edge(prev, t, Dur::new(m)).expect("unique edge");
+            }
+            prev = Some(t);
+        }
+    }
+    b.build().expect("pipelines are acyclic")
+}
+
+fn main() {
+    println!("E14: network contention vs the paper's ideal-network assumption\n");
+
+    // --- Paper example: static plan under both network models. ---
+    let ex = paper_example();
+    let caps = Capacities::uniform(&ex.graph, 5);
+    let schedule = list_schedule(&ex.graph, &caps).expect("schedulable at 5 units");
+    let ideal = replay(&ex.graph, &caps, &schedule, NetworkModel::Ideal).expect("replay");
+    let bus = replay(&ex.graph, &caps, &schedule, NetworkModel::SharedBus).expect("replay");
+    println!("Paper example (static merge-guided plan, 5 units each):");
+    let mut t = TextTable::new(["network", "misses", "makespan", "wire time", "transfers"]);
+    for (name, r) in [("ideal (paper)", &ideal), ("shared bus", &bus)] {
+        t.row([
+            name.to_owned(),
+            r.deadline_misses.len().to_string(),
+            r.makespan.map(|m| m.to_string()).unwrap_or_else(|| "-".into()),
+            r.network_busy.to_string(),
+            r.network_transfers.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+
+    // --- Online dispatcher: the price of not planning. ---
+    let online_ideal = online_dispatch(&ex.graph, &caps, NetworkModel::Ideal);
+    let online_bus = online_dispatch(&ex.graph, &caps, NetworkModel::SharedBus);
+    println!("\nPaper example, online earliest-LCT dispatcher (no plan):");
+    let mut t = TextTable::new(["network", "misses", "makespan", "wire time", "transfers"]);
+    for (name, r) in [("ideal", &online_ideal), ("shared bus", &online_bus)] {
+        t.row([
+            name.to_owned(),
+            r.deadline_misses.len().to_string(),
+            r.makespan.map(|m| m.to_string()).unwrap_or_else(|| "-".into()),
+            r.network_busy.to_string(),
+            r.network_transfers.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+    println!(
+        "(The static plan ships {} messages; online ships {} — the difference\n\
+         is exactly the edges the merge analysis co-located.)\n",
+        ideal.network_transfers, online_ideal.network_transfers
+    );
+
+    // --- Message-density sweep: parallel pipelines that alternate
+    // processor types, so every hop must cross the network (no merge can
+    // hide it) and the bus sees real load.
+    println!("Cross-type pipeline sweep: 6 parallel 4-stage pipelines, 6 units per type:");
+    let mut t = TextTable::new([
+        "message m",
+        "ideal misses",
+        "bus misses",
+        "ideal makespan",
+        "bus makespan",
+        "inflation",
+    ]);
+    for m in [0i64, 1, 2, 4, 8] {
+        let g = cross_type_pipelines(6, 4, m);
+        let caps = Capacities::uniform(&g, 6);
+        let Ok(schedule) = list_schedule(&g, &caps) else {
+            continue;
+        };
+        let ideal = replay(&g, &caps, &schedule, NetworkModel::Ideal).expect("replay");
+        let bus = replay(&g, &caps, &schedule, NetworkModel::SharedBus).expect("replay");
+        let (mi, mb) = (
+            ideal.makespan.expect("ran"),
+            bus.makespan.expect("ran"),
+        );
+        t.row([
+            m.to_string(),
+            ideal.deadline_misses.len().to_string(),
+            bus.deadline_misses.len().to_string(),
+            mi.to_string(),
+            mb.to_string(),
+            format!("{:+}", mb.diff(mi)),
+        ]);
+    }
+    print!("{}", t.render());
+    println!(
+        "\nReading: under the paper's assumption the replay matches the plan\n\
+         exactly (0 misses by construction); on a shared bus the same plans\n\
+         slip as message density grows. Where the bus inflates completions\n\
+         past deadlines, the paper's lower bounds remain *valid* (necessary\n\
+         conditions can only weaken when the platform gets slower) but are no\n\
+         longer achievable — capacity planning must add network headroom."
+    );
+}

@@ -1,0 +1,139 @@
+//! E10 — cost-bound-guided design-space search, the paper's motivating
+//! application (Sections 1 and 7): when synthesizing a dedicated system,
+//! a catalog whose *cost lower bound* already exceeds the best system
+//! found so far can be discarded without ever invoking a scheduler.
+//!
+//! The experiment enumerates node-type catalogs for the paper's example,
+//! uses the list scheduler as the (expensive) feasibility oracle, and
+//! counts how many scheduler invocations the bound prunes.
+//!
+//! ```sh
+//! cargo run -p rtlb-bench --bin synthesis_search
+//! ```
+
+use rtlb_bench::TextTable;
+use rtlb_core::{analyze, dedicated_cost_bound, DedicatedModel, SystemModel};
+use rtlb_sched::{list_schedule, Capacities};
+use rtlb_workloads::paper_example;
+
+/// A candidate system: a catalog and how many nodes of each type to buy.
+/// The scheduler checks the shared-capacity projection (units per
+/// processor type / resource implied by the node mix).
+fn schedulable(
+    ex: &rtlb_workloads::PaperExample,
+    model: &DedicatedModel,
+    mix: &[u32],
+) -> bool {
+    // Project node counts onto per-resource unit counts. A shared-model
+    // schedule with those counts is necessary for the dedicated system to
+    // work; as a demo oracle that is enough (and errs on the generous
+    // side, so pruning statistics are conservative).
+    let mut caps = Capacities::new();
+    for r in ex.graph.resources_used() {
+        let total: u32 = model
+            .ids()
+            .zip(mix)
+            .map(|(n, &k)| model.node_type(n).units_of(r) * k)
+            .sum();
+        caps.set(r, total);
+    }
+    list_schedule(&ex.graph, &caps).is_ok()
+}
+
+fn main() {
+    let ex = paper_example();
+    let analysis = analyze(&ex.graph, &SystemModel::shared()).expect("feasible");
+
+    // Catalog skeleton: the paper's three node types with varying prices.
+    let price_points: [[i64; 3]; 9] = [
+        [45, 30, 45],
+        [60, 20, 35],
+        [70, 25, 45],
+        [50, 35, 40],
+        [40, 40, 55],
+        [65, 15, 50],
+        [55, 28, 38],
+        [48, 22, 60],
+        [52, 26, 44],
+    ];
+
+    println!("E10: cost-bound-guided synthesis search over node mixes\n");
+    let mut table = TextTable::new([
+        "catalog prices",
+        "cost LB",
+        "best found",
+        "mixes enumerated",
+        "scheduler calls (naive)",
+        "scheduler calls (pruned)",
+        "saved",
+    ]);
+
+    for prices in price_points {
+        let model = ex.node_types(prices);
+        let lb = dedicated_cost_bound(&ex.graph, &model, analysis.bounds())
+            .expect("solvable")
+            .total;
+
+        // Enumerate mixes x1, x2, x3 in 0..=4 each, cheapest-first.
+        let mut mixes: Vec<([u32; 3], i64)> = Vec::new();
+        for x1 in 0..=4u32 {
+            for x2 in 0..=4u32 {
+                for x3 in 0..=4u32 {
+                    let cost = i64::from(x1) * prices[0]
+                        + i64::from(x2) * prices[1]
+                        + i64::from(x3) * prices[2];
+                    mixes.push(([x1, x2, x3], cost));
+                }
+            }
+        }
+        mixes.sort_by_key(|&(_, c)| c);
+
+        // Naive search: call the scheduler on every mix until feasible
+        // (cheapest-first, so the first success is optimal).
+        let mut naive_calls = 0u32;
+        let mut best = None;
+        for (mix, cost) in &mixes {
+            naive_calls += 1;
+            if schedulable(&ex, &model, mix) {
+                best = Some(*cost);
+                break;
+            }
+        }
+
+        // Bound-guided search: skip every mix cheaper than the cost LB —
+        // the analysis already proves those infeasible.
+        let mut pruned_calls = 0u32;
+        let mut best_pruned = None;
+        for (mix, cost) in &mixes {
+            if *cost < lb {
+                continue;
+            }
+            pruned_calls += 1;
+            if schedulable(&ex, &model, mix) {
+                best_pruned = Some(*cost);
+                break;
+            }
+        }
+        assert_eq!(best, best_pruned, "pruning changed the optimum");
+
+        table.row([
+            format!("{prices:?}"),
+            lb.to_string(),
+            best.map(|c| c.to_string()).unwrap_or_else(|| "-".into()),
+            mixes.len().to_string(),
+            naive_calls.to_string(),
+            pruned_calls.to_string(),
+            format!(
+                "{:.0}%",
+                100.0 * f64::from(naive_calls - pruned_calls) / f64::from(naive_calls)
+            ),
+        ]);
+    }
+
+    print!("{}", table.render());
+    println!(
+        "\nEvery mix priced below the cost lower bound is provably infeasible,\n\
+         so the synthesis loop skips it — the saving shown is exactly the\n\
+         search-time reduction the paper's Sections 1/7 promise."
+    );
+}

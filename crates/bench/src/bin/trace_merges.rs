@@ -1,0 +1,87 @@
+//! E6 — replays the paper's worked merge traces: the Section 8 prose
+//! walks the Figure 2 algorithm for `L_9` (lms values 26/18/19, merge 14,
+//! then 13 leaves 19) and `L_5` (lms 7/15, merge 9, stop at 8), printing
+//! every decision our implementation takes alongside.
+//!
+//! ```sh
+//! cargo run -p rtlb-bench --bin trace_merges
+//! ```
+
+use rtlb_bench::TextTable;
+use rtlb_core::{compute_timing_traced, MergeDecision, SystemModel};
+use rtlb_workloads::paper_example;
+
+fn main() {
+    let ex = paper_example();
+    let (timing, trace) = compute_timing_traced(&ex.graph, &SystemModel::shared());
+
+    println!("E6: merge-scan traces for the tasks the paper walks through\n");
+
+    for (n, paper_notes) in [
+        (
+            9usize,
+            "paper: lms_15 = 26, lms_14 = 18, lms_13 = 19; no-merge LCT 18; \
+             merging 14 -> 19; merging 13 keeps 19",
+        ),
+        (
+            5usize,
+            "paper: lms_9 = 7, lms_8 = 15; merging 9 -> 15; 8 not mergeable \
+             (different processor type)",
+        ),
+    ] {
+        let id = ex.task(n);
+        let t = trace
+            .lct
+            .iter()
+            .find(|t| t.task == id)
+            .expect("trace recorded");
+        println!("L_{n}: no-merge bound {} -> final {}", t.base, t.final_value);
+        let mut table = TextTable::new(["candidate", "lms", "resulting L", "decision"]);
+        for step in &t.steps {
+            let kid = (1..=15)
+                .find(|&k| ex.task(k) == step.candidate)
+                .expect("known task");
+            table.row([
+                format!("t{kid}"),
+                step.boundary.to_string(),
+                step.resulting.to_string(),
+                match step.decision {
+                    MergeDecision::Accepted => "merged",
+                    MergeDecision::RejectedNoImprovement => "not merged (no gain)",
+                    MergeDecision::RejectedNotMergeable => "not mergeable",
+                }
+                .to_owned(),
+            ]);
+        }
+        print!("{}", table.render());
+        println!("{paper_notes}");
+        println!("final L_{n} = {} (paper: {})\n", timing.lct(id), if n == 9 { 19 } else { 15 });
+    }
+
+    println!("EST-side trace for E_15 (paper: M_15 = {{10, 11}}):");
+    let id = ex.task(15);
+    let t = trace
+        .est
+        .iter()
+        .find(|t| t.task == id)
+        .expect("trace recorded");
+    let mut table = TextTable::new(["candidate", "emr", "resulting E", "decision"]);
+    for step in &t.steps {
+        let kid = (1..=15)
+            .find(|&k| ex.task(k) == step.candidate)
+            .expect("known task");
+        table.row([
+            format!("t{kid}"),
+            step.boundary.to_string(),
+            step.resulting.to_string(),
+            match step.decision {
+                MergeDecision::Accepted => "merged",
+                MergeDecision::RejectedNoImprovement => "not merged (no gain)",
+                MergeDecision::RejectedNotMergeable => "not mergeable",
+            }
+            .to_owned(),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("final E_15 = {} (paper: 30)", timing.est(id));
+}

@@ -1,0 +1,252 @@
+//! The end-to-end analysis pipeline (Section 3's four steps).
+
+use serde::{Deserialize, Serialize};
+
+use rtlb_graph::{ResourceId, TaskGraph};
+
+use crate::bounds::{
+    resource_bound_unpartitioned, resource_bound_with, CandidatePolicy, ResourceBound,
+};
+use crate::cost::{dedicated_cost_bound, shared_cost_bound, DedicatedCostBound, SharedCostBound};
+use crate::error::AnalysisError;
+use crate::estlct::{compute_timing, TimingAnalysis};
+use crate::model::SystemModel;
+use crate::partition::{partition_all, ResourcePartition};
+
+/// Tuning knobs for [`analyze_with`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AnalysisOptions {
+    /// Apply the Figure 4 partitioning before the interval sweep
+    /// (Theorem 5). Disabling it produces the same bounds from a single
+    /// flat sweep per resource; exposed for the ablation study.
+    pub partitioning: bool,
+    /// Which interval endpoints the Equation 6.3 sweep samples; the
+    /// default is the paper's EST/LCT grid, [`CandidatePolicy::Extended`]
+    /// adds the forced-overlap corners and can only tighten the bound.
+    pub candidates: CandidatePolicy,
+}
+
+impl Default for AnalysisOptions {
+    fn default() -> AnalysisOptions {
+        AnalysisOptions {
+            partitioning: true,
+            candidates: CandidatePolicy::EstLct,
+        }
+    }
+}
+
+/// Everything the lower-bound analysis derives for one application and
+/// system model: task windows, per-resource partitions, and `LB_r` for
+/// every demanded resource.
+///
+/// Cost bounds (Section 7) are computed on demand from the stored bounds
+/// via [`Analysis::shared_cost`] / [`Analysis::dedicated_cost`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Analysis {
+    timing: TimingAnalysis,
+    partitions: Vec<ResourcePartition>,
+    bounds: Vec<ResourceBound>,
+}
+
+impl Analysis {
+    /// The EST/LCT analysis (step 1).
+    pub fn timing(&self) -> &TimingAnalysis {
+        &self.timing
+    }
+
+    /// The per-resource partitions (step 2), in resource-id order. Empty
+    /// when partitioning was disabled via [`AnalysisOptions`].
+    pub fn partitions(&self) -> &[ResourcePartition] {
+        &self.partitions
+    }
+
+    /// The resource lower bounds (step 3), in resource-id order.
+    pub fn bounds(&self) -> &[ResourceBound] {
+        &self.bounds
+    }
+
+    /// The bound for one resource, if the application demands it.
+    pub fn bound_for(&self, r: ResourceId) -> Option<&ResourceBound> {
+        self.bounds.iter().find(|b| b.resource == r)
+    }
+
+    /// `LB_r` as a plain number (0 for undemanded resources).
+    pub fn units_required(&self, r: ResourceId) -> u32 {
+        self.bound_for(r).map_or(0, |b| b.bound)
+    }
+
+    /// Step 4 for a shared model: the weighted-sum cost bound.
+    ///
+    /// # Errors
+    ///
+    /// See [`shared_cost_bound`].
+    pub fn shared_cost(
+        &self,
+        model: &crate::model::SharedModel,
+    ) -> Result<SharedCostBound, AnalysisError> {
+        shared_cost_bound(model, &self.bounds)
+    }
+
+    /// Step 4 for a dedicated model: the integer-program cost bound.
+    ///
+    /// # Errors
+    ///
+    /// See [`dedicated_cost_bound`].
+    pub fn dedicated_cost(
+        &self,
+        graph: &TaskGraph,
+        model: &crate::model::DedicatedModel,
+    ) -> Result<DedicatedCostBound, AnalysisError> {
+        dedicated_cost_bound(graph, model, &self.bounds)
+    }
+}
+
+/// Runs steps 1–3 of the analysis with default options.
+///
+/// # Errors
+///
+/// * [`AnalysisError::UnhostableTask`] if a dedicated model cannot host
+///   some task.
+/// * [`AnalysisError::Infeasible`] if the EST/LCT analysis proves the
+///   constraints unsatisfiable (no resource count can help).
+///
+/// # Example
+///
+/// ```
+/// use rtlb_core::{analyze, SystemModel};
+/// use rtlb_graph::{Catalog, Dur, TaskGraphBuilder, TaskSpec, Time};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut catalog = Catalog::new();
+/// let p = catalog.processor("P");
+/// let mut b = TaskGraphBuilder::new(catalog);
+/// for name in ["a", "b", "c"] {
+///     b.add_task(TaskSpec::new(name, Dur::new(4), p).deadline(Time::new(6)))?;
+/// }
+/// let graph = b.build()?;
+/// let analysis = analyze(&graph, &SystemModel::shared())?;
+/// assert_eq!(analysis.units_required(p), 2); // 12 ticks of work in 6
+/// # Ok(())
+/// # }
+/// ```
+pub fn analyze(graph: &TaskGraph, model: &SystemModel) -> Result<Analysis, AnalysisError> {
+    analyze_with(graph, model, AnalysisOptions::default())
+}
+
+/// Runs steps 1–3 with explicit options.
+///
+/// # Errors
+///
+/// Same as [`analyze`].
+pub fn analyze_with(
+    graph: &TaskGraph,
+    model: &SystemModel,
+    options: AnalysisOptions,
+) -> Result<Analysis, AnalysisError> {
+    model.validate(graph)?;
+    let timing = compute_timing(graph, model);
+    timing.check_feasible(graph)?;
+
+    let (partitions, bounds) = if options.partitioning {
+        let partitions = partition_all(graph, &timing);
+        let bounds = partitions
+            .iter()
+            .map(|p| resource_bound_with(graph, &timing, p, options.candidates))
+            .collect();
+        (partitions, bounds)
+    } else {
+        let bounds = graph
+            .resources_used()
+            .into_iter()
+            .map(|r| resource_bound_unpartitioned(graph, &timing, r))
+            .collect();
+        (Vec::new(), bounds)
+    };
+
+    Ok(Analysis {
+        timing,
+        partitions,
+        bounds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{NodeType, SharedModel};
+    use rtlb_graph::{Catalog, Dur, TaskGraphBuilder, TaskSpec, Time};
+
+    fn three_tight_tasks() -> (TaskGraph, ResourceId) {
+        let mut c = Catalog::new();
+        let p = c.processor("P");
+        let mut b = TaskGraphBuilder::new(c);
+        for i in 0..3 {
+            b.add_task(
+                TaskSpec::new(format!("t{i}"), Dur::new(4), p).deadline(Time::new(4)),
+            )
+            .unwrap();
+        }
+        (b.build().unwrap(), p)
+    }
+
+    #[test]
+    fn pipeline_produces_bounds_and_partitions() {
+        let (g, p) = three_tight_tasks();
+        let a = analyze(&g, &SystemModel::shared()).unwrap();
+        assert_eq!(a.units_required(p), 3);
+        assert_eq!(a.partitions().len(), 1);
+        assert_eq!(a.bounds().len(), 1);
+        assert!(a.bound_for(p).is_some());
+        assert_eq!(a.units_required(ResourceId::from_index(9)), 0);
+    }
+
+    #[test]
+    fn options_toggle_partitioning_without_changing_bounds() {
+        let (g, p) = three_tight_tasks();
+        let with = analyze_with(&g, &SystemModel::shared(), AnalysisOptions::default()).unwrap();
+        let without = analyze_with(
+            &g,
+            &SystemModel::shared(),
+            AnalysisOptions {
+                partitioning: false,
+                ..AnalysisOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(with.units_required(p), without.units_required(p));
+        assert!(without.partitions().is_empty());
+    }
+
+    #[test]
+    fn infeasible_graph_is_rejected() {
+        let mut c = Catalog::new();
+        let p = c.processor("P");
+        let mut b = TaskGraphBuilder::new(c);
+        b.add_task(TaskSpec::new("t", Dur::new(10), p).deadline(Time::new(3)))
+            .unwrap();
+        let g = b.build().unwrap();
+        assert!(matches!(
+            analyze(&g, &SystemModel::shared()),
+            Err(AnalysisError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn dedicated_model_is_validated_first() {
+        let (g, _) = three_tight_tasks();
+        let model = SystemModel::dedicated(vec![]);
+        assert!(matches!(
+            analyze(&g, &model),
+            Err(AnalysisError::UnhostableTask(_))
+        ));
+    }
+
+    #[test]
+    fn cost_helpers_delegate() {
+        let (g, p) = three_tight_tasks();
+        let a = analyze(&g, &SystemModel::shared()).unwrap();
+        let shared = SharedModel::new().with_cost(p, 2);
+        assert_eq!(a.shared_cost(&shared).unwrap().total, 6);
+        let ded = crate::model::DedicatedModel::new(vec![NodeType::new("n", p, [], 2)]);
+        assert_eq!(a.dedicated_cost(&g, &ded).unwrap().total, 6);
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type for the analysis pipeline.
+
+use std::error::Error;
+use std::fmt;
+
+use rtlb_graph::{ResourceId, Time};
+
+/// Errors surfaced by the lower-bound analysis.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AnalysisError {
+    /// In a dedicated model, some task cannot execute on any node type,
+    /// violating the paper's standing assumption (Section 2.2).
+    UnhostableTask(String),
+    /// The EST/LCT analysis proved the constraints unsatisfiable: the
+    /// named task cannot both start at its earliest start time and finish
+    /// by its latest completion time.
+    Infeasible {
+        /// Name of the witness task.
+        task: String,
+        /// Its earliest start time.
+        est: Time,
+        /// Its latest completion time (`est + C > lct`).
+        lct: Time,
+    },
+    /// The shared-model cost bound needs `CostR(r)` for every demanded
+    /// resource; the named resource has no cost assigned.
+    MissingCost(ResourceId),
+    /// The branch-and-bound solver exhausted its node budget while solving
+    /// the dedicated cost program.
+    CostSolverBudget,
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::UnhostableTask(name) => {
+                write!(f, "no node type can host task `{name}`")
+            }
+            AnalysisError::Infeasible { task, est, lct } => write!(
+                f,
+                "application constraints are unsatisfiable: task `{task}` has \
+                 earliest start {est} and latest completion {lct}"
+            ),
+            AnalysisError::MissingCost(r) => {
+                write!(f, "no cost assigned to resource {r}")
+            }
+            AnalysisError::CostSolverBudget => {
+                f.write_str("cost-bound solver exceeded its node budget")
+            }
+        }
+    }
+}
+
+impl Error for AnalysisError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = AnalysisError::Infeasible {
+            task: "t9".into(),
+            est: Time::new(5),
+            lct: Time::new(4),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("t9") && msg.contains('5') && msg.contains('4'));
+        assert!(AnalysisError::UnhostableTask("x".into())
+            .to_string()
+            .contains("x"));
+        assert!(AnalysisError::MissingCost(ResourceId::from_index(3))
+            .to_string()
+            .contains("r#3"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>(_: E) {}
+        assert_err(AnalysisError::CostSolverBudget);
+    }
+}

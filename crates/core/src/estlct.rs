@@ -1,0 +1,772 @@
+//! Earliest start times and latest completion times (Section 4,
+//! Figures 2 and 3 of the paper).
+//!
+//! For every task the analysis computes a lower bound `E_i` on its start
+//! time and an upper bound `L_i` on its completion time that *any* feasible
+//! schedule must respect. Communication makes this subtle: merging a task
+//! with some of its neighbors onto one processor/node removes message
+//! delays but forces sequential execution. The greedy algorithms below
+//! explore that tradeoff; Theorems 1 and 2 of the paper prove they pick an
+//! optimal merge set.
+//!
+//! ## Correction to Figure 2/3 (documented in DESIGN.md)
+//!
+//! Figures 2 and 3 stop scanning as soon as one more merge fails to
+//! improve the bound (step (d)). That early stop is *unsound*: with
+//! successors `(C=2, m=5, D=15)` and `(C=1, m=4, D=13)` of a task with
+//! `D=60`, merging either successor alone leaves `L = 8`, so the paper's
+//! scan stops — yet merging both yields `L = 12`, and a schedule exists
+//! in which the task really completes at 12. An `L` of 8 would therefore
+//! overconstrain the window and could inflate `LB_r` beyond the true
+//! minimum. (Theorem 1's proof assumes `lst(G ∪ {T}) ≤ L` whenever the
+//! scan stops — Case 2a — but the stop may be caused by the *other* min
+//! term.)
+//!
+//! We restore soundness by evaluating Equation 4.1 at **every** mergeable
+//! prefix of the lms-sorted candidates and taking the best value. A
+//! threshold/exchange argument shows some prefix always attains the
+//! optimum over *all* mergeable subsets: for an optimal `A*`, let `j*` be
+//! the smallest-lms successor outside `A*`; the prefix
+//! `P = {j : lms_j < lms_{j*}} ⊆ A*` satisfies
+//! `lct(P) = min(L⁰, lms_{j*}, lst(P)) ≥ lct(A*)` because `lst` only
+//! grows on subsets. Subsets of mergeable sets are mergeable in both
+//! system models, so stopping at the first non-mergeable prefix is safe.
+//! Among tying prefixes the smallest is reported, which reproduces every
+//! Table 1 merge set except the `G_9` anomaly discussed in
+//! EXPERIMENTS.md.
+
+use rtlb_graph::{TaskGraph, TaskId, Time};
+use serde::{Deserialize, Serialize};
+
+use crate::error::AnalysisError;
+use crate::merge::MergeSet;
+use crate::model::SystemModel;
+
+/// A task paired with its message boundary (`lms` or `emr`).
+type Boundary = (TaskId, Time);
+
+/// The timing window of one task: `[E_i, L_i]`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskWindow {
+    /// Earliest start time `E_i`.
+    pub est: Time,
+    /// Latest completion time `L_i`.
+    pub lct: Time,
+}
+
+/// Result of the EST/LCT analysis over a whole application.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimingAnalysis {
+    windows: Vec<TaskWindow>,
+    merged_preds: Vec<Vec<TaskId>>,
+    merged_succs: Vec<Vec<TaskId>>,
+}
+
+impl TimingAnalysis {
+    /// The window `[E_i, L_i]` of a task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` did not come from the analyzed graph.
+    pub fn window(&self, t: TaskId) -> TaskWindow {
+        self.windows[t.index()]
+    }
+
+    /// Earliest start time `E_i`.
+    pub fn est(&self, t: TaskId) -> Time {
+        self.window(t).est
+    }
+
+    /// Latest completion time `L_i`.
+    pub fn lct(&self, t: TaskId) -> Time {
+        self.window(t).lct
+    }
+
+    /// The predecessors merged with `t` while evaluating `E_t`
+    /// (the paper's `M_i`), in merge order.
+    pub fn merged_predecessors(&self, t: TaskId) -> &[TaskId] {
+        &self.merged_preds[t.index()]
+    }
+
+    /// The successors merged with `t` while evaluating `L_t`
+    /// (the paper's `G_i`), in merge order.
+    pub fn merged_successors(&self, t: TaskId) -> &[TaskId] {
+        &self.merged_succs[t.index()]
+    }
+
+    /// Tasks whose window cannot contain their computation time —
+    /// witnesses that the constraints are unsatisfiable on any system.
+    pub fn infeasible_tasks<'g>(
+        &self,
+        graph: &'g TaskGraph,
+    ) -> impl Iterator<Item = TaskId> + use<'_, 'g> {
+        graph.task_ids().filter(move |&t| {
+            let w = self.window(t);
+            w.est + graph.task(t).computation() > w.lct
+        })
+    }
+
+    /// Errors with the first infeasibility witness, if any.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::Infeasible`] naming a task with `E_i + C_i > L_i`.
+    pub fn check_feasible(&self, graph: &TaskGraph) -> Result<(), AnalysisError> {
+        match self.infeasible_tasks(graph).next() {
+            None => Ok(()),
+            Some(t) => Err(AnalysisError::Infeasible {
+                task: graph.task(t).name().to_owned(),
+                est: self.est(t),
+                lct: self.lct(t),
+            }),
+        }
+    }
+}
+
+/// Outcome of considering one merge candidate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MergeDecision {
+    /// The candidate is part of the best (smallest optimal) prefix and
+    /// was merged.
+    Accepted,
+    /// The candidate was evaluated but lies beyond the best prefix;
+    /// not merged.
+    RejectedNoImprovement,
+    /// The candidate is not mergeable with the tasks scanned before it;
+    /// the scan stopped here.
+    RejectedNotMergeable,
+}
+
+/// One step of the greedy merge scan for a single task.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MergeStep {
+    /// The successor/predecessor considered for merging.
+    pub candidate: TaskId,
+    /// Its `lms` (LCT scan) or `emr` (EST scan) value.
+    pub boundary: Time,
+    /// The bound that merging it would produce.
+    pub resulting: Time,
+    /// What the algorithm did with it.
+    pub decision: MergeDecision,
+}
+
+/// Full trace of the merge scan for one task.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskTrace {
+    /// The task being bounded.
+    pub task: TaskId,
+    /// The bound with nothing merged: deadline/release time plus every
+    /// immediate neighbor's message boundary honored (the paper's
+    /// "if no tasks are merged" value).
+    pub base: Time,
+    /// The candidates considered, in order.
+    pub steps: Vec<MergeStep>,
+    /// The final bound.
+    pub final_value: Time,
+}
+
+/// Traces for every task: how each `L_i` and `E_i` was derived.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimingTrace {
+    /// One LCT trace per task, in reverse topological evaluation order.
+    pub lct: Vec<TaskTrace>,
+    /// One EST trace per task, in topological evaluation order.
+    pub est: Vec<TaskTrace>,
+}
+
+/// Computes `E_i` and `L_i` for every task (Figures 2 and 3).
+///
+/// LCTs are evaluated in reverse topological order, ESTs in topological
+/// order, so each task sees final values for its neighbors.
+///
+/// # Example
+///
+/// ```
+/// use rtlb_core::{compute_timing, SystemModel};
+/// use rtlb_graph::{Catalog, Dur, TaskGraphBuilder, TaskSpec, Time};
+/// # fn main() -> Result<(), rtlb_graph::GraphError> {
+/// let mut catalog = Catalog::new();
+/// let p = catalog.processor("P");
+/// let mut b = TaskGraphBuilder::new(catalog);
+/// b.default_deadline(Time::new(20));
+/// let a = b.add_task(TaskSpec::new("a", Dur::new(3), p))?;
+/// let z = b.add_task(TaskSpec::new("z", Dur::new(4), p))?;
+/// b.add_edge(a, z, Dur::new(5))?;
+/// let g = b.build()?;
+/// let timing = compute_timing(&g, &SystemModel::shared());
+/// assert_eq!(timing.est(a), Time::new(0));
+/// // z either waits for the message (0+3+5=8) or merges with a (0+3=3).
+/// assert_eq!(timing.est(z), Time::new(3));
+/// # Ok(())
+/// # }
+/// ```
+pub fn compute_timing(graph: &TaskGraph, model: &SystemModel) -> TimingAnalysis {
+    compute_timing_inner(graph, model, None)
+}
+
+/// Like [`compute_timing`], additionally recording every merge decision.
+pub fn compute_timing_traced(
+    graph: &TaskGraph,
+    model: &SystemModel,
+) -> (TimingAnalysis, TimingTrace) {
+    let mut trace = TimingTrace::default();
+    let analysis = compute_timing_inner(graph, model, Some(&mut trace));
+    (analysis, trace)
+}
+
+fn compute_timing_inner(
+    graph: &TaskGraph,
+    model: &SystemModel,
+    mut trace: Option<&mut TimingTrace>,
+) -> TimingAnalysis {
+    let n = graph.task_count();
+    let mut lct = vec![Time::ZERO; n];
+    let mut est = vec![Time::ZERO; n];
+    let mut merged_succs = vec![Vec::new(); n];
+    let mut merged_preds = vec![Vec::new(); n];
+
+    // LCT: sinks first.
+    for i in graph.reverse_topological_order() {
+        let (value, merged, task_trace) = lct_of(graph, model, i, &lct);
+        lct[i.index()] = value;
+        merged_succs[i.index()] = merged;
+        if let Some(t) = trace.as_deref_mut() {
+            t.lct.push(task_trace);
+        }
+    }
+
+    // EST: sources first.
+    for &i in graph.topological_order() {
+        let (value, merged, task_trace) = est_of(graph, model, i, &est);
+        est[i.index()] = value;
+        merged_preds[i.index()] = merged;
+        if let Some(t) = trace.as_deref_mut() {
+            t.est.push(task_trace);
+        }
+    }
+
+    let windows = est
+        .into_iter()
+        .zip(lct)
+        .map(|(est, lct)| TaskWindow { est, lct })
+        .collect();
+    TimingAnalysis {
+        windows,
+        merged_preds,
+        merged_succs,
+    }
+}
+
+/// The latest start time of a sequential single-processor schedule of
+/// `tasks` subject to their LCT constraints (the paper's `lst(A)`):
+/// schedule in decreasing-LCT order, each task completing at
+/// `min(previous start, L_j)`.
+fn lst(graph: &TaskGraph, tasks: &[TaskId], lct: &[Time]) -> Time {
+    let mut sorted = tasks.to_vec();
+    sorted.sort_by_key(|t| std::cmp::Reverse((lct[t.index()], *t)));
+    let mut start = Time::MAX;
+    for t in sorted {
+        let completion = start.min(lct[t.index()]);
+        start = completion - graph.task(t).computation();
+    }
+    start
+}
+
+/// The earliest completion time of a sequential single-processor schedule
+/// of `tasks` subject to their EST constraints (the paper's `ect(A)`):
+/// schedule in increasing-EST order, each task starting at
+/// `max(previous completion, E_j)`.
+fn ect(graph: &TaskGraph, tasks: &[TaskId], est: &[Time]) -> Time {
+    let mut sorted = tasks.to_vec();
+    sorted.sort_by_key(|t| (est[t.index()], *t));
+    let mut finish = Time::MIN;
+    for t in sorted {
+        let start = finish.max(est[t.index()]);
+        finish = start + graph.task(t).computation();
+    }
+    finish
+}
+
+/// Figure 2: `L_i` and the merged successor set `G_i`.
+fn lct_of(
+    graph: &TaskGraph,
+    model: &SystemModel,
+    i: TaskId,
+    lct: &[Time],
+) -> (Time, Vec<TaskId>, TaskTrace) {
+    let deadline = graph.task(i).deadline();
+    let succs = graph.successors(i);
+    if succs.is_empty() {
+        return (
+            deadline,
+            Vec::new(),
+            TaskTrace {
+                task: i,
+                base: deadline,
+                steps: Vec::new(),
+                final_value: deadline,
+            },
+        );
+    }
+
+    // lms_j = L_j - C_j - m_ij for every immediate successor.
+    let lms: Vec<(TaskId, Time)> = succs
+        .iter()
+        .map(|e| {
+            let j = e.other;
+            (j, lct[j.index()] - graph.task(j).computation() - e.message)
+        })
+        .collect();
+
+    // MS_i: successors individually mergeable with i.
+    let mut seed =
+        MergeSet::new(model, graph, i).expect("validated models host every task");
+    let (ms, non_ms): (Vec<Boundary>, Vec<Boundary>) =
+        lms.iter().copied().partition(|&(j, _)| seed.can_add(j));
+
+    // Figure 2's L_i^0 = min(D_i, min over non-mergeable successors of
+    // lms). The incumbent for the merge scan additionally honors the lms
+    // of every still-unmerged mergeable successor (Equation 4.1 with
+    // A = ∅) — this is the "if no tasks are merged" bound of the paper's
+    // worked example.
+    let mut fig_l0 = deadline;
+    for &(_, b) in &non_ms {
+        fig_l0 = fig_l0.min(b);
+    }
+
+    // Scan MS_i in increasing lms order.
+    let mut ms_sorted = ms;
+    ms_sorted.sort_by_key(|&(j, b)| (b, j));
+
+    let mut best = fig_l0;
+    if let Some(&(_, b)) = ms_sorted.first() {
+        best = best.min(b);
+    }
+    let base = best;
+
+    // Evaluate Equation 4.1 at every mergeable prefix; remember the best
+    // (ties: shortest prefix). See the module docs for why prefixes
+    // suffice and why scanning all of them is required for soundness.
+    let mut prefix: Vec<TaskId> = Vec::new();
+    let mut values: Vec<(Time, MergeStep)> = Vec::new();
+    for (idx, &(j, boundary)) in ms_sorted.iter().enumerate() {
+        if !seed.can_add(j) {
+            values.push((
+                Time::MIN,
+                MergeStep {
+                    candidate: j,
+                    boundary,
+                    resulting: best,
+                    decision: MergeDecision::RejectedNotMergeable,
+                },
+            ));
+            break;
+        }
+        seed.add(j);
+        prefix.push(j);
+        let mut value = fig_l0.min(lst(graph, &prefix, lct));
+        if let Some(&(_, b)) = ms_sorted.get(idx + 1) {
+            value = value.min(b); // sorted ascending: first remaining is min
+        }
+        values.push((
+            value,
+            MergeStep {
+                candidate: j,
+                boundary,
+                resulting: value,
+                decision: MergeDecision::RejectedNoImprovement,
+            },
+        ));
+    }
+    // Best prefix length (0 = merge nothing); strict > keeps ties short.
+    let mut best_len = 0usize;
+    for (k, &(v, _)) in values.iter().enumerate() {
+        if v > best {
+            best = v;
+            best_len = k + 1;
+        }
+    }
+    let mut steps = Vec::new();
+    for (k, (_, mut step)) in values.into_iter().enumerate() {
+        if k < best_len {
+            step.decision = MergeDecision::Accepted;
+        }
+        steps.push(step);
+    }
+    let merged: Vec<TaskId> = prefix.into_iter().take(best_len).collect();
+
+    let trace = TaskTrace {
+        task: i,
+        base,
+        steps,
+        final_value: best,
+    };
+    (best, merged, trace)
+}
+
+/// Figure 3: `E_i` and the merged predecessor set `M_i`.
+fn est_of(
+    graph: &TaskGraph,
+    model: &SystemModel,
+    i: TaskId,
+    est: &[Time],
+) -> (Time, Vec<TaskId>, TaskTrace) {
+    let release = graph.task(i).release();
+    let preds = graph.predecessors(i);
+    if preds.is_empty() {
+        return (
+            release,
+            Vec::new(),
+            TaskTrace {
+                task: i,
+                base: release,
+                steps: Vec::new(),
+                final_value: release,
+            },
+        );
+    }
+
+    // emr_j = E_j + C_j + m_ji for every immediate predecessor.
+    let emr: Vec<(TaskId, Time)> = preds
+        .iter()
+        .map(|e| {
+            let j = e.other;
+            (j, est[j.index()] + graph.task(j).computation() + e.message)
+        })
+        .collect();
+
+    let mut seed =
+        MergeSet::new(model, graph, i).expect("validated models host every task");
+    let (mp, non_mp): (Vec<Boundary>, Vec<Boundary>) =
+        emr.iter().copied().partition(|&(j, _)| seed.can_add(j));
+
+    // Figure 3's E_i^0 = max(rel_i, max over non-mergeable predecessors
+    // of emr); the scan incumbent additionally honors the emr of every
+    // still-unmerged mergeable predecessor (Equation 4.5 with A = ∅).
+    let mut fig_e0 = release;
+    for &(_, b) in &non_mp {
+        fig_e0 = fig_e0.max(b);
+    }
+
+    // Scan MP_i in decreasing emr order.
+    let mut mp_sorted = mp;
+    mp_sorted.sort_by_key(|&(j, b)| (std::cmp::Reverse(b), j));
+
+    let mut best = fig_e0;
+    if let Some(&(_, b)) = mp_sorted.first() {
+        best = best.max(b);
+    }
+    let base = best;
+
+    // Evaluate Equation 4.5 at every mergeable prefix (mirror image of
+    // the LCT scan); best value is the minimum, ties keep the shortest
+    // prefix.
+    let mut prefix: Vec<TaskId> = Vec::new();
+    let mut values: Vec<(Time, MergeStep)> = Vec::new();
+    for (idx, &(j, boundary)) in mp_sorted.iter().enumerate() {
+        if !seed.can_add(j) {
+            values.push((
+                Time::MAX,
+                MergeStep {
+                    candidate: j,
+                    boundary,
+                    resulting: best,
+                    decision: MergeDecision::RejectedNotMergeable,
+                },
+            ));
+            break;
+        }
+        seed.add(j);
+        prefix.push(j);
+        let mut value = fig_e0.max(ect(graph, &prefix, est));
+        if let Some(&(_, b)) = mp_sorted.get(idx + 1) {
+            value = value.max(b); // sorted descending: first remaining is max
+        }
+        values.push((
+            value,
+            MergeStep {
+                candidate: j,
+                boundary,
+                resulting: value,
+                decision: MergeDecision::RejectedNoImprovement,
+            },
+        ));
+    }
+    let mut best_len = 0usize;
+    for (k, &(v, _)) in values.iter().enumerate() {
+        if v < best {
+            best = v;
+            best_len = k + 1;
+        }
+    }
+    let mut steps = Vec::new();
+    for (k, (_, mut step)) in values.into_iter().enumerate() {
+        if k < best_len {
+            step.decision = MergeDecision::Accepted;
+        }
+        steps.push(step);
+    }
+    let merged: Vec<TaskId> = prefix.into_iter().take(best_len).collect();
+
+    let trace = TaskTrace {
+        task: i,
+        base,
+        steps,
+        final_value: best,
+    };
+    (best, merged, trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlb_graph::{Catalog, Dur, TaskGraphBuilder, TaskSpec};
+
+    fn shared() -> SystemModel {
+        SystemModel::shared()
+    }
+
+    /// Two tasks on different processor types, connected by an edge:
+    /// no merging possible, message delay applies on both sides.
+    #[test]
+    fn unmergeable_chain_pays_communication() {
+        let mut c = Catalog::new();
+        let p1 = c.processor("P1");
+        let p2 = c.processor("P2");
+        let mut b = TaskGraphBuilder::new(c);
+        b.default_deadline(Time::new(30));
+        let a = b.add_task(TaskSpec::new("a", Dur::new(3), p1)).unwrap();
+        let z = b.add_task(TaskSpec::new("z", Dur::new(4), p2)).unwrap();
+        b.add_edge(a, z, Dur::new(5)).unwrap();
+        let g = b.build().unwrap();
+        let t = compute_timing(&g, &shared());
+        // E_z = E_a + C_a + m = 0 + 3 + 5.
+        assert_eq!(t.est(z), Time::new(8));
+        // L_a = L_z - C_z - m = 30 - 4 - 5.
+        assert_eq!(t.lct(a), Time::new(21));
+        assert_eq!(t.lct(z), Time::new(30));
+        assert!(t.merged_successors(a).is_empty());
+        assert!(t.merged_predecessors(z).is_empty());
+        t.check_feasible(&g).unwrap();
+    }
+
+    /// Same chain but on one processor type: merging removes the message.
+    #[test]
+    fn mergeable_chain_avoids_communication() {
+        let mut c = Catalog::new();
+        let p = c.processor("P");
+        let mut b = TaskGraphBuilder::new(c);
+        b.default_deadline(Time::new(30));
+        let a = b.add_task(TaskSpec::new("a", Dur::new(3), p)).unwrap();
+        let z = b.add_task(TaskSpec::new("z", Dur::new(4), p)).unwrap();
+        b.add_edge(a, z, Dur::new(5)).unwrap();
+        let g = b.build().unwrap();
+        let t = compute_timing(&g, &shared());
+        // Merged: E_z = ect({a}) = 3; L_a = lst({z}) = 30 - 4 = 26.
+        assert_eq!(t.est(z), Time::new(3));
+        assert_eq!(t.lct(a), Time::new(26));
+        assert_eq!(t.merged_successors(a), &[z]);
+        assert_eq!(t.merged_predecessors(z), &[a]);
+    }
+
+    /// Merging is only chosen when it strictly helps: with a zero-size
+    /// message the bound is the same either way, so the candidate is
+    /// rejected (Figure 2 step (d)).
+    #[test]
+    fn zero_message_rejects_merge_on_equality() {
+        let mut c = Catalog::new();
+        let p = c.processor("P");
+        let mut b = TaskGraphBuilder::new(c);
+        b.default_deadline(Time::new(10));
+        let a = b.add_task(TaskSpec::new("a", Dur::new(2), p)).unwrap();
+        let z = b.add_task(TaskSpec::new("z", Dur::new(2), p)).unwrap();
+        b.add_edge(a, z, Dur::ZERO).unwrap();
+        let g = b.build().unwrap();
+        let (t, trace) = compute_timing_traced(&g, &shared());
+        assert_eq!(t.est(z), Time::new(2));
+        // lms_z = 10 - 2 - 0 = 8 = lst({z}): merging leaves the bound
+        // unchanged, so nothing is merged.
+        assert_eq!(t.lct(a), Time::new(8));
+        assert!(t.merged_successors(a).is_empty());
+        let a_trace = trace.lct.iter().find(|tr| tr.task == a).unwrap();
+        assert_eq!(a_trace.steps.len(), 1);
+        assert_eq!(
+            a_trace.steps[0].decision,
+            MergeDecision::RejectedNoImprovement
+        );
+    }
+
+    /// A fan-out where merging every successor would serialize too much:
+    /// the greedy scan stops once merging stops helping.
+    #[test]
+    fn fanout_merges_selectively() {
+        let mut c = Catalog::new();
+        let p = c.processor("P");
+        let mut b = TaskGraphBuilder::new(c);
+        b.default_deadline(Time::new(20));
+        let root = b.add_task(TaskSpec::new("root", Dur::new(1), p)).unwrap();
+        let s1 = b.add_task(TaskSpec::new("s1", Dur::new(8), p)).unwrap();
+        let s2 = b.add_task(TaskSpec::new("s2", Dur::new(8), p)).unwrap();
+        b.add_edge(root, s1, Dur::new(1)).unwrap();
+        b.add_edge(root, s2, Dur::new(1)).unwrap();
+        let g = b.build().unwrap();
+        let t = compute_timing(&g, &shared());
+        // Without merging: lms = 20-8-1 = 11 for both. Merging one: the
+        // other still bounds at 11, lst({s}) = 12 → L = 11 (no strict
+        // gain → rejected). Merging both would give lst = 20-8-8 = 4.
+        assert_eq!(t.lct(root), Time::new(11));
+        assert!(t.merged_successors(root).is_empty());
+    }
+
+    /// Paper prose for L_9: merging 14 helps (18 → 19), merging 13 keeps
+    /// 19 — no strict improvement, so 13 is rejected (the paper's table
+    /// prints G_9 = {14,13}; see the module docs on tie handling).
+    #[test]
+    fn lct_scan_matches_paper_shape() {
+        let mut c = Catalog::new();
+        let p = c.processor("P1");
+        let mut b = TaskGraphBuilder::new(c);
+        b.default_deadline(Time::new(36));
+        // task 9: C=3. Successors: 13 (C=6, L=30, m=5), 14 (C=5, L=30,
+        // m=7), 15 (C=6, L=36, m=4).
+        let t9 = b.add_task(TaskSpec::new("t9", Dur::new(3), p)).unwrap();
+        let t13 = b
+            .add_task(TaskSpec::new("t13", Dur::new(6), p).deadline(Time::new(30)))
+            .unwrap();
+        let t14 = b
+            .add_task(TaskSpec::new("t14", Dur::new(5), p).deadline(Time::new(30)))
+            .unwrap();
+        let t15 = b
+            .add_task(TaskSpec::new("t15", Dur::new(6), p).deadline(Time::new(36)))
+            .unwrap();
+        b.add_edge(t9, t13, Dur::new(5)).unwrap();
+        b.add_edge(t9, t14, Dur::new(7)).unwrap();
+        b.add_edge(t9, t15, Dur::new(4)).unwrap();
+        let g = b.build().unwrap();
+        let t = compute_timing(&g, &shared());
+        assert_eq!(t.lct(t9), Time::new(19));
+        assert_eq!(t.merged_successors(t9), &[t14]);
+    }
+
+    #[test]
+    fn release_time_dominates_isolated_task() {
+        let mut c = Catalog::new();
+        let p = c.processor("P");
+        let mut b = TaskGraphBuilder::new(c);
+        b.default_deadline(Time::new(9));
+        let a = b
+            .add_task(TaskSpec::new("a", Dur::new(2), p).release(Time::new(4)))
+            .unwrap();
+        let g = b.build().unwrap();
+        let t = compute_timing(&g, &shared());
+        assert_eq!(t.est(a), Time::new(4));
+        assert_eq!(t.lct(a), Time::new(9));
+        assert_eq!(t.window(a), TaskWindow { est: Time::new(4), lct: Time::new(9) });
+    }
+
+    #[test]
+    fn infeasibility_is_detected() {
+        let mut c = Catalog::new();
+        let p1 = c.processor("P1");
+        let p2 = c.processor("P2");
+        let mut b = TaskGraphBuilder::new(c);
+        // a -> z with a long message and a tight deadline on z.
+        let a = b
+            .add_task(TaskSpec::new("a", Dur::new(3), p1).deadline(Time::new(20)))
+            .unwrap();
+        let z = b
+            .add_task(TaskSpec::new("z", Dur::new(4), p2).deadline(Time::new(8)))
+            .unwrap();
+        b.add_edge(a, z, Dur::new(5)).unwrap();
+        let g = b.build().unwrap();
+        let t = compute_timing(&g, &shared());
+        // E_z = 8, L_z = 8, C_z = 4 → z infeasible; the message constraint
+        // also drags L_a down to 8 - 4 - 5 = -1 < E_a + C_a, so a is an
+        // infeasibility witness too.
+        assert_eq!(t.infeasible_tasks(&g).collect::<Vec<_>>(), vec![a, z]);
+        assert!(matches!(
+            t.check_feasible(&g),
+            Err(AnalysisError::Infeasible { task, .. }) if task == "a"
+        ));
+    }
+
+    #[test]
+    fn deadline_caps_lct_even_with_late_successors() {
+        let mut c = Catalog::new();
+        let p = c.processor("P");
+        let mut b = TaskGraphBuilder::new(c);
+        b.default_deadline(Time::new(100));
+        let a = b
+            .add_task(TaskSpec::new("a", Dur::new(1), p).deadline(Time::new(5)))
+            .unwrap();
+        let z = b.add_task(TaskSpec::new("z", Dur::new(1), p)).unwrap();
+        b.add_edge(a, z, Dur::ZERO).unwrap();
+        let g = b.build().unwrap();
+        let t = compute_timing(&g, &shared());
+        assert_eq!(t.lct(a), Time::new(5));
+    }
+
+    #[test]
+    fn traces_record_base_and_final() {
+        let mut c = Catalog::new();
+        let p = c.processor("P");
+        let mut b = TaskGraphBuilder::new(c);
+        b.default_deadline(Time::new(30));
+        let a = b.add_task(TaskSpec::new("a", Dur::new(3), p)).unwrap();
+        let z = b.add_task(TaskSpec::new("z", Dur::new(4), p)).unwrap();
+        b.add_edge(a, z, Dur::new(5)).unwrap();
+        let g = b.build().unwrap();
+        let (t, trace) = compute_timing_traced(&g, &shared());
+        assert_eq!(trace.lct.len(), 2);
+        assert_eq!(trace.est.len(), 2);
+        let a_trace = trace.lct.iter().find(|tr| tr.task == a).unwrap();
+        assert_eq!(a_trace.base, Time::new(21)); // lms without merging
+        assert_eq!(a_trace.final_value, t.lct(a));
+        assert_eq!(a_trace.steps[0].decision, MergeDecision::Accepted);
+        let z_trace = trace.est.iter().find(|tr| tr.task == z).unwrap();
+        assert_eq!(z_trace.base, Time::new(8));
+        assert_eq!(z_trace.final_value, Time::new(3));
+    }
+
+    /// lst/ect micro-checks straight from the paper's definitions.
+    #[test]
+    fn lst_and_ect_sequential_packing() {
+        let mut c = Catalog::new();
+        let p = c.processor("P");
+        let mut b = TaskGraphBuilder::new(c);
+        b.default_deadline(Time::new(100));
+        let x = b.add_task(TaskSpec::new("x", Dur::new(3), p)).unwrap();
+        let y = b.add_task(TaskSpec::new("y", Dur::new(5), p)).unwrap();
+        let z = b.add_task(TaskSpec::new("z", Dur::new(2), p)).unwrap();
+        let g = b.build().unwrap();
+
+        // lst: LCTs 20, 15, 12 → pack from the back:
+        //   x completes 20 start 17; y completes min(17,15)=15 start 10;
+        //   z completes min(10,12)=10 start 8.
+        let lcts_for = |vals: [i64; 3]| {
+            let mut v = vec![Time::ZERO; 3];
+            v[x.index()] = Time::new(vals[0]);
+            v[y.index()] = Time::new(vals[1]);
+            v[z.index()] = Time::new(vals[2]);
+            v
+        };
+        assert_eq!(
+            lst(&g, &[x, y, z], &lcts_for([20, 15, 12])),
+            Time::new(8)
+        );
+
+        // ect: ESTs 0, 4, 4 → x [0,3], y starts max(3,4)=4 ends 9,
+        // z starts 9 ends 11.
+        let ests_for = |vals: [i64; 3]| {
+            let mut v = vec![Time::ZERO; 3];
+            v[x.index()] = Time::new(vals[0]);
+            v[y.index()] = Time::new(vals[1]);
+            v[z.index()] = Time::new(vals[2]);
+            v
+        };
+        assert_eq!(
+            ect(&g, &[x, y, z], &ests_for([0, 4, 4])),
+            Time::new(11)
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! Graphviz DOT export for task graphs.
+
+use std::fmt::Write as _;
+
+use crate::graph::TaskGraph;
+
+/// Renders the task graph in Graphviz DOT syntax.
+///
+/// Each vertex is labeled with the task name, `C/rel/D`, its processor type
+/// and resource set; each edge with its message time. Useful for eyeballing
+/// generated workloads and for documentation.
+///
+/// # Example
+///
+/// ```
+/// use rtlb_graph::{Catalog, Dur, TaskGraphBuilder, TaskSpec, Time, to_dot};
+/// # fn main() -> Result<(), rtlb_graph::GraphError> {
+/// let mut catalog = Catalog::new();
+/// let p = catalog.processor("P");
+/// let mut b = TaskGraphBuilder::new(catalog);
+/// b.default_deadline(Time::new(10));
+/// b.add_task(TaskSpec::new("only", Dur::new(1), p))?;
+/// let dot = to_dot(&b.build()?);
+/// assert!(dot.starts_with("digraph application"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_dot(graph: &TaskGraph) -> String {
+    let mut out = String::new();
+    out.push_str("digraph application {\n");
+    out.push_str("  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n");
+    for (id, task) in graph.tasks() {
+        let resources: Vec<&str> = task
+            .resources()
+            .iter()
+            .map(|&r| graph.catalog().name(r))
+            .collect();
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}\\nC={} rel={} D={}\\nφ={} R={{{}}}{}\"];",
+            id.index(),
+            escape(task.name()),
+            task.computation(),
+            task.release(),
+            task.deadline(),
+            escape(graph.catalog().name(task.processor())),
+            resources.join(","),
+            if task.is_preemptive() { "\\npreemptive" } else { "" },
+        );
+    }
+    for (id, _) in graph.tasks() {
+        for edge in graph.successors(id) {
+            let _ = writeln!(
+                out,
+                "  n{} -> n{} [label=\"m={}\"];",
+                id.index(),
+                edge.other.index(),
+                edge.message
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Catalog, Dur, TaskGraphBuilder, TaskSpec, Time};
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let mut c = Catalog::new();
+        let p = c.processor("P1");
+        let r = c.resource("r1");
+        let mut b = TaskGraphBuilder::new(c);
+        b.default_deadline(Time::new(30));
+        let a = b
+            .add_task(TaskSpec::new("alpha", Dur::new(2), p).resource(r).preemptive())
+            .unwrap();
+        let z = b.add_task(TaskSpec::new("omega", Dur::new(3), p)).unwrap();
+        b.add_edge(a, z, Dur::new(4)).unwrap();
+        let dot = to_dot(&b.build().unwrap());
+        assert!(dot.contains("alpha"));
+        assert!(dot.contains("omega"));
+        assert!(dot.contains("m=4"));
+        assert!(dot.contains("preemptive"));
+        assert!(dot.contains("R={r1}"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_escapes_quotes() {
+        let mut c = Catalog::new();
+        let p = c.processor("P\"1");
+        let mut b = TaskGraphBuilder::new(c);
+        b.default_deadline(Time::new(5));
+        b.add_task(TaskSpec::new("we\"ird", Dur::new(1), p)).unwrap();
+        let dot = to_dot(&b.build().unwrap());
+        assert!(dot.contains("we\\\"ird"));
+        assert!(dot.contains("P\\\"1"));
+    }
+}

@@ -1,0 +1,117 @@
+//! Error type for graph construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::catalog::ResourceKind;
+
+/// Errors produced while building or validating a task graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A name was interned both as a processor and as a plain resource.
+    KindConflict {
+        /// The conflicting name.
+        name: String,
+        /// The kind it was first interned with.
+        existing: ResourceKind,
+        /// The kind the later interning requested.
+        requested: ResourceKind,
+    },
+    /// Two tasks were added with the same name.
+    DuplicateTaskName(String),
+    /// An edge referenced a task id that does not belong to the builder.
+    UnknownTask(String),
+    /// An edge from a task to itself.
+    SelfLoop(String),
+    /// The same precedence edge was added twice.
+    DuplicateEdge {
+        /// Name of the edge's source task.
+        from: String,
+        /// Name of the edge's destination task.
+        to: String,
+    },
+    /// The precedence relation contains a cycle; the field names one task
+    /// on it.
+    Cycle(String),
+    /// A task has no deadline and the builder has no default deadline.
+    MissingDeadline(String),
+    /// A task names a processor id that is not a processor in the catalog,
+    /// or a resource id that is not a plain resource.
+    BadTaskTyping {
+        /// Name of the offending task.
+        task: String,
+        /// Explanation of the typing violation.
+        detail: String,
+    },
+    /// The graph has no tasks.
+    Empty,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::KindConflict {
+                name,
+                existing,
+                requested,
+            } => write!(
+                f,
+                "type `{name}` already interned as {existing}, requested as {requested}"
+            ),
+            GraphError::DuplicateTaskName(name) => {
+                write!(f, "duplicate task name `{name}`")
+            }
+            GraphError::UnknownTask(name) => {
+                write!(f, "edge references unknown task `{name}`")
+            }
+            GraphError::SelfLoop(name) => {
+                write!(f, "self-loop on task `{name}`")
+            }
+            GraphError::DuplicateEdge { from, to } => {
+                write!(f, "duplicate edge `{from}` -> `{to}`")
+            }
+            GraphError::Cycle(name) => {
+                write!(f, "precedence relation has a cycle through task `{name}`")
+            }
+            GraphError::MissingDeadline(name) => write!(
+                f,
+                "task `{name}` has no deadline and no default deadline was set"
+            ),
+            GraphError::BadTaskTyping { task, detail } => {
+                write!(f, "task `{task}` is badly typed: {detail}")
+            }
+            GraphError::Empty => f.write_str("task graph has no tasks"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::DuplicateEdge {
+            from: "a".into(),
+            to: "b".into(),
+        };
+        assert_eq!(e.to_string(), "duplicate edge `a` -> `b`");
+        let e = GraphError::Cycle("t3".into());
+        assert!(e.to_string().contains("t3"));
+        let e = GraphError::KindConflict {
+            name: "x".into(),
+            existing: ResourceKind::Processor,
+            requested: ResourceKind::Resource,
+        };
+        assert!(e.to_string().contains("processor"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_error<E: Error + Send + Sync + 'static>(_e: E) {}
+        takes_error(GraphError::Empty);
+    }
+}

@@ -1,0 +1,60 @@
+//! Task-graph substrate for real-time resource lower-bound analysis.
+//!
+//! This crate provides the application model of Alqadi & Ramanathan,
+//! *"Analysis of Resource Lower Bounds in Real-Time Applications"*
+//! (ICDCS 1995): a directed acyclic graph whose vertices are tasks and whose
+//! edges are precedence constraints annotated with message sizes
+//! (communication times). Each task carries
+//!
+//! * a computation time `C_i` ([`Task::computation`]),
+//! * a release time `rel_i` ([`Task::release`]),
+//! * a deadline `D_i` ([`Task::deadline`]),
+//! * the processor type `φ_i` on which it executes ([`Task::processor`]),
+//! * a set of additional resources `R_i` ([`Task::resources`]), and
+//! * an execution mode (preemptive or non-preemptive, [`ExecutionMode`]).
+//!
+//! Processor types and resource types are interned into a shared
+//! [`Catalog`]; the paper's set `RES = ⋃ (R_i ∪ φ_i)` is then just a set of
+//! [`ResourceId`]s (see [`TaskGraph::resources_used`]).
+//!
+//! # Example
+//!
+//! ```
+//! use rtlb_graph::{Catalog, Dur, TaskGraphBuilder, TaskSpec, Time};
+//!
+//! # fn main() -> Result<(), rtlb_graph::GraphError> {
+//! let mut catalog = Catalog::new();
+//! let p1 = catalog.processor("P1");
+//! let sensor = catalog.resource("sensor");
+//!
+//! let mut builder = TaskGraphBuilder::new(catalog);
+//! builder.default_deadline(Time::new(100));
+//! let sample = builder.add_task(
+//!     TaskSpec::new("sample", Dur::new(3), p1).release(Time::new(0)).resource(sensor),
+//! )?;
+//! let filter = builder.add_task(TaskSpec::new("filter", Dur::new(5), p1))?;
+//! builder.add_edge(sample, filter, Dur::new(2))?;
+//! let graph = builder.build()?;
+//!
+//! assert_eq!(graph.task_count(), 2);
+//! assert_eq!(graph.successors(sample).len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod catalog;
+mod dot;
+mod error;
+mod graph;
+mod task;
+mod time;
+
+pub use catalog::{Catalog, ResourceId, ResourceKind};
+pub use dot::to_dot;
+pub use error::GraphError;
+pub use graph::{Edge, TaskGraph, TaskGraphBuilder, TaskId};
+pub use task::{ExecutionMode, Task, TaskSpec};
+pub use time::{Dur, Time};

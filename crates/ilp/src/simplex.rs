@@ -1,0 +1,561 @@
+//! Two-phase primal simplex over exact rationals.
+//!
+//! The solver targets the small covering programs produced by the
+//! dedicated-model cost bound (tens of variables and constraints), so it
+//! favors exactness and simplicity over scale: a dense tableau, Bland's
+//! anti-cycling rule, and `i128` rationals throughout. With Bland's rule
+//! every run terminates; there is no tolerance anywhere.
+
+use crate::problem::{Cmp, Outcome, Problem, Solution};
+use crate::rational::Rational;
+
+/// Solves the LP relaxation of `problem` (integrality flags are ignored).
+///
+/// Returns [`Outcome::Optimal`] with exact rational values,
+/// [`Outcome::Infeasible`] when no point satisfies the constraints, or
+/// [`Outcome::Unbounded`] when the objective can decrease without bound.
+///
+/// # Example
+///
+/// ```
+/// use rtlb_ilp::{solve_lp, Constraint, Outcome, Problem, Rational};
+/// let mut p = Problem::new();
+/// let x = p.add_var("x", Rational::from(2), false);
+/// let y = p.add_var("y", Rational::from(3), false);
+/// p.add_constraint(Constraint::ge(
+///     vec![(x, Rational::ONE), (y, Rational::ONE)],
+///     Rational::from(4),
+/// ));
+/// let sol = match solve_lp(&p) {
+///     Outcome::Optimal(s) => s,
+///     other => panic!("unexpected: {other:?}"),
+/// };
+/// assert_eq!(sol.objective, Rational::from(8)); // x = 4, y = 0
+/// ```
+pub fn solve_lp(problem: &Problem) -> Outcome {
+    Tableau::build(problem).solve(problem)
+}
+
+struct Tableau {
+    /// Coefficient matrix, `rows[i][j]`, including slack/surplus/artificial
+    /// columns.
+    rows: Vec<Vec<Rational>>,
+    /// Right-hand sides, kept non-negative.
+    rhs: Vec<Rational>,
+    /// Column index of the basic variable of each row.
+    basis: Vec<usize>,
+    /// Total number of columns.
+    cols: usize,
+    /// Number of structural (original) variables.
+    structural: usize,
+    /// Column indices of artificial variables.
+    artificials: Vec<usize>,
+    /// Per original constraint: the auxiliary column whose reduced cost
+    /// yields its dual value, with the sign to apply (flips when the row
+    /// was negated to make the rhs non-negative, and with the column's
+    /// unit-coefficient sign).
+    dual_cols: Vec<(usize, i32)>,
+}
+
+impl Tableau {
+    fn build(problem: &Problem) -> Tableau {
+        let n = problem.num_vars();
+        let m = problem.num_constraints();
+
+        // Pre-compute per-row dense coefficients and normalized senses with
+        // non-negative right-hand sides; remember which rows were negated
+        // so their dual values can be sign-corrected.
+        let mut dense: Vec<(Vec<Rational>, Cmp, Rational, bool)> = Vec::with_capacity(m);
+        for c in problem.constraints() {
+            let mut row = vec![Rational::ZERO; n];
+            for &(v, coef) in &c.coeffs {
+                row[v.index()] += coef;
+            }
+            let (row, cmp, rhs, negated) = if c.rhs.is_negative() {
+                let flipped = match c.cmp {
+                    Cmp::Le => Cmp::Ge,
+                    Cmp::Ge => Cmp::Le,
+                    Cmp::Eq => Cmp::Eq,
+                };
+                (row.iter().map(|&x| -x).collect(), flipped, -c.rhs, true)
+            } else {
+                (row, c.cmp, c.rhs, false)
+            };
+            dense.push((row, cmp, rhs, negated));
+        }
+
+        // Column layout: [structural | slacks+surplus | artificials].
+        let extra: usize = dense
+            .iter()
+            .map(|(_, cmp, _, _)| match cmp {
+                Cmp::Le | Cmp::Ge => 1,
+                Cmp::Eq => 0,
+            })
+            .sum();
+        let artificial_count = dense
+            .iter()
+            .filter(|(_, cmp, _, _)| matches!(cmp, Cmp::Ge | Cmp::Eq))
+            .count();
+        let cols = n + extra + artificial_count;
+
+        let mut rows = Vec::with_capacity(m);
+        let mut rhs = Vec::with_capacity(m);
+        let mut basis = Vec::with_capacity(m);
+        let mut artificials = Vec::with_capacity(artificial_count);
+        let mut dual_cols = Vec::with_capacity(m);
+        let mut next_extra = n;
+        let mut next_artificial = n + extra;
+
+        for (coeffs, cmp, b, negated) in dense {
+            let mut row = vec![Rational::ZERO; cols];
+            row[..n].copy_from_slice(&coeffs);
+            // The dual of constraint i is read off the reduced cost of a
+            // column whose constraint-space coefficient is ±e_i:
+            // z_col = c_col − yᵀA_col = −(±y_i), so y_i = ∓z_col; a
+            // negated row flips the sign once more.
+            let row_sign = if negated { -1 } else { 1 };
+            match cmp {
+                Cmp::Le => {
+                    row[next_extra] = Rational::ONE;
+                    basis.push(next_extra);
+                    dual_cols.push((next_extra, -row_sign));
+                    next_extra += 1;
+                }
+                Cmp::Ge => {
+                    row[next_extra] = -Rational::ONE;
+                    next_extra += 1;
+                    row[next_artificial] = Rational::ONE;
+                    basis.push(next_artificial);
+                    artificials.push(next_artificial);
+                    // Surplus column has coefficient −e_i: y_i = +z_col.
+                    dual_cols.push((next_extra - 1, row_sign));
+                    next_artificial += 1;
+                }
+                Cmp::Eq => {
+                    row[next_artificial] = Rational::ONE;
+                    basis.push(next_artificial);
+                    artificials.push(next_artificial);
+                    dual_cols.push((next_artificial, -row_sign));
+                    next_artificial += 1;
+                }
+            }
+            rows.push(row);
+            rhs.push(b);
+        }
+
+        Tableau {
+            rows,
+            rhs,
+            basis,
+            cols,
+            structural: n,
+            artificials,
+            dual_cols,
+        }
+    }
+
+    fn solve(mut self, problem: &Problem) -> Outcome {
+        // Phase 1: minimize the sum of artificial variables.
+        if !self.artificials.is_empty() {
+            let mut phase1 = vec![Rational::ZERO; self.cols];
+            for &a in &self.artificials {
+                phase1[a] = Rational::ONE;
+            }
+            match self.optimize(&phase1) {
+                OptimizeResult::Optimal(obj) => {
+                    if obj.is_positive() {
+                        return Outcome::Infeasible;
+                    }
+                }
+                OptimizeResult::Unbounded => {
+                    unreachable!("phase-1 objective is bounded below by zero")
+                }
+            }
+            self.evict_artificials();
+        }
+
+        // Phase 2: the original objective over structural columns.
+        let mut costs = vec![Rational::ZERO; self.cols];
+        costs[..self.structural].copy_from_slice(&problem.costs()[..self.structural]);
+        match self.optimize(&costs) {
+            OptimizeResult::Optimal(objective) => {
+                let mut values = vec![Rational::ZERO; self.structural];
+                for (row, &col) in self.basis.iter().enumerate() {
+                    if col < self.structural {
+                        values[col] = self.rhs[row];
+                    }
+                }
+                let duals = self
+                    .dual_cols
+                    .iter()
+                    .map(|&(col, sign)| {
+                        let z = self.reduced_cost(&costs, col);
+                        if sign >= 0 {
+                            z
+                        } else {
+                            -z
+                        }
+                    })
+                    .collect();
+                Outcome::Optimal(Solution {
+                    values,
+                    objective,
+                    duals,
+                })
+            }
+            OptimizeResult::Unbounded => Outcome::Unbounded,
+        }
+    }
+
+    /// Runs primal simplex with Bland's rule for the given cost vector.
+    /// Returns the optimal objective value or detects unboundedness.
+    fn optimize(&mut self, costs: &[Rational]) -> OptimizeResult {
+        loop {
+            // Reduced costs: z_j = c_j - Σ_i c_{basis(i)} · a_{ij}.
+            let entering = (0..self.usable_cols(costs)).find(|&j| {
+                !self.is_basic(j) && self.reduced_cost(costs, j).is_negative()
+            });
+            let Some(col) = entering else {
+                let obj = self
+                    .basis
+                    .iter()
+                    .zip(&self.rhs)
+                    .map(|(&b, &v)| costs[b] * v)
+                    .sum();
+                return OptimizeResult::Optimal(obj);
+            };
+
+            // Ratio test; Bland tie-break on the leaving basic variable.
+            let mut leave: Option<(usize, Rational)> = None;
+            for i in 0..self.rows.len() {
+                let a = self.rows[i][col];
+                if a.is_positive() {
+                    let ratio = self.rhs[i] / a;
+                    let better = match &leave {
+                        None => true,
+                        Some((li, lr)) => {
+                            ratio < *lr || (ratio == *lr && self.basis[i] < self.basis[*li])
+                        }
+                    };
+                    if better {
+                        leave = Some((i, ratio));
+                    }
+                }
+            }
+            let Some((row, _)) = leave else {
+                return OptimizeResult::Unbounded;
+            };
+            self.pivot(row, col);
+        }
+    }
+
+    /// During phase 2 the artificial columns must never re-enter;
+    /// restricting the entering-variable scan to earlier columns enforces
+    /// that because artificials occupy the final columns.
+    fn usable_cols(&self, costs: &[Rational]) -> usize {
+        let phase1 = self.artificials.iter().any(|&a| costs[a].is_positive());
+        if phase1 {
+            self.cols
+        } else {
+            self.cols - self.artificials.len()
+        }
+    }
+
+    fn is_basic(&self, col: usize) -> bool {
+        self.basis.contains(&col)
+    }
+
+    fn reduced_cost(&self, costs: &[Rational], j: usize) -> Rational {
+        let carried: Rational = self
+            .basis
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| costs[b] * self.rows[i][j])
+            .sum();
+        costs[j] - carried
+    }
+
+    fn pivot(&mut self, row: usize, col: usize) {
+        let pivot = self.rows[row][col];
+        let inv = pivot.recip();
+        for x in self.rows[row].iter_mut() {
+            *x *= inv;
+        }
+        self.rhs[row] *= inv;
+        for i in 0..self.rows.len() {
+            if i == row {
+                continue;
+            }
+            let factor = self.rows[i][col];
+            if factor.is_zero() {
+                continue;
+            }
+            for j in 0..self.cols {
+                let delta = factor * self.rows[row][j];
+                self.rows[i][j] -= delta;
+            }
+            let delta = factor * self.rhs[row];
+            self.rhs[i] -= delta;
+        }
+        self.basis[row] = col;
+    }
+
+    /// After phase 1, any artificial still basic sits at level zero; pivot
+    /// it out on any usable column, or drop its (redundant) row.
+    fn evict_artificials(&mut self) {
+        let artificial_start = self.cols - self.artificials.len();
+        let mut row = 0;
+        while row < self.rows.len() {
+            if self.basis[row] >= artificial_start {
+                debug_assert!(self.rhs[row].is_zero(), "basic artificial at nonzero level");
+                let pivot_col =
+                    (0..artificial_start).find(|&j| !self.rows[row][j].is_zero());
+                match pivot_col {
+                    Some(col) => self.pivot(row, col),
+                    None => {
+                        // Entire row is zero over real columns: redundant.
+                        self.rows.swap_remove(row);
+                        self.rhs.swap_remove(row);
+                        self.basis.swap_remove(row);
+                        continue;
+                    }
+                }
+            }
+            row += 1;
+        }
+    }
+}
+
+enum OptimizeResult {
+    Optimal(Rational),
+    Unbounded,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Constraint;
+
+    fn r(n: i64) -> Rational {
+        Rational::from(n)
+    }
+
+    fn rq(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    #[test]
+    fn minimizes_simple_covering() {
+        // min 2x + 3y s.t. x + y >= 4  ->  x = 4.
+        let mut p = Problem::new();
+        let x = p.add_var("x", r(2), false);
+        let y = p.add_var("y", r(3), false);
+        p.add_constraint(Constraint::ge(vec![(x, r(1)), (y, r(1))], r(4)));
+        let s = solve_lp(&p).optimal().unwrap();
+        assert_eq!(s.objective, r(8));
+        assert_eq!(s.value(x), r(4));
+        assert_eq!(s.value(y), r(0));
+    }
+
+    #[test]
+    fn handles_le_constraints() {
+        // min -x  s.t. x <= 5  ->  x = 5, objective -5.
+        let mut p = Problem::new();
+        let x = p.add_var("x", r(-1), false);
+        p.add_constraint(Constraint::le(vec![(x, r(1))], r(5)));
+        let s = solve_lp(&p).optimal().unwrap();
+        assert_eq!(s.objective, r(-5));
+        assert_eq!(s.value(x), r(5));
+    }
+
+    #[test]
+    fn handles_eq_constraints() {
+        // min x + y  s.t. x + 2y = 6, x >= 1  ->  x = 1? No: minimize
+        // x + y with x + 2y = 6 wants y as large as possible: y = 3, x = 0,
+        // but the extra constraint x >= 1 forces x = 1, y = 5/2.
+        let mut p = Problem::new();
+        let x = p.add_var("x", r(1), false);
+        let y = p.add_var("y", r(1), false);
+        p.add_constraint(Constraint::eq(vec![(x, r(1)), (y, r(2))], r(6)));
+        p.add_constraint(Constraint::ge(vec![(x, r(1))], r(1)));
+        let s = solve_lp(&p).optimal().unwrap();
+        assert_eq!(s.value(x), r(1));
+        assert_eq!(s.value(y), rq(5, 2));
+        assert_eq!(s.objective, rq(7, 2));
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        // x <= 1 and x >= 3.
+        let mut p = Problem::new();
+        let x = p.add_var("x", r(1), false);
+        p.add_constraint(Constraint::le(vec![(x, r(1))], r(1)));
+        p.add_constraint(Constraint::ge(vec![(x, r(1))], r(3)));
+        assert_eq!(solve_lp(&p), Outcome::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        // min -x with x >= 0 and no upper bound.
+        let mut p = Problem::new();
+        let x = p.add_var("x", r(-1), false);
+        p.add_constraint(Constraint::ge(vec![(x, r(1))], r(0)));
+        assert_eq!(solve_lp(&p), Outcome::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_is_normalized() {
+        // -x <= -3  is  x >= 3; min x -> 3.
+        let mut p = Problem::new();
+        let x = p.add_var("x", r(1), false);
+        p.add_constraint(Constraint::le(vec![(x, r(-1))], r(-3)));
+        let s = solve_lp(&p).optimal().unwrap();
+        assert_eq!(s.value(x), r(3));
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Classic degeneracy: several tight constraints at the optimum.
+        let mut p = Problem::new();
+        let x = p.add_var("x", r(1), false);
+        let y = p.add_var("y", r(1), false);
+        p.add_constraint(Constraint::ge(vec![(x, r(1)), (y, r(1))], r(2)));
+        p.add_constraint(Constraint::ge(vec![(x, r(1))], r(1)));
+        p.add_constraint(Constraint::ge(vec![(y, r(1))], r(1)));
+        p.add_constraint(Constraint::le(vec![(x, r(1)), (y, r(1))], r(2)));
+        let s = solve_lp(&p).optimal().unwrap();
+        assert_eq!(s.objective, r(2));
+        assert_eq!(s.value(x), r(1));
+        assert_eq!(s.value(y), r(1));
+    }
+
+    #[test]
+    fn fractional_optimum_is_exact() {
+        // min x + y s.t. 2x + y >= 3, x + 2y >= 3  ->  x = y = 1.
+        // Perturb: 2x + y >= 4, x + 2y >= 3 -> intersection x = 5/3, y = 2/3.
+        let mut p = Problem::new();
+        let x = p.add_var("x", r(1), false);
+        let y = p.add_var("y", r(1), false);
+        p.add_constraint(Constraint::ge(vec![(x, r(2)), (y, r(1))], r(4)));
+        p.add_constraint(Constraint::ge(vec![(x, r(1)), (y, r(2))], r(3)));
+        let s = solve_lp(&p).optimal().unwrap();
+        assert_eq!(s.objective, rq(7, 3));
+        assert_eq!(s.value(x), rq(5, 3));
+        assert_eq!(s.value(y), rq(2, 3));
+    }
+
+    #[test]
+    fn paper_example_relaxation() {
+        // Section 8 Step 4: min x1·c1 + x2·c2 + x3·c3 s.t.
+        //   x1 + x2 >= 3, x1 >= 2, x3 >= 2.
+        // With all costs 1 the relaxation optimum is x1=3? No: x1=2, x2=1,
+        // x3=2 -> 5; or x1=3, x2=0 -> also 5. Objective value 5 either way.
+        let mut p = Problem::new();
+        let x1 = p.add_var("x1", r(1), false);
+        let x2 = p.add_var("x2", r(1), false);
+        let x3 = p.add_var("x3", r(1), false);
+        p.add_constraint(Constraint::ge(vec![(x1, r(1)), (x2, r(1))], r(3)));
+        p.add_constraint(Constraint::ge(vec![(x1, r(1))], r(2)));
+        p.add_constraint(Constraint::ge(vec![(x3, r(1))], r(2)));
+        let s = solve_lp(&p).optimal().unwrap();
+        assert_eq!(s.objective, r(5));
+    }
+
+    #[test]
+    fn redundant_equalities_are_dropped() {
+        // x + y = 2 stated twice; still solvable.
+        let mut p = Problem::new();
+        let x = p.add_var("x", r(1), false);
+        let y = p.add_var("y", r(2), false);
+        p.add_constraint(Constraint::eq(vec![(x, r(1)), (y, r(1))], r(2)));
+        p.add_constraint(Constraint::eq(vec![(x, r(1)), (y, r(1))], r(2)));
+        let s = solve_lp(&p).optimal().unwrap();
+        assert_eq!(s.objective, r(2));
+        assert_eq!(s.value(x), r(2));
+    }
+
+    #[test]
+    fn zero_constraint_problem() {
+        // No constraints: minimum of non-negative costs is all-zero.
+        let mut p = Problem::new();
+        p.add_var("x", r(7), false);
+        let s = solve_lp(&p).optimal().unwrap();
+        assert_eq!(s.objective, r(0));
+    }
+
+    #[test]
+    fn duals_report_shadow_prices() {
+        // min 2x + 3y s.t. x + y >= 4: tightening the rhs by one costs 2
+        // (another unit of x), so the dual is 2, and strong duality gives
+        // y·b = 2·4 = 8 = objective.
+        let mut p = Problem::new();
+        let x = p.add_var("x", r(2), false);
+        let y = p.add_var("y", r(3), false);
+        p.add_constraint(Constraint::ge(vec![(x, r(1)), (y, r(1))], r(4)));
+        let s = solve_lp(&p).optimal().unwrap();
+        assert_eq!(s.dual(0), r(2));
+        assert_eq!(s.dual(0) * r(4), s.objective);
+    }
+
+    #[test]
+    fn duals_of_le_constraints_are_nonpositive_in_minimization() {
+        // min -x s.t. x <= 5: relaxing the cap by one unit improves the
+        // objective by one, so the shadow price is -1.
+        let mut p = Problem::new();
+        let x = p.add_var("x", r(-1), false);
+        p.add_constraint(Constraint::le(vec![(x, r(1))], r(5)));
+        let s = solve_lp(&p).optimal().unwrap();
+        assert_eq!(s.dual(0), r(-1));
+    }
+
+    #[test]
+    fn duals_of_equalities_and_strong_duality() {
+        // min x + y s.t. x + 2y = 6, x >= 1: optimum (1, 5/2), value 7/2.
+        // Perturbing either rhs by +1 raises the optimum by 1/2.
+        let mut p = Problem::new();
+        let x = p.add_var("x", r(1), false);
+        let y = p.add_var("y", r(1), false);
+        p.add_constraint(Constraint::eq(vec![(x, r(1)), (y, r(2))], r(6)));
+        p.add_constraint(Constraint::ge(vec![(x, r(1))], r(1)));
+        let s = solve_lp(&p).optimal().unwrap();
+        assert_eq!(s.dual(0), rq(1, 2));
+        assert_eq!(s.dual(1), rq(1, 2));
+        // Strong duality: Σ y_i b_i = objective.
+        assert_eq!(s.dual(0) * r(6) + s.dual(1) * r(1), s.objective);
+    }
+
+    #[test]
+    fn duals_respect_negated_rows() {
+        // -x <= -3 is x >= 3; the dual is reported for the constraint AS
+        // DECLARED: d(objective)/d(rhs of the <= row) = -1.
+        let mut p = Problem::new();
+        let x = p.add_var("x", r(1), false);
+        p.add_constraint(Constraint::le(vec![(x, r(-1))], r(-3)));
+        let s = solve_lp(&p).optimal().unwrap();
+        assert_eq!(s.dual(0), r(-1));
+        // Consistency: y·b = (-1)(-3) = 3 = objective.
+        assert_eq!(s.dual(0) * r(-3), s.objective);
+    }
+
+    #[test]
+    fn slack_constraints_have_zero_duals() {
+        // min x s.t. x >= 2, x + 0y >= 1 (slack at the optimum).
+        let mut p = Problem::new();
+        let x = p.add_var("x", r(1), false);
+        p.add_constraint(Constraint::ge(vec![(x, r(1))], r(2)));
+        p.add_constraint(Constraint::ge(vec![(x, r(1))], r(1)));
+        let s = solve_lp(&p).optimal().unwrap();
+        assert_eq!(s.dual(0), r(1));
+        assert_eq!(s.dual(1), r(0)); // complementary slackness
+    }
+
+    #[test]
+    fn duplicate_coefficients_accumulate() {
+        // (x, 1) listed twice means coefficient 2.
+        let mut p = Problem::new();
+        let x = p.add_var("x", r(1), false);
+        p.add_constraint(Constraint::ge(vec![(x, r(1)), (x, r(1))], r(4)));
+        let s = solve_lp(&p).optimal().unwrap();
+        assert_eq!(s.value(x), r(2));
+    }
+}

@@ -1,0 +1,459 @@
+//! Exact (complete) feasibility search for small instances.
+//!
+//! Decides whether a *non-preemptive* schedule exists for given
+//! capacities, by depth-first search over anchored schedules: tasks are
+//! placed in topological order; each placement is tried on every
+//! symmetry-reduced unit choice and at every *anchored* start time — its
+//! own lower bound or the finish time of an already-placed task. A
+//! left-shift argument shows anchored schedules suffice for feasibility,
+//! so a `None` answer is a proof of infeasibility (for non-preemptive
+//! execution).
+//!
+//! This is the oracle behind the bound-validity experiments: Theorems 3–5
+//! claim no system with fewer than `LB_r` units of `r` can be feasible;
+//! the tests set `cap_r = LB_r − 1` and confirm the search finds nothing.
+
+use std::error::Error;
+use std::fmt;
+
+use rtlb_graph::{TaskGraph, TaskId, Time};
+
+use crate::capacity::Capacities;
+use crate::schedule::{Placement, Schedule};
+
+/// Node budget for the exhaustive search.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SearchBudget {
+    /// Maximum number of candidate placements tried.
+    pub nodes: u64,
+}
+
+impl Default for SearchBudget {
+    fn default() -> SearchBudget {
+        SearchBudget { nodes: 2_000_000 }
+    }
+}
+
+/// The search exhausted its node budget before deciding feasibility.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BudgetExceeded {
+    /// The configured budget.
+    pub nodes: u64,
+}
+
+impl fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "exact search exceeded its budget of {} nodes", self.nodes)
+    }
+}
+
+impl Error for BudgetExceeded {}
+
+struct Search<'g> {
+    graph: &'g TaskGraph,
+    caps: &'g Capacities,
+    order: Vec<TaskId>,
+    /// (start, end, unit) per placed task.
+    placed: Vec<Option<(Time, Time, u32)>>,
+    /// Units of each processor type already in use (symmetry breaking).
+    units_in_use: Vec<u32>,
+    nodes_left: u64,
+}
+
+impl<'g> Search<'g> {
+    /// Lower bound on the start of `task` when placed on `unit`.
+    fn lower_bound(&self, task: TaskId, unit: u32) -> Time {
+        let t = self.graph.task(task);
+        let mut lo = t.release();
+        for e in self.graph.predecessors(task) {
+            let (_, finish, pred_unit) =
+                self.placed[e.other.index()].expect("topological order");
+            let colocated = self.graph.task(e.other).processor() == t.processor()
+                && pred_unit == unit
+                && !self.graph.task(e.other).computation().is_zero();
+            let arrival = if colocated { finish } else { finish + e.message };
+            lo = lo.max(arrival);
+        }
+        lo
+    }
+
+    /// Whether `[start, end)` on `unit` is free and all resources have
+    /// spare units throughout.
+    fn fits(&self, task: TaskId, unit: u32, start: Time, end: Time) -> bool {
+        let t = self.graph.task(task);
+        for (other_idx, slot) in self.placed.iter().enumerate() {
+            let Some(&(s, e, u)) = slot.as_ref() else {
+                continue;
+            };
+            if s >= end || e <= start {
+                continue;
+            }
+            let other = self.graph.task(TaskId::from_index(other_idx));
+            if other.processor() == t.processor() && u == unit {
+                return false;
+            }
+        }
+        for &r in t.resources() {
+            let cap = self.caps.units(r);
+            // Max concurrent holders of r inside [start, end) among placed
+            // tasks, plus this one.
+            let mut events: Vec<(Time, i32)> = Vec::new();
+            for (other_idx, slot) in self.placed.iter().enumerate() {
+                let Some(&(s, e, _)) = slot.as_ref() else {
+                    continue;
+                };
+                if s >= end || e <= start {
+                    continue;
+                }
+                if self
+                    .graph
+                    .task(TaskId::from_index(other_idx))
+                    .demands_resource(r)
+                {
+                    events.push((s.max(start), 1));
+                    events.push((e.min(end), -1));
+                }
+            }
+            events.sort_by_key(|&(t, d)| (t, d));
+            let mut level = 1i32; // this task holds r throughout
+            if level > cap as i32 {
+                return false;
+            }
+            for (_, d) in events {
+                level += d;
+                if level > cap as i32 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn dfs(&mut self, depth: usize) -> Result<bool, BudgetExceeded> {
+        if depth == self.order.len() {
+            return Ok(true);
+        }
+        let task_id = self.order[depth];
+        let task = self.graph.task(task_id);
+
+        if task.computation().is_zero() {
+            // Zero-computation task: completes at its lower bound (unit
+            // irrelevant, occupies nothing).
+            let lo = self.lower_bound(task_id, u32::MAX);
+            if lo > task.deadline() {
+                return Ok(false);
+            }
+            self.placed[task_id.index()] = Some((lo, lo, u32::MAX));
+            let found = self.dfs(depth + 1)?;
+            if !found {
+                self.placed[task_id.index()] = None;
+            }
+            return Ok(found);
+        }
+
+        let total_units = self.caps.units(task.processor());
+        // Symmetry: existing units plus at most one fresh unit.
+        let used = self.units_in_use[task.processor().index()];
+        let tryable = total_units.min(used + 1);
+
+        for unit in 0..tryable {
+            let lo = self.lower_bound(task_id, unit);
+            let hi = task.deadline() - task.computation();
+            if lo > hi {
+                continue;
+            }
+            // Anchored candidate starts: lo plus every placed finish in
+            // (lo, hi].
+            let mut candidates: Vec<Time> = vec![lo];
+            for slot in self.placed.iter().flatten() {
+                let f = slot.1;
+                if f > lo && f <= hi {
+                    candidates.push(f);
+                }
+            }
+            candidates.sort();
+            candidates.dedup();
+
+            for start in candidates {
+                if self.nodes_left == 0 {
+                    return Err(BudgetExceeded {
+                        nodes: self.nodes_left,
+                    });
+                }
+                self.nodes_left -= 1;
+                let end = start + task.computation();
+                if !self.fits(task_id, unit, start, end) {
+                    continue;
+                }
+                self.placed[task_id.index()] = Some((start, end, unit));
+                let fresh = unit == used;
+                if fresh {
+                    self.units_in_use[task.processor().index()] += 1;
+                }
+                if self.dfs(depth + 1)? {
+                    return Ok(true);
+                }
+                if fresh {
+                    self.units_in_use[task.processor().index()] -= 1;
+                }
+                self.placed[task_id.index()] = None;
+            }
+        }
+        Ok(false)
+    }
+}
+
+/// Exhaustively decides whether a non-preemptive schedule meeting every
+/// constraint exists under `caps`; returns one if so.
+///
+/// Preemptive tasks are scheduled without preemption, which is always
+/// *valid*; a `None` answer therefore proves infeasibility only for
+/// instances whose tasks are all non-preemptive.
+///
+/// # Errors
+///
+/// [`BudgetExceeded`] if the search tries more than `budget.nodes`
+/// candidate placements — keep instances small (≲ 10 tasks).
+///
+/// # Example
+///
+/// ```
+/// use rtlb_graph::{Catalog, Dur, TaskGraphBuilder, TaskSpec, Time};
+/// use rtlb_sched::{find_schedule_exact, Capacities, SearchBudget};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut catalog = Catalog::new();
+/// let p = catalog.processor("P");
+/// let mut b = TaskGraphBuilder::new(catalog);
+/// for i in 0..2 {
+///     b.add_task(TaskSpec::new(format!("t{i}"), Dur::new(4), p).deadline(Time::new(4)))?;
+/// }
+/// let g = b.build()?;
+/// let one = Capacities::new().with(p, 1);
+/// let two = Capacities::new().with(p, 2);
+/// assert!(find_schedule_exact(&g, &one, SearchBudget::default())?.is_none());
+/// assert!(find_schedule_exact(&g, &two, SearchBudget::default())?.is_some());
+/// # Ok(())
+/// # }
+/// ```
+pub fn find_schedule_exact(
+    graph: &TaskGraph,
+    caps: &Capacities,
+    budget: SearchBudget,
+) -> Result<Option<Schedule>, BudgetExceeded> {
+    let mut search = Search {
+        graph,
+        caps,
+        order: graph.topological_order().to_vec(),
+        placed: vec![None; graph.task_count()],
+        units_in_use: vec![0; graph.catalog().len()],
+        nodes_left: budget.nodes,
+    };
+    let found = search.dfs(0).map_err(|_| BudgetExceeded {
+        nodes: budget.nodes,
+    })?;
+    if !found {
+        return Ok(None);
+    }
+    let mut schedule = Schedule::new();
+    for (idx, slot) in search.placed.iter().enumerate() {
+        let &(start, _end, unit) = slot.as_ref().expect("complete assignment");
+        let id = TaskId::from_index(idx);
+        let c = graph.task(id).computation();
+        if c.is_zero() {
+            schedule.place(Placement {
+                task: id,
+                unit: 0,
+                slices: vec![],
+            });
+        } else {
+            schedule.place(Placement::contiguous(id, unit, start, c));
+        }
+    }
+    Ok(Some(schedule))
+}
+
+/// The minimum number of units of `resource` for which a non-preemptive
+/// schedule exists, with all other capacities taken from `others`.
+/// Searches upward from zero to `limit`.
+///
+/// Returns `None` if even `limit` units are not enough.
+///
+/// # Errors
+///
+/// [`BudgetExceeded`] from the underlying exact searches.
+pub fn min_units_exact(
+    graph: &TaskGraph,
+    resource: rtlb_graph::ResourceId,
+    others: &Capacities,
+    limit: u32,
+    budget: SearchBudget,
+) -> Result<Option<u32>, BudgetExceeded> {
+    for k in 0..=limit {
+        let caps = others.clone().with(resource, k);
+        if find_schedule_exact(graph, &caps, budget)?.is_some() {
+            return Ok(Some(k));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate_schedule;
+    use rtlb_graph::{Catalog, Dur, TaskGraphBuilder, TaskSpec};
+
+    fn budget() -> SearchBudget {
+        SearchBudget::default()
+    }
+
+    #[test]
+    fn finds_schedule_requiring_inserted_idle() {
+        // A greedy non-delay scheduler fails here: starting `long` at 0 on
+        // the single unit makes `urgent` (released at 1, deadline 3) miss;
+        // the exact search must discover the anchored schedule that runs
+        // urgent first.
+        let mut c = Catalog::new();
+        let p = c.processor("P");
+        let mut b = TaskGraphBuilder::new(c);
+        b.add_task(TaskSpec::new("long", Dur::new(5), p).deadline(Time::new(8)))
+            .unwrap();
+        b.add_task(
+            TaskSpec::new("urgent", Dur::new(2), p)
+                .release(Time::new(1))
+                .deadline(Time::new(3)),
+        )
+        .unwrap();
+        let g = b.build().unwrap();
+        let caps = Capacities::new().with(p, 1);
+        let s = find_schedule_exact(&g, &caps, budget()).unwrap();
+        // long must wait for urgent: urgent [1,3], long [3,8].
+        let s = s.expect("feasible with idling");
+        assert!(validate_schedule(&g, &caps, &s).is_empty());
+    }
+
+    #[test]
+    fn proves_infeasibility() {
+        let mut c = Catalog::new();
+        let p = c.processor("P");
+        let mut b = TaskGraphBuilder::new(c);
+        for i in 0..3 {
+            b.add_task(TaskSpec::new(format!("t{i}"), Dur::new(4), p).deadline(Time::new(4)))
+                .unwrap();
+        }
+        let g = b.build().unwrap();
+        let two = Capacities::new().with(p, 2);
+        assert!(find_schedule_exact(&g, &two, budget()).unwrap().is_none());
+        let three = Capacities::new().with(p, 3);
+        assert!(find_schedule_exact(&g, &three, budget()).unwrap().is_some());
+    }
+
+    #[test]
+    fn respects_resource_capacities() {
+        let mut c = Catalog::new();
+        let p = c.processor("P");
+        let r = c.resource("r");
+        let mut b = TaskGraphBuilder::new(c);
+        for i in 0..2 {
+            b.add_task(
+                TaskSpec::new(format!("t{i}"), Dur::new(4), p)
+                    .resource(r)
+                    .deadline(Time::new(4)),
+            )
+            .unwrap();
+        }
+        let g = b.build().unwrap();
+        // Two processors but one r unit: infeasible.
+        let caps = Capacities::new().with(p, 2).with(r, 1);
+        assert!(find_schedule_exact(&g, &caps, budget()).unwrap().is_none());
+        let caps2 = Capacities::new().with(p, 2).with(r, 2);
+        let s = find_schedule_exact(&g, &caps2, budget()).unwrap().unwrap();
+        assert!(validate_schedule(&g, &caps2, &s).is_empty());
+    }
+
+    #[test]
+    fn communication_vs_colocation_tradeoff() {
+        // a -> z, message 10, deadline tight: only co-location works, and
+        // co-location forces sequential execution on one unit.
+        let mut c = Catalog::new();
+        let p = c.processor("P");
+        let mut b = TaskGraphBuilder::new(c);
+        let a = b
+            .add_task(TaskSpec::new("a", Dur::new(3), p).deadline(Time::new(20)))
+            .unwrap();
+        let z = b
+            .add_task(TaskSpec::new("z", Dur::new(4), p).deadline(Time::new(8)))
+            .unwrap();
+        b.add_edge(a, z, Dur::new(10)).unwrap();
+        let g = b.build().unwrap();
+        let caps = Capacities::new().with(p, 2);
+        let s = find_schedule_exact(&g, &caps, budget()).unwrap().unwrap();
+        assert!(validate_schedule(&g, &caps, &s).is_empty());
+        let pa = s.placement(a).unwrap();
+        let pz = s.placement(z).unwrap();
+        assert_eq!(pa.unit, pz.unit);
+    }
+
+    #[test]
+    fn min_units_matches_hand_analysis() {
+        let mut c = Catalog::new();
+        let p = c.processor("P");
+        let mut b = TaskGraphBuilder::new(c);
+        for i in 0..4 {
+            b.add_task(TaskSpec::new(format!("t{i}"), Dur::new(3), p).deadline(Time::new(6)))
+                .unwrap();
+        }
+        let g = b.build().unwrap();
+        // 12 ticks of work in 6 ticks: exactly 2 units needed.
+        let min = min_units_exact(&g, p, &Capacities::new(), 8, budget())
+            .unwrap()
+            .unwrap();
+        assert_eq!(min, 2);
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let mut c = Catalog::new();
+        let p = c.processor("P");
+        let mut b = TaskGraphBuilder::new(c);
+        for i in 0..6 {
+            b.add_task(TaskSpec::new(format!("t{i}"), Dur::new(2), p).deadline(Time::new(60)))
+                .unwrap();
+        }
+        let g = b.build().unwrap();
+        let caps = Capacities::new().with(p, 1);
+        let tiny = SearchBudget { nodes: 2 };
+        // Either it finds a schedule within 2 nodes (it won't — six tasks)
+        // or it errors.
+        assert!(find_schedule_exact(&g, &caps, tiny).is_err());
+    }
+
+    #[test]
+    fn exact_search_validates_bound_on_paper_partition() {
+        // The paper's first P1 partition block in miniature: tasks 1-5
+        // with their reconstructed windows; LB says 3 processors.
+        let ex = rtlb_workloads::paper_example();
+        let g = &ex.graph;
+        // Restrict to the subgraph of tasks 1..=5 by scheduling the whole
+        // graph is too big; instead check the principle on a fresh graph
+        // with the same windows.
+        let mut c = Catalog::new();
+        let p = c.processor("P1");
+        let mut b = TaskGraphBuilder::new(c);
+        let windows = [(0, 3, 3), (0, 6, 6), (3, 6, 3), (3, 8, 5), (6, 15, 4)];
+        for (i, &(rel, d, comp)) in windows.iter().enumerate() {
+            b.add_task(
+                TaskSpec::new(format!("t{}", i + 1), Dur::new(comp), p)
+                    .release(Time::new(rel))
+                    .deadline(Time::new(d)),
+            )
+            .unwrap();
+        }
+        let g2 = b.build().unwrap();
+        let min = min_units_exact(&g2, p, &Capacities::new(), 6, budget())
+            .unwrap()
+            .unwrap();
+        assert_eq!(min, 3, "exact minimum matches LB_P1 on the first block");
+        let _ = g;
+    }
+}

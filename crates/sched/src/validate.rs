@@ -1,0 +1,468 @@
+//! Full constraint validation of shared-model schedules.
+//!
+//! The validator checks *every* application constraint the paper models:
+//! computation amounts, release times, deadlines, non-preemption,
+//! precedence with communication delays (free only between co-located
+//! tasks), processor-unit exclusivity, and resource capacities. Scheduler
+//! output in this crate is always run through it in tests, so a scheduler
+//! bug cannot silently inflate the tightness results.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use rtlb_graph::{ResourceId, TaskGraph, TaskId, Time};
+
+use crate::capacity::Capacities;
+use crate::schedule::Schedule;
+
+/// A violated constraint found by [`validate_schedule`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ScheduleViolation {
+    /// A task has no placement.
+    Missing(TaskId),
+    /// A task is placed more than once.
+    Duplicate(TaskId),
+    /// Slices are empty, unordered, or overlapping within a placement.
+    MalformedSlices(TaskId),
+    /// Total executed time differs from `C_i`.
+    WrongComputation(TaskId),
+    /// A non-preemptive task executes in more than one slice.
+    SplitNonPreemptive(TaskId),
+    /// Execution starts before the release time.
+    BeforeRelease(TaskId),
+    /// Execution completes after the deadline.
+    AfterDeadline(TaskId),
+    /// The placement names a unit index at or above the processor-type
+    /// capacity.
+    UnitOutOfRange(TaskId),
+    /// Two tasks share a processor unit at the same instant.
+    UnitConflict(TaskId, TaskId),
+    /// A successor starts before its predecessor's message could arrive.
+    PrecedenceViolated {
+        /// The predecessor.
+        from: TaskId,
+        /// The successor that started too early.
+        to: TaskId,
+    },
+    /// More tasks hold `resource` at time `at` than there are units.
+    CapacityExceeded {
+        /// The oversubscribed resource.
+        resource: ResourceId,
+        /// An instant at which the capacity is exceeded.
+        at: Time,
+    },
+}
+
+impl fmt::Display for ScheduleViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleViolation::Missing(t) => write!(f, "{t} has no placement"),
+            ScheduleViolation::Duplicate(t) => write!(f, "{t} placed twice"),
+            ScheduleViolation::MalformedSlices(t) => {
+                write!(f, "{t} has malformed slices")
+            }
+            ScheduleViolation::WrongComputation(t) => {
+                write!(f, "{t} does not execute for exactly C_i")
+            }
+            ScheduleViolation::SplitNonPreemptive(t) => {
+                write!(f, "non-preemptive {t} is split")
+            }
+            ScheduleViolation::BeforeRelease(t) => {
+                write!(f, "{t} starts before its release time")
+            }
+            ScheduleViolation::AfterDeadline(t) => {
+                write!(f, "{t} completes after its deadline")
+            }
+            ScheduleViolation::UnitOutOfRange(t) => {
+                write!(f, "{t} uses a processor unit beyond capacity")
+            }
+            ScheduleViolation::UnitConflict(a, b) => {
+                write!(f, "{a} and {b} overlap on one processor unit")
+            }
+            ScheduleViolation::PrecedenceViolated { from, to } => {
+                write!(f, "{to} starts before the message from {from} arrives")
+            }
+            ScheduleViolation::CapacityExceeded { resource, at } => {
+                write!(f, "resource {resource} oversubscribed at {at}")
+            }
+        }
+    }
+}
+
+impl Error for ScheduleViolation {}
+
+/// Validates a schedule against every application constraint and the
+/// given capacities. Returns all violations found (empty means valid).
+///
+/// # Example
+///
+/// ```
+/// use rtlb_graph::{Catalog, Dur, TaskGraphBuilder, TaskSpec, Time};
+/// use rtlb_sched::{validate_schedule, Capacities, Placement, Schedule};
+/// # fn main() -> Result<(), rtlb_graph::GraphError> {
+/// let mut catalog = Catalog::new();
+/// let p = catalog.processor("P");
+/// let mut b = TaskGraphBuilder::new(catalog);
+/// b.default_deadline(Time::new(10));
+/// let t = b.add_task(TaskSpec::new("t", Dur::new(4), p))?;
+/// let g = b.build()?;
+/// let mut s = Schedule::new();
+/// s.place(Placement::contiguous(t, 0, Time::new(0), Dur::new(4)));
+/// let caps = Capacities::new().with(p, 1);
+/// assert!(validate_schedule(&g, &caps, &s).is_empty());
+/// # Ok(())
+/// # }
+/// ```
+pub fn validate_schedule(
+    graph: &TaskGraph,
+    capacities: &Capacities,
+    schedule: &Schedule,
+) -> Vec<ScheduleViolation> {
+    let mut violations = Vec::new();
+
+    // Presence and per-task shape.
+    let mut seen: BTreeMap<TaskId, usize> = BTreeMap::new();
+    for p in schedule.placements() {
+        *seen.entry(p.task).or_insert(0) += 1;
+    }
+    for id in graph.task_ids() {
+        match seen.get(&id) {
+            None => violations.push(ScheduleViolation::Missing(id)),
+            Some(&n) if n > 1 => violations.push(ScheduleViolation::Duplicate(id)),
+            _ => {}
+        }
+    }
+
+    for p in schedule.placements() {
+        let task = graph.task(p.task);
+        // Slice shape.
+        let mut ok = !p.slices.is_empty() || task.computation().is_zero();
+        for w in p.slices.windows(2) {
+            if w[0].end > w[1].start {
+                ok = false;
+            }
+        }
+        if p.slices.iter().any(|s| s.end < s.start)
+            || p.slices.iter().any(|s| s.is_empty())
+        {
+            ok = false;
+        }
+        if !ok {
+            violations.push(ScheduleViolation::MalformedSlices(p.task));
+            continue;
+        }
+        if p.total() != task.computation() {
+            violations.push(ScheduleViolation::WrongComputation(p.task));
+        }
+        if !task.is_preemptive() && p.slices.len() > 1 {
+            violations.push(ScheduleViolation::SplitNonPreemptive(p.task));
+        }
+        if p.slices.is_empty() {
+            continue; // zero-computation task: nothing temporal to check
+        }
+        if p.start() < task.release() {
+            violations.push(ScheduleViolation::BeforeRelease(p.task));
+        }
+        if p.finish() > task.deadline() {
+            violations.push(ScheduleViolation::AfterDeadline(p.task));
+        }
+        if p.unit >= capacities.units(task.processor()) {
+            violations.push(ScheduleViolation::UnitOutOfRange(p.task));
+        }
+    }
+
+    // Processor-unit exclusivity.
+    let placements = schedule.placements();
+    for (i, a) in placements.iter().enumerate() {
+        for b in &placements[i + 1..] {
+            let ta = graph.task(a.task);
+            let tb = graph.task(b.task);
+            if ta.processor() != tb.processor() || a.unit != b.unit {
+                continue;
+            }
+            let clash = a
+                .slices
+                .iter()
+                .any(|sa| b.slices.iter().any(|sb| sa.overlaps(sb)));
+            if clash {
+                violations.push(ScheduleViolation::UnitConflict(a.task, b.task));
+            }
+        }
+    }
+
+    // Precedence with communication.
+    for (to, _) in graph.tasks() {
+        let Some(pt) = schedule.placement(to) else {
+            continue;
+        };
+        if pt.slices.is_empty() {
+            continue;
+        }
+        for edge in graph.predecessors(to) {
+            let Some(pf) = schedule.placement(edge.other) else {
+                continue;
+            };
+            let from_task = graph.task(edge.other);
+            let to_task = graph.task(to);
+            let colocated = from_task.processor() == to_task.processor()
+                && pf.unit == pt.unit;
+            let arrival = if pf.slices.is_empty() {
+                // Zero-computation predecessor: treat as completing at its
+                // release time.
+                from_task.release()
+            } else {
+                pf.finish()
+            };
+            let arrival = if colocated {
+                arrival
+            } else {
+                arrival + edge.message
+            };
+            if pt.start() < arrival {
+                violations.push(ScheduleViolation::PrecedenceViolated {
+                    from: edge.other,
+                    to,
+                });
+            }
+        }
+    }
+
+    // Resource capacities via an event sweep per resource.
+    for r in graph.resources_used() {
+        if graph.catalog().is_processor(r) {
+            // Processor capacity is enforced by unit indices + exclusivity.
+            continue;
+        }
+        let mut events: Vec<(Time, i32)> = Vec::new();
+        for p in schedule.placements() {
+            if !graph.task(p.task).demands_resource(r) {
+                continue;
+            }
+            for s in &p.slices {
+                events.push((s.start, 1));
+                events.push((s.end, -1));
+            }
+        }
+        // Ends before starts at the same instant (half-open intervals).
+        events.sort_by_key(|&(t, delta)| (t, delta));
+        let mut level = 0i32;
+        let cap = capacities.units(r) as i32;
+        for (at, delta) in events {
+            level += delta;
+            if level > cap {
+                violations.push(ScheduleViolation::CapacityExceeded { resource: r, at });
+                break;
+            }
+        }
+    }
+
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{Placement, Slice};
+    use rtlb_graph::{Catalog, Dur, TaskGraphBuilder, TaskSpec};
+
+    struct Fix {
+        graph: TaskGraph,
+        p: ResourceId,
+        r: ResourceId,
+        a: TaskId,
+        b: TaskId,
+    }
+
+    /// a -> b with message 2; both on P; a holds r.
+    fn fix() -> Fix {
+        let mut c = Catalog::new();
+        let p = c.processor("P");
+        let r = c.resource("r");
+        let mut builder = TaskGraphBuilder::new(c);
+        builder.default_deadline(Time::new(20));
+        let a = builder
+            .add_task(TaskSpec::new("a", Dur::new(3), p).resource(r))
+            .unwrap();
+        let b = builder
+            .add_task(TaskSpec::new("b", Dur::new(2), p).release(Time::new(1)))
+            .unwrap();
+        builder.add_edge(a, b, Dur::new(2)).unwrap();
+        Fix {
+            graph: builder.build().unwrap(),
+            p,
+            r,
+            a,
+            b,
+        }
+    }
+
+    fn caps(f: &Fix, p_units: u32, r_units: u32) -> Capacities {
+        Capacities::new().with(f.p, p_units).with(f.r, r_units)
+    }
+
+    fn t(x: i64) -> Time {
+        Time::new(x)
+    }
+
+    #[test]
+    fn valid_colocated_schedule() {
+        let f = fix();
+        let mut s = Schedule::new();
+        s.place(Placement::contiguous(f.a, 0, t(0), Dur::new(3)));
+        s.place(Placement::contiguous(f.b, 0, t(3), Dur::new(2))); // co-located: no message
+        assert!(validate_schedule(&f.graph, &caps(&f, 1, 1), &s).is_empty());
+    }
+
+    #[test]
+    fn valid_distributed_schedule_pays_message() {
+        let f = fix();
+        let mut s = Schedule::new();
+        s.place(Placement::contiguous(f.a, 0, t(0), Dur::new(3)));
+        s.place(Placement::contiguous(f.b, 1, t(5), Dur::new(2))); // 3 + m(2)
+        assert!(validate_schedule(&f.graph, &caps(&f, 2, 1), &s).is_empty());
+    }
+
+    #[test]
+    fn early_start_across_units_is_flagged() {
+        let f = fix();
+        let mut s = Schedule::new();
+        s.place(Placement::contiguous(f.a, 0, t(0), Dur::new(3)));
+        s.place(Placement::contiguous(f.b, 1, t(3), Dur::new(2))); // message ignored
+        let v = validate_schedule(&f.graph, &caps(&f, 2, 1), &s);
+        assert!(v.contains(&ScheduleViolation::PrecedenceViolated { from: f.a, to: f.b }));
+    }
+
+    #[test]
+    fn missing_and_duplicate_and_window_violations() {
+        let f = fix();
+        let mut s = Schedule::new();
+        // b missing; a duplicated, starting before release is fine (rel 0)
+        // but finishing after deadline 20.
+        s.place(Placement::contiguous(f.a, 0, t(19), Dur::new(3)));
+        s.place(Placement::contiguous(f.a, 1, t(0), Dur::new(3)));
+        let v = validate_schedule(&f.graph, &caps(&f, 2, 2), &s);
+        assert!(v.contains(&ScheduleViolation::Missing(f.b)));
+        assert!(v.contains(&ScheduleViolation::Duplicate(f.a)));
+        assert!(v.contains(&ScheduleViolation::AfterDeadline(f.a)));
+    }
+
+    #[test]
+    fn release_and_computation_violations() {
+        let f = fix();
+        let mut s = Schedule::new();
+        s.place(Placement::contiguous(f.a, 0, t(0), Dur::new(3)));
+        // b released at 1 but starts at 0 (also violates precedence), and
+        // runs 1 tick instead of 2.
+        s.place(Placement::contiguous(f.b, 1, t(0), Dur::new(1)));
+        let v = validate_schedule(&f.graph, &caps(&f, 2, 1), &s);
+        assert!(v.contains(&ScheduleViolation::BeforeRelease(f.b)));
+        assert!(v.contains(&ScheduleViolation::WrongComputation(f.b)));
+    }
+
+    #[test]
+    fn unit_conflicts_and_range() {
+        let f = fix();
+        let mut s = Schedule::new();
+        s.place(Placement::contiguous(f.a, 0, t(0), Dur::new(3)));
+        s.place(Placement::contiguous(f.b, 0, t(2), Dur::new(2))); // overlaps a on unit 0
+        let v = validate_schedule(&f.graph, &caps(&f, 1, 1), &s);
+        assert!(v.contains(&ScheduleViolation::UnitConflict(f.a, f.b)));
+
+        let mut s = Schedule::new();
+        s.place(Placement::contiguous(f.a, 5, t(0), Dur::new(3)));
+        s.place(Placement::contiguous(f.b, 0, t(10), Dur::new(2)));
+        let v = validate_schedule(&f.graph, &caps(&f, 1, 1), &s);
+        assert!(v.contains(&ScheduleViolation::UnitOutOfRange(f.a)));
+    }
+
+    #[test]
+    fn split_non_preemptive_is_flagged() {
+        let f = fix();
+        let mut s = Schedule::new();
+        s.place(Placement {
+            task: f.a,
+            unit: 0,
+            slices: vec![
+                Slice { start: t(0), end: t(2) },
+                Slice { start: t(4), end: t(5) },
+            ],
+        });
+        s.place(Placement::contiguous(f.b, 0, t(7), Dur::new(2)));
+        let v = validate_schedule(&f.graph, &caps(&f, 1, 1), &s);
+        assert!(v.contains(&ScheduleViolation::SplitNonPreemptive(f.a)));
+    }
+
+    #[test]
+    fn preemptive_split_is_allowed() {
+        let mut c = Catalog::new();
+        let p = c.processor("P");
+        let mut builder = TaskGraphBuilder::new(c);
+        builder.default_deadline(Time::new(20));
+        let a = builder
+            .add_task(TaskSpec::new("a", Dur::new(3), p).preemptive())
+            .unwrap();
+        let g = builder.build().unwrap();
+        let mut s = Schedule::new();
+        s.place(Placement {
+            task: a,
+            unit: 0,
+            slices: vec![
+                Slice { start: t(0), end: t(2) },
+                Slice { start: t(5), end: t(6) },
+            ],
+        });
+        let caps = Capacities::new().with(p, 1);
+        assert!(validate_schedule(&g, &caps, &s).is_empty());
+    }
+
+    #[test]
+    fn resource_capacity_sweep() {
+        let mut c = Catalog::new();
+        let p = c.processor("P");
+        let r = c.resource("r");
+        let mut builder = TaskGraphBuilder::new(c);
+        builder.default_deadline(Time::new(20));
+        let a = builder
+            .add_task(TaskSpec::new("a", Dur::new(3), p).resource(r))
+            .unwrap();
+        let b = builder
+            .add_task(TaskSpec::new("b", Dur::new(3), p).resource(r))
+            .unwrap();
+        let g = builder.build().unwrap();
+        let mut s = Schedule::new();
+        s.place(Placement::contiguous(a, 0, t(0), Dur::new(3)));
+        s.place(Placement::contiguous(b, 1, t(2), Dur::new(3)));
+        let caps1 = Capacities::new().with(p, 2).with(r, 1);
+        let v = validate_schedule(&g, &caps1, &s);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, ScheduleViolation::CapacityExceeded { .. })));
+        let caps2 = Capacities::new().with(p, 2).with(r, 2);
+        assert!(validate_schedule(&g, &caps2, &s).is_empty());
+        // Back-to-back (end == start) does not conflict on one unit.
+        let mut s2 = Schedule::new();
+        s2.place(Placement::contiguous(a, 0, t(0), Dur::new(3)));
+        s2.place(Placement::contiguous(b, 0, t(3), Dur::new(3)));
+        assert!(validate_schedule(&g, &caps1, &s2).is_empty());
+    }
+
+    #[test]
+    fn zero_computation_task_is_accepted_without_slices() {
+        let mut c = Catalog::new();
+        let p = c.processor("P");
+        let mut builder = TaskGraphBuilder::new(c);
+        builder.default_deadline(Time::new(20));
+        let a = builder.add_task(TaskSpec::new("a", Dur::ZERO, p)).unwrap();
+        let g = builder.build().unwrap();
+        let mut s = Schedule::new();
+        s.place(Placement {
+            task: a,
+            unit: 0,
+            slices: vec![],
+        });
+        let caps = Capacities::new().with(p, 1);
+        assert!(validate_schedule(&g, &caps, &s).is_empty());
+    }
+}

@@ -1,0 +1,337 @@
+//! The paper's illustrative example (Section 8, Figure 7): 15 tasks, two
+//! processor types, one resource type.
+//!
+//! Figure 7 itself is a bitmap we could not consult; the instance below
+//! was *reconstructed* from the published numbers — Table 1 (every `E_i`,
+//! `L_i`, `M_i`, `G_i`), the worked `lms`/`lst` values for tasks 9 and 5,
+//! the Step 2 partitions, the Step 3 Θ ratios and bounds, and the Step 4
+//! cost programs. The reconstruction reproduces all of them (see
+//! EXPERIMENTS.md for the two documented anomalies in the paper's own
+//! table).
+//!
+//! Instance summary (task: `C`, `rel`, `D`, processor, resources):
+//!
+//! | task | C | rel | D  | φ  | R    | task | C | rel | D  | φ  | R    |
+//! |------|---|-----|----|----|------|------|---|-----|----|----|------|
+//! | 1    | 3 | 0   | 36 | P1 | {r1} | 9    | 3 | 0   | 36 | P1 | {}   |
+//! | 2    | 6 | 0   | 36 | P1 | {r1} | 10   | 8 | 0   | 36 | P1 | {r1} |
+//! | 3    | 3 | 3   | 36 | P1 | {}   | 11   | 2 | 20  | 36 | P1 | {}   |
+//! | 4    | 5 | 0   | 36 | P1 | {}   | 12   | 0 | 0   | 30 | P1 | {}   |
+//! | 5    | 4 | 0   | 36 | P1 | {r1} | 13   | 6 | 0   | 30 | P1 | {r1} |
+//! | 6    | 4 | 0   | 36 | P2 | {}   | 14   | 5 | 0   | 30 | P1 | {r1} |
+//! | 7    | 6 | 10  | 36 | P2 | {}   | 15   | 6 | 0   | 36 | P1 | {r1} |
+//! | 8    | 5 | 0   | 36 | P2 | {}   |      |   |     |    |    |      |
+//!
+//! Edges (with message times): 1→4 (1), 2→5 (5), 2→6 (5), 3→6 (5),
+//! 4→8 (10), 5→8 (3), 5→9 (9), 6→9 (1), 7→10 (6), 8→12 (7), 9→13 (5),
+//! 9→14 (7), 9→15 (4), 10→15 (5), 11→15 (9).
+
+use rtlb_core::{DedicatedModel, NodeType, SharedModel};
+use rtlb_graph::{Catalog, Dur, ResourceId, TaskGraph, TaskGraphBuilder, TaskId, TaskSpec, Time};
+
+/// The paper's example application plus the ids needed to interrogate it.
+#[derive(Clone, Debug)]
+pub struct PaperExample {
+    /// The 15-task application DAG.
+    pub graph: TaskGraph,
+    /// Processor type `P1`.
+    pub p1: ResourceId,
+    /// Processor type `P2`.
+    pub p2: ResourceId,
+    /// Resource type `r1`.
+    pub r1: ResourceId,
+    /// Task ids indexed by the paper's numbering: `tasks[0]` is task 1.
+    pub tasks: [TaskId; 15],
+}
+
+impl PaperExample {
+    /// The task id for the paper's task number (1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= number <= 15`.
+    pub fn task(&self, number: usize) -> TaskId {
+        assert!((1..=15).contains(&number), "paper tasks are numbered 1-15");
+        self.tasks[number - 1]
+    }
+
+    /// The dedicated-model node types of Section 8:
+    /// `Λ = {{P1,r1}, {P1}, {P2}}`, with the given per-node costs.
+    pub fn node_types(&self, costs: [i64; 3]) -> DedicatedModel {
+        DedicatedModel::new(vec![
+            NodeType::new("N1{P1,r1}", self.p1, [self.r1], costs[0]),
+            NodeType::new("N2{P1}", self.p1, [], costs[1]),
+            NodeType::new("N3{P2}", self.p2, [], costs[2]),
+        ])
+    }
+
+    /// A shared model pricing `P1`, `P2` and `r1` with the given costs.
+    pub fn shared_costs(&self, costs: [i64; 3]) -> SharedModel {
+        SharedModel::new()
+            .with_cost(self.p1, costs[0])
+            .with_cost(self.p2, costs[1])
+            .with_cost(self.r1, costs[2])
+    }
+}
+
+/// Builds the reconstructed Figure 7 instance.
+///
+/// # Example
+///
+/// ```
+/// use rtlb_core::{analyze, SystemModel};
+/// use rtlb_workloads::paper_example;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let ex = paper_example();
+/// let analysis = analyze(&ex.graph, &SystemModel::shared())?;
+/// assert_eq!(analysis.units_required(ex.p1), 3);
+/// assert_eq!(analysis.units_required(ex.p2), 2);
+/// assert_eq!(analysis.units_required(ex.r1), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn paper_example() -> PaperExample {
+    let mut catalog = Catalog::new();
+    let p1 = catalog.processor("P1");
+    let p2 = catalog.processor("P2");
+    let r1 = catalog.resource("r1");
+
+    let mut b = TaskGraphBuilder::new(catalog);
+    b.default_deadline(Time::new(36));
+
+    // (computation, release, deadline override, processor, uses r1)
+    struct Row {
+        c: i64,
+        rel: i64,
+        deadline: Option<i64>,
+        on_p2: bool,
+        uses_r1: bool,
+    }
+    let row = |c, rel, deadline, on_p2, uses_r1| Row {
+        c,
+        rel,
+        deadline,
+        on_p2,
+        uses_r1,
+    };
+    let rows = [
+        row(3, 0, None, false, true),      // 1
+        row(6, 0, None, false, true),      // 2
+        row(3, 3, None, false, false),     // 3
+        row(5, 0, None, false, false),     // 4
+        row(4, 0, None, false, true),      // 5
+        row(4, 0, None, true, false),      // 6
+        row(6, 10, None, true, false),     // 7
+        row(5, 0, None, true, false),      // 8
+        row(3, 0, None, false, false),     // 9
+        row(8, 0, None, false, true),      // 10
+        row(2, 20, None, false, false),    // 11
+        row(0, 0, Some(30), false, false), // 12
+        row(6, 0, Some(30), false, true),  // 13
+        row(5, 0, Some(30), false, true),  // 14
+        row(6, 0, Some(36), false, true),  // 15
+    ];
+
+    let mut tasks = Vec::with_capacity(15);
+    for (i, r) in rows.iter().enumerate() {
+        let mut spec = TaskSpec::new(
+            format!("t{}", i + 1),
+            Dur::new(r.c),
+            if r.on_p2 { p2 } else { p1 },
+        )
+        .release(Time::new(r.rel));
+        if let Some(d) = r.deadline {
+            spec = spec.deadline(Time::new(d));
+        }
+        if r.uses_r1 {
+            spec = spec.resource(r1);
+        }
+        tasks.push(b.add_task(spec).expect("unique task names"));
+    }
+
+    let edges: [(usize, usize, i64); 15] = [
+        (1, 4, 1),
+        (2, 5, 5),
+        (2, 6, 5),
+        (3, 6, 5),
+        (4, 8, 10),
+        (5, 8, 3),
+        (5, 9, 9),
+        (6, 9, 1),
+        (7, 10, 6),
+        (8, 12, 7),
+        (9, 13, 5),
+        (9, 14, 7),
+        (9, 15, 4),
+        (10, 15, 5),
+        (11, 15, 9),
+    ];
+    for (from, to, m) in edges {
+        b.add_edge(tasks[from - 1], tasks[to - 1], Dur::new(m))
+            .expect("edges are unique and acyclic");
+    }
+
+    let graph = b.build().expect("the paper instance is a valid DAG");
+    PaperExample {
+        graph,
+        p1,
+        p2,
+        r1,
+        tasks: tasks.try_into().expect("exactly 15 tasks"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlb_core::{compute_timing, SystemModel};
+
+    /// Table 1, E_i column.
+    #[test]
+    fn table1_est_values() {
+        let ex = paper_example();
+        let timing = compute_timing(&ex.graph, &SystemModel::shared());
+        let expected = [0, 0, 3, 3, 6, 11, 10, 18, 16, 22, 20, 30, 19, 19, 30];
+        for (i, &e) in expected.iter().enumerate() {
+            assert_eq!(
+                timing.est(ex.task(i + 1)),
+                Time::new(e),
+                "E_{} mismatch",
+                i + 1
+            );
+        }
+    }
+
+    /// Table 1, L_i column (paper prints 35 for task 11; see module docs —
+    /// the algorithm yields 30 for every viable reconstruction).
+    #[test]
+    fn table1_lct_values() {
+        let ex = paper_example();
+        let timing = compute_timing(&ex.graph, &SystemModel::shared());
+        let expected = [3, 6, 6, 8, 15, 15, 16, 23, 19, 30, 30, 30, 30, 30, 36];
+        for (i, &l) in expected.iter().enumerate() {
+            assert_eq!(
+                timing.lct(ex.task(i + 1)),
+                Time::new(l),
+                "L_{} mismatch",
+                i + 1
+            );
+        }
+    }
+
+    /// Table 1, M_i column.
+    #[test]
+    fn table1_merged_predecessors() {
+        let ex = paper_example();
+        let timing = compute_timing(&ex.graph, &SystemModel::shared());
+        let expected: [&[usize]; 15] = [
+            &[],
+            &[],
+            &[],
+            &[1],
+            &[2],
+            &[],
+            &[],
+            &[],
+            &[5],
+            &[],
+            &[],
+            &[],
+            &[9],
+            &[9],
+            &[10, 11],
+        ];
+        for (i, exp) in expected.iter().enumerate() {
+            let got = timing.merged_predecessors(ex.task(i + 1));
+            let want: Vec<TaskId> = exp.iter().map(|&n| ex.task(n)).collect();
+            assert_eq!(got, want.as_slice(), "M_{} mismatch", i + 1);
+        }
+    }
+
+    /// Table 1, G_i column (task 9: the paper prints {14,13}; the literal
+    /// Figure 2 rule — required by the table's own G_2 and M_15 entries —
+    /// yields {14}).
+    #[test]
+    fn table1_merged_successors() {
+        let ex = paper_example();
+        let timing = compute_timing(&ex.graph, &SystemModel::shared());
+        let expected: [&[usize]; 15] = [
+            &[4],
+            &[],
+            &[],
+            &[],
+            &[9],
+            &[],
+            &[],
+            &[],
+            &[14],
+            &[15],
+            &[15],
+            &[],
+            &[],
+            &[],
+            &[],
+        ];
+        for (i, exp) in expected.iter().enumerate() {
+            let got = timing.merged_successors(ex.task(i + 1));
+            let want: Vec<TaskId> = exp.iter().map(|&n| ex.task(n)).collect();
+            assert_eq!(got, want.as_slice(), "G_{} mismatch", i + 1);
+        }
+    }
+
+    /// Section 8 prose: lms values for task 9's successors and task 5's.
+    #[test]
+    fn prose_lms_values() {
+        let ex = paper_example();
+        let timing = compute_timing(&ex.graph, &SystemModel::shared());
+        let lms = |from: usize, to: usize| {
+            let j = ex.task(to);
+            timing.lct(j).ticks()
+                - ex.graph.task(j).computation().ticks()
+                - ex.graph
+                    .message(ex.task(from), j)
+                    .expect("edge exists")
+                    .ticks()
+        };
+        assert_eq!(lms(9, 15), 26);
+        assert_eq!(lms(9, 14), 18);
+        assert_eq!(lms(9, 13), 19);
+        assert_eq!(lms(5, 9), 7);
+        assert_eq!(lms(5, 8), 15);
+    }
+
+    /// The instance is feasible (every window fits its computation).
+    #[test]
+    fn instance_is_feasible() {
+        let ex = paper_example();
+        let timing = compute_timing(&ex.graph, &SystemModel::shared());
+        timing.check_feasible(&ex.graph).unwrap();
+    }
+
+    /// Mergeability in the dedicated model matches the shared model for
+    /// this instance, as the paper states.
+    #[test]
+    fn dedicated_mergeability_matches_shared() {
+        use rtlb_core::mergeable;
+        let ex = paper_example();
+        let shared = SystemModel::shared();
+        let dedicated = SystemModel::Dedicated(ex.node_types([1, 1, 1]));
+        let ids: Vec<TaskId> = (1..=15).map(|n| ex.task(n)).collect();
+        for &a in &ids {
+            for &b in &ids {
+                if a == b {
+                    continue;
+                }
+                assert_eq!(
+                    mergeable(&shared, &ex.graph, &[a, b]),
+                    mergeable(&dedicated, &ex.graph, &[a, b]),
+                    "pairwise mergeability differs for {a} {b}"
+                );
+            }
+        }
+        // Timing is therefore identical under both models.
+        let ts = compute_timing(&ex.graph, &shared);
+        let td = compute_timing(&ex.graph, &dedicated);
+        assert_eq!(ts, td);
+    }
+}

@@ -1,0 +1,171 @@
+//! A surface-ship radar scenario modeled on the paper's introduction.
+//!
+//! The paper motivates the analysis with a shipboard radar application
+//! [Molini et al., RTSS 1990]: an incoming missile must be *identified*
+//! within 0.2 s of detection, *engaged* within 5 s, and intercepts
+//! *launched* within 0.5 s of engagement. This module renders that
+//! pipeline — per tracked threat — as a task graph (1 tick = 1 ms):
+//!
+//! ```text
+//! detect ──► identify ──► assess ─┬─► engage ──► launch
+//!    │            │               │
+//!    └─► track ───┴───────────────┘      (per threat)
+//! ```
+//!
+//! Detection and tracking run on signal processors (`DSP`) and hold the
+//! radar array; identification and assessment run on general-purpose
+//! processors (`GPP`); engagement and launch run on weapons-control
+//! processors (`WCP`) and hold a launcher resource.
+
+use rtlb_graph::{Catalog, Dur, ResourceId, TaskGraph, TaskGraphBuilder, TaskSpec, Time};
+
+/// Resource handles of the radar scenario.
+#[derive(Clone, Debug)]
+pub struct RadarScenario {
+    /// The application graph (6 tasks per tracked threat).
+    pub graph: TaskGraph,
+    /// Signal processor type.
+    pub dsp: ResourceId,
+    /// General-purpose processor type.
+    pub gpp: ResourceId,
+    /// Weapons-control processor type.
+    pub wcp: ResourceId,
+    /// The radar antenna array (shared sensor resource).
+    pub antenna: ResourceId,
+    /// The missile launcher (shared actuator resource).
+    pub launcher: ResourceId,
+}
+
+/// Builds the radar scenario for `threats` simultaneously tracked
+/// threats. Times are milliseconds; the paper's intro deadlines (200 ms
+/// identify, 5 s engage, 500 ms launch-after-engage) bound each pipeline.
+///
+/// # Panics
+///
+/// Panics if `threats == 0`.
+///
+/// # Example
+///
+/// ```
+/// use rtlb_core::{analyze, SystemModel};
+/// use rtlb_workloads::radar_scenario;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let scenario = radar_scenario(4);
+/// let analysis = analyze(&scenario.graph, &SystemModel::shared())?;
+/// assert!(analysis.units_required(scenario.dsp) >= 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn radar_scenario(threats: usize) -> RadarScenario {
+    assert!(threats > 0, "at least one threat");
+    let mut catalog = Catalog::new();
+    let dsp = catalog.processor("DSP");
+    let gpp = catalog.processor("GPP");
+    let wcp = catalog.processor("WCP");
+    let antenna = catalog.resource("antenna");
+    let launcher = catalog.resource("launcher");
+
+    let mut b = TaskGraphBuilder::new(catalog);
+
+    for k in 0..threats {
+        // Threats appear staggered 50 ms apart.
+        let t0 = 50 * k as i64;
+        let name = |stage: &str| format!("{stage}{k}");
+
+        // Detection: 40 ms of signal processing holding the antenna.
+        let detect = b
+            .add_task(
+                TaskSpec::new(name("detect"), Dur::new(40), dsp)
+                    .release(Time::new(t0))
+                    .resource(antenna)
+                    .deadline(Time::new(t0 + 100)),
+            )
+            .expect("unique");
+        // Identification must complete within 200 ms of detection.
+        let identify = b
+            .add_task(
+                TaskSpec::new(name("identify"), Dur::new(60), gpp)
+                    .deadline(Time::new(t0 + 200)),
+            )
+            .expect("unique");
+        // Track filter keeps holding the antenna; preemptible.
+        let track = b
+            .add_task(
+                TaskSpec::new(name("track"), Dur::new(80), dsp)
+                    .resource(antenna)
+                    .preemptive()
+                    .deadline(Time::new(t0 + 600)),
+            )
+            .expect("unique");
+        // Threat assessment feeds engagement.
+        let assess = b
+            .add_task(
+                TaskSpec::new(name("assess"), Dur::new(120), gpp)
+                    .deadline(Time::new(t0 + 2_000)),
+            )
+            .expect("unique");
+        // Engagement decision within 5 s of detection.
+        let engage = b
+            .add_task(
+                TaskSpec::new(name("engage"), Dur::new(150), wcp)
+                    .deadline(Time::new(t0 + 5_000)),
+            )
+            .expect("unique");
+        // Launch within 500 ms of engagement, holding the launcher.
+        let launch = b
+            .add_task(
+                TaskSpec::new(name("launch"), Dur::new(90), wcp)
+                    .resource(launcher)
+                    .deadline(Time::new(t0 + 5_500)),
+            )
+            .expect("unique");
+
+        b.add_edge(detect, identify, Dur::new(10)).expect("unique");
+        b.add_edge(detect, track, Dur::new(5)).expect("unique");
+        b.add_edge(identify, assess, Dur::new(10)).expect("unique");
+        b.add_edge(track, assess, Dur::new(10)).expect("unique");
+        b.add_edge(assess, engage, Dur::new(20)).expect("unique");
+        b.add_edge(engage, launch, Dur::new(5)).expect("unique");
+    }
+
+    RadarScenario {
+        graph: b.build().expect("radar pipeline is acyclic"),
+        dsp,
+        gpp,
+        wcp,
+        antenna,
+        launcher,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlb_core::{analyze, SystemModel};
+
+    #[test]
+    fn scenario_scales_with_threats() {
+        let one = radar_scenario(1);
+        let four = radar_scenario(4);
+        assert_eq!(one.graph.task_count(), 6);
+        assert_eq!(four.graph.task_count(), 24);
+    }
+
+    #[test]
+    fn scenario_is_feasible_and_demands_grow() {
+        let a1 = analyze(&radar_scenario(1).graph, &SystemModel::shared()).unwrap();
+        let s8 = radar_scenario(8);
+        let a8 = analyze(&s8.graph, &SystemModel::shared()).unwrap();
+        // More simultaneous threats can only need more (or equal) DSPs.
+        let one = radar_scenario(1);
+        assert!(a8.units_required(s8.dsp) >= a1.units_required(one.dsp));
+        // The staggered threats overlap, so the antenna is contended.
+        assert!(a8.units_required(s8.antenna) >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_threats_panics() {
+        let _ = radar_scenario(0);
+    }
+}

@@ -1,0 +1,483 @@
+//! A plain-text format for applications and system models.
+//!
+//! Lets instances live in version control and feeds the `rtlb` CLI. The
+//! format is line-oriented; `#` starts a comment. Example:
+//!
+//! ```text
+//! # types
+//! processor P1
+//! processor P2
+//! resource  r1
+//!
+//! default_deadline 36
+//!
+//! # task <name> c=<ticks> proc=<type> [rel=<t>] [deadline=<t>]
+//! #      [uses=<r>,<r>...] [preemptive]
+//! task t1 c=3 proc=P1 uses=r1
+//! task t4 c=5 proc=P1
+//!
+//! # edge <from> -> <to> [m=<ticks>]
+//! edge t1 -> t4 m=1
+//!
+//! # optional pricing for the shared cost bound
+//! cost P1 30
+//!
+//! # optional node types for the dedicated model
+//! node N1 proc=P1 uses=r1 cost=45
+//! ```
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+use rtlb_core::{DedicatedModel, NodeType, SharedModel};
+use rtlb_graph::{Catalog, Dur, GraphError, TaskGraph, TaskGraphBuilder, TaskId, TaskSpec, Time};
+
+/// A parsed instance: the application plus whatever model information the
+/// file carried.
+#[derive(Clone, Debug)]
+pub struct ParsedSystem {
+    /// The application graph.
+    pub graph: TaskGraph,
+    /// Shared-model prices, if any `cost` lines were present.
+    pub shared_costs: Option<SharedModel>,
+    /// Dedicated node types, if any `node` lines were present.
+    pub node_types: Option<DedicatedModel>,
+}
+
+/// Errors produced while parsing the text format.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending input (0 for end-of-input errors).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn graph_err(line: usize, e: GraphError) -> ParseError {
+    err(line, e.to_string())
+}
+
+/// Splits `key=value` fields and bare flags out of a token list.
+fn fields<'a>(
+    tokens: &'a [&'a str],
+    line: usize,
+) -> Result<(BTreeMap<&'a str, &'a str>, Vec<&'a str>), ParseError> {
+    let mut map = BTreeMap::new();
+    let mut flags = Vec::new();
+    for t in tokens {
+        match t.split_once('=') {
+            Some((k, v)) => {
+                if map.insert(k, v).is_some() {
+                    return Err(err(line, format!("duplicate field `{k}`")));
+                }
+            }
+            None => flags.push(*t),
+        }
+    }
+    Ok((map, flags))
+}
+
+fn parse_i64(s: &str, line: usize, what: &str) -> Result<i64, ParseError> {
+    s.parse()
+        .map_err(|_| err(line, format!("invalid {what} `{s}`")))
+}
+
+/// Parses an instance from the text format.
+///
+/// # Errors
+///
+/// [`ParseError`] pinpointing the offending line: unknown directives,
+/// malformed fields, references to undeclared types or tasks, and any
+/// graph-level violation (cycles, duplicate names, missing deadlines).
+pub fn parse(input: &str) -> Result<ParsedSystem, ParseError> {
+    let mut catalog = Catalog::new();
+
+    // Pass 1: types only, so tasks can reference them in any order.
+    for (idx, raw) in input.lines().enumerate() {
+        let line = idx + 1;
+        let text = raw.split('#').next().unwrap_or("").trim();
+        if text.is_empty() {
+            continue;
+        }
+        let tokens: Vec<&str> = text.split_whitespace().collect();
+        match tokens[0] {
+            "processor" | "resource" => {
+                let [_, name] = tokens[..] else {
+                    return Err(err(line, format!("usage: {} <name>", tokens[0])));
+                };
+                let kind = if tokens[0] == "processor" {
+                    rtlb_graph::ResourceKind::Processor
+                } else {
+                    rtlb_graph::ResourceKind::Resource
+                };
+                catalog
+                    .try_intern(name, kind)
+                    .map_err(|e| graph_err(line, e))?;
+            }
+            _ => {}
+        }
+    }
+
+    let lookup = |catalog: &Catalog, name: &str, line: usize| {
+        catalog
+            .lookup(name)
+            .ok_or_else(|| err(line, format!("unknown type `{name}`")))
+    };
+
+    let mut builder = TaskGraphBuilder::new(catalog);
+    let mut edges: Vec<(usize, String, String, Dur)> = Vec::new();
+    let mut shared = SharedModel::new();
+    let mut has_costs = false;
+    let mut node_types: Vec<NodeType> = Vec::new();
+
+    // Pass 2: everything else.
+    for (idx, raw) in input.lines().enumerate() {
+        let line = idx + 1;
+        let text = raw.split('#').next().unwrap_or("").trim();
+        if text.is_empty() {
+            continue;
+        }
+        let tokens: Vec<&str> = text.split_whitespace().collect();
+        match tokens[0] {
+            "processor" | "resource" => {} // pass 1
+            "default_deadline" => {
+                let [_, v] = tokens[..] else {
+                    return Err(err(line, "usage: default_deadline <ticks>"));
+                };
+                builder.default_deadline(Time::new(parse_i64(v, line, "deadline")?));
+            }
+            "task" => {
+                if tokens.len() < 2 {
+                    return Err(err(line, "usage: task <name> c=<ticks> proc=<type> ..."));
+                }
+                let name = tokens[1];
+                let (map, flags) = fields(&tokens[2..], line)?;
+                let c = map
+                    .get("c")
+                    .ok_or_else(|| err(line, "task needs c=<ticks>"))
+                    .and_then(|v| parse_i64(v, line, "computation"))?;
+                let c = Dur::try_new(c)
+                    .ok_or_else(|| err(line, "computation must be non-negative"))?;
+                let proc_name = map
+                    .get("proc")
+                    .ok_or_else(|| err(line, "task needs proc=<type>"))?;
+                let proc = lookup(builder.catalog(), proc_name, line)?;
+                let mut spec = TaskSpec::new(name, c, proc);
+                if let Some(v) = map.get("rel") {
+                    spec = spec.release(Time::new(parse_i64(v, line, "release")?));
+                }
+                if let Some(v) = map.get("deadline") {
+                    spec = spec.deadline(Time::new(parse_i64(v, line, "deadline")?));
+                }
+                if let Some(v) = map.get("uses") {
+                    for r in v.split(',').filter(|r| !r.is_empty()) {
+                        spec = spec.resource(lookup(builder.catalog(), r, line)?);
+                    }
+                }
+                for flag in &flags {
+                    match *flag {
+                        "preemptive" => spec = spec.preemptive(),
+                        other => {
+                            return Err(err(line, format!("unknown task flag `{other}`")))
+                        }
+                    }
+                }
+                for key in map.keys() {
+                    if !["c", "proc", "rel", "deadline", "uses"].contains(key) {
+                        return Err(err(line, format!("unknown task field `{key}`")));
+                    }
+                }
+                builder.add_task(spec).map_err(|e| graph_err(line, e))?;
+            }
+            "edge" => {
+                // edge <from> -> <to> [m=<ticks>]
+                let arrow = tokens.iter().position(|&t| t == "->");
+                let (Some(2), true) = (arrow, tokens.len() >= 4) else {
+                    return Err(err(line, "usage: edge <from> -> <to> [m=<ticks>]"));
+                };
+                let (map, flags) = fields(&tokens[4..], line)?;
+                if !flags.is_empty() {
+                    return Err(err(line, format!("unexpected token `{}`", flags[0])));
+                }
+                let m = match map.get("m") {
+                    Some(v) => Dur::try_new(parse_i64(v, line, "message")?)
+                        .ok_or_else(|| err(line, "message must be non-negative"))?,
+                    None => Dur::ZERO,
+                };
+                edges.push((line, tokens[1].to_owned(), tokens[3].to_owned(), m));
+            }
+            "cost" => {
+                let [_, name, v] = tokens[..] else {
+                    return Err(err(line, "usage: cost <type> <price>"));
+                };
+                let r = lookup(builder.catalog(), name, line)?;
+                shared.set_cost(r, parse_i64(v, line, "price")?);
+                has_costs = true;
+            }
+            "node" => {
+                if tokens.len() < 2 {
+                    return Err(err(line, "usage: node <name> proc=<type> [uses=..] cost=<price>"));
+                }
+                let name = tokens[1];
+                let (map, flags) = fields(&tokens[2..], line)?;
+                if !flags.is_empty() {
+                    return Err(err(line, format!("unknown node flag `{}`", flags[0])));
+                }
+                let proc_name = map
+                    .get("proc")
+                    .ok_or_else(|| err(line, "node needs proc=<type>"))?;
+                let proc = lookup(builder.catalog(), proc_name, line)?;
+                let cost = map
+                    .get("cost")
+                    .ok_or_else(|| err(line, "node needs cost=<price>"))
+                    .and_then(|v| parse_i64(v, line, "price"))?;
+                let mut resources = Vec::new();
+                if let Some(v) = map.get("uses") {
+                    for r in v.split(',').filter(|r| !r.is_empty()) {
+                        resources.push(lookup(builder.catalog(), r, line)?);
+                    }
+                }
+                node_types.push(NodeType::new(name, proc, resources, cost));
+            }
+            other => return Err(err(line, format!("unknown directive `{other}`"))),
+        }
+    }
+
+    for (line, from, to, m) in edges {
+        let f = builder
+            .task_id(&from)
+            .ok_or_else(|| err(line, format!("unknown task `{from}`")))?;
+        let t = builder
+            .task_id(&to)
+            .ok_or_else(|| err(line, format!("unknown task `{to}`")))?;
+        builder.add_edge(f, t, m).map_err(|e| graph_err(line, e))?;
+    }
+
+    let graph = builder.build().map_err(|e| graph_err(0, e))?;
+    Ok(ParsedSystem {
+        graph,
+        shared_costs: has_costs.then_some(shared),
+        node_types: (!node_types.is_empty()).then(|| DedicatedModel::new(node_types)),
+    })
+}
+
+/// Renders a task graph (and optional models) back to the text format;
+/// `parse(render(..))` round-trips.
+pub fn render(
+    graph: &TaskGraph,
+    shared_costs: Option<&SharedModel>,
+    node_types: Option<&DedicatedModel>,
+) -> String {
+    let mut out = String::new();
+    let catalog = graph.catalog();
+    for r in catalog.processors() {
+        let _ = writeln!(out, "processor {}", catalog.name(r));
+    }
+    for r in catalog.plain_resources() {
+        let _ = writeln!(out, "resource {}", catalog.name(r));
+    }
+    out.push('\n');
+    for (_, task) in graph.tasks() {
+        let _ = write!(
+            out,
+            "task {} c={} proc={} rel={} deadline={}",
+            task.name(),
+            task.computation(),
+            catalog.name(task.processor()),
+            task.release(),
+            task.deadline(),
+        );
+        if !task.resources().is_empty() {
+            let names: Vec<&str> = task.resources().iter().map(|&r| catalog.name(r)).collect();
+            let _ = write!(out, " uses={}", names.join(","));
+        }
+        if task.is_preemptive() {
+            out.push_str(" preemptive");
+        }
+        out.push('\n');
+    }
+    out.push('\n');
+    for (id, task) in graph.tasks() {
+        for e in graph.successors(id) {
+            let _ = writeln!(
+                out,
+                "edge {} -> {} m={}",
+                task.name(),
+                graph.task(e.other).name(),
+                e.message
+            );
+        }
+    }
+    if let Some(shared) = shared_costs {
+        out.push('\n');
+        for r in catalog.ids() {
+            if let Some(c) = shared.cost(r) {
+                let _ = writeln!(out, "cost {} {}", catalog.name(r), c);
+            }
+        }
+    }
+    if let Some(model) = node_types {
+        out.push('\n');
+        for nt in model.node_types() {
+            let _ = write!(out, "node {} proc={}", nt.name(), catalog.name(nt.processor()));
+            if !nt.resources().is_empty() {
+                let names: Vec<&str> =
+                    nt.resources().iter().map(|&r| catalog.name(r)).collect();
+                let _ = write!(out, " uses={}", names.join(","));
+            }
+            let _ = writeln!(out, " cost={}", nt.cost());
+        }
+    }
+    out
+}
+
+/// Looks up a task id by name in a parsed graph — convenience for CLI
+/// code and tests.
+pub fn task_by_name(graph: &TaskGraph, name: &str) -> Option<TaskId> {
+    graph.task_id(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlb_core::{analyze, SystemModel};
+
+    const SAMPLE: &str = r"
+# tiny pipeline
+processor P1
+processor P2
+resource r1
+
+default_deadline 36
+
+task a c=3 proc=P1 uses=r1
+task b c=6 proc=P2 rel=2
+task c c=4 proc=P1 deadline=20 preemptive
+
+edge a -> b m=5
+edge a -> c     # zero message
+
+cost P1 30
+cost P2 45
+cost r1 20
+
+node N1 proc=P1 uses=r1 cost=45
+node N2 proc=P2 cost=45
+";
+
+    #[test]
+    fn parses_and_analyzes() {
+        let parsed = parse(SAMPLE).unwrap();
+        assert_eq!(parsed.graph.task_count(), 3);
+        assert_eq!(parsed.graph.edge_count(), 2);
+        let a = parsed.graph.task_id("a").unwrap();
+        assert_eq!(parsed.graph.task(a).computation(), Dur::new(3));
+        let c = parsed.graph.task_id("c").unwrap();
+        assert!(parsed.graph.task(c).is_preemptive());
+        assert_eq!(parsed.graph.task(c).deadline(), Time::new(20));
+        let analysis = analyze(&parsed.graph, &SystemModel::shared()).unwrap();
+        let shared = parsed.shared_costs.unwrap();
+        assert!(analysis.shared_cost(&shared).unwrap().total > 0);
+        assert_eq!(parsed.node_types.unwrap().node_types().len(), 2);
+    }
+
+    #[test]
+    fn round_trips() {
+        let parsed = parse(SAMPLE).unwrap();
+        let rendered = render(
+            &parsed.graph,
+            parsed.shared_costs.as_ref(),
+            parsed.node_types.as_ref(),
+        );
+        let reparsed = parse(&rendered).unwrap();
+        assert_eq!(reparsed.graph.task_count(), parsed.graph.task_count());
+        assert_eq!(reparsed.graph.edge_count(), parsed.graph.edge_count());
+        for (id, task) in parsed.graph.tasks() {
+            let rid = reparsed.graph.task_id(task.name()).unwrap();
+            let rtask = reparsed.graph.task(rid);
+            assert_eq!(task.computation(), rtask.computation());
+            assert_eq!(task.release(), rtask.release());
+            assert_eq!(task.deadline(), rtask.deadline());
+            assert_eq!(task.is_preemptive(), rtask.is_preemptive());
+            assert_eq!(task.resources().len(), rtask.resources().len());
+            let _ = id;
+        }
+        let shared = reparsed.shared_costs.unwrap();
+        let p1 = reparsed.graph.catalog().lookup("P1").unwrap();
+        assert_eq!(shared.cost(p1), Some(30));
+        assert_eq!(reparsed.node_types.unwrap().node_types().len(), 2);
+    }
+
+    #[test]
+    fn paper_example_round_trips_through_text() {
+        let ex = rtlb_workloads::paper_example();
+        let rendered = render(&ex.graph, None, None);
+        let reparsed = parse(&rendered).unwrap();
+        let a1 = analyze(&ex.graph, &SystemModel::shared()).unwrap();
+        let a2 = analyze(&reparsed.graph, &SystemModel::shared()).unwrap();
+        for (x, y) in a1.bounds().iter().zip(a2.bounds()) {
+            assert_eq!(x.bound, y.bound);
+        }
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse("bogus directive").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.to_string().contains("bogus"));
+
+        let e = parse("processor P\ntask t proc=P").unwrap_err();
+        assert_eq!(e.line, 2); // missing c=
+
+        let e = parse("processor P\ntask t c=1 proc=Q").unwrap_err();
+        assert!(e.message.contains("unknown type `Q`"));
+
+        let e = parse("processor P\ntask t c=1 proc=P zzz=9").unwrap_err();
+        assert!(e.message.contains("unknown task field"));
+
+        let e = parse("processor P\ntask t c=1 proc=P deadline=5\nedge t -> u").unwrap_err();
+        assert!(e.message.contains("unknown task `u`"));
+
+        let e = parse("processor P\ntask t c=-3 proc=P").unwrap_err();
+        assert!(e.message.contains("non-negative"));
+
+        // Missing deadline bubbles up as a build error on line 0.
+        let e = parse("processor P\ntask t c=1 proc=P").unwrap_err();
+        assert_eq!(e.line, 0);
+        assert!(e.message.contains("deadline"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let parsed = parse(
+            "# leading comment\n\nprocessor P\n\ntask t c=1 proc=P deadline=9 # trailing\n",
+        )
+        .unwrap();
+        assert_eq!(parsed.graph.task_count(), 1);
+        assert!(parsed.shared_costs.is_none());
+        assert!(parsed.node_types.is_none());
+    }
+
+    #[test]
+    fn duplicate_field_rejected() {
+        let e = parse("processor P\ntask t c=1 c=2 proc=P deadline=9").unwrap_err();
+        assert!(e.message.contains("duplicate field"));
+    }
+}

@@ -1,0 +1,148 @@
+//! Empirical validation of the central claim (Theorems 1–5): `LB_r` never
+//! exceeds the true minimum number of units of `r` needed by any
+//! feasible non-preemptive schedule.
+//!
+//! For each random small instance we compute the bounds, then ask the
+//! *complete* exact search (`rtlb-sched`) two questions:
+//!
+//! 1. with `LB_r − 1` units of `r` (everything else generous), is the
+//!    instance infeasible? — it must be, or the bound is wrong;
+//! 2. what is the exact minimum? — it must be `≥ LB_r`, and the gap is
+//!    recorded as tightness.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use rtlb::core::{analyze, AnalysisError, SystemModel};
+use rtlb::graph::{Catalog, Dur, TaskGraph, TaskGraphBuilder, TaskSpec, Time};
+use rtlb::sched::{find_schedule_exact, min_units_exact, Capacities, SearchBudget};
+
+/// A small random instance: up to 6 tasks, 2 processor types, 1 resource,
+/// sparse precedence with messages, tight-ish deadlines. Non-preemptive
+/// throughout (the exact search decides non-preemptive feasibility).
+fn small_instance(seed: u64) -> TaskGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut catalog = Catalog::new();
+    let p0 = catalog.processor("P0");
+    let p1 = catalog.processor("P1");
+    let r = catalog.resource("r");
+    let mut b = TaskGraphBuilder::new(catalog);
+
+    let n = rng.random_range(3..=6);
+    let mut ids = Vec::new();
+    for i in 0..n {
+        let c = rng.random_range(1..=4);
+        let rel = rng.random_range(0..4);
+        let slack = rng.random_range(1..=8);
+        let mut spec = TaskSpec::new(
+            format!("t{i}"),
+            Dur::new(c),
+            if rng.random_range(0..100) < 70 { p0 } else { p1 },
+        )
+        .release(Time::new(rel))
+        .deadline(Time::new(rel + c + slack));
+        if rng.random_range(0..100) < 40 {
+            spec = spec.resource(r);
+        }
+        ids.push(b.add_task(spec).unwrap());
+    }
+    // Sparse forward edges.
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.random_range(0..100) < 25 {
+                let m = rng.random_range(0..=2);
+                b.add_edge(ids[i], ids[j], Dur::new(m)).unwrap();
+            }
+        }
+    }
+    b.build().unwrap()
+}
+
+#[test]
+fn bounds_never_exceed_exact_minimum() {
+    let budget = SearchBudget::default();
+    let mut checked = 0u32;
+    let mut tight = 0u32;
+
+    for seed in 0..60u64 {
+        let graph = small_instance(seed);
+        let analysis = match analyze(&graph, &SystemModel::shared()) {
+            Ok(a) => a,
+            Err(AnalysisError::Infeasible { .. }) => {
+                // The analysis proves the instance unschedulable on any
+                // system; the exact search must agree even with lavish
+                // capacities.
+                let lavish = Capacities::uniform(&graph, graph.task_count() as u32);
+                assert!(
+                    find_schedule_exact(&graph, &lavish, budget)
+                        .unwrap()
+                        .is_none(),
+                    "seed {seed}: analysis says infeasible, search disagrees"
+                );
+                continue;
+            }
+            Err(e) => panic!("seed {seed}: {e}"),
+        };
+
+        // Generous baseline for every other resource.
+        let generous = Capacities::uniform(&graph, graph.task_count() as u32);
+
+        for bound in analysis.bounds() {
+            let r = bound.resource;
+            let lb = bound.bound;
+            let min = min_units_exact(&graph, r, &generous, graph.task_count() as u32, budget)
+                .unwrap();
+            match min {
+                Some(min) => {
+                    assert!(
+                        min >= lb,
+                        "seed {seed}: LB_{} = {lb} exceeds exact minimum {min}",
+                        graph.catalog().name(r)
+                    );
+                    checked += 1;
+                    if min == lb {
+                        tight += 1;
+                    }
+                }
+                None => {
+                    // Infeasible even with max units of r (other
+                    // constraints bind) — cannot contradict the bound.
+                }
+            }
+        }
+    }
+    assert!(checked > 50, "too few instances checked ({checked})");
+    // The bound should be tight often; require a sane floor so the
+    // experiment stays meaningful.
+    assert!(
+        tight * 2 >= checked,
+        "bound tight on only {tight}/{checked} resources"
+    );
+}
+
+#[test]
+fn one_unit_below_the_bound_is_infeasible() {
+    let budget = SearchBudget::default();
+    let mut exercised = 0u32;
+    for seed in 0..60u64 {
+        let graph = small_instance(seed);
+        let Ok(analysis) = analyze(&graph, &SystemModel::shared()) else {
+            continue;
+        };
+        let generous = Capacities::uniform(&graph, graph.task_count() as u32);
+        for bound in analysis.bounds() {
+            if bound.bound == 0 {
+                continue;
+            }
+            let caps = generous.clone().with(bound.resource, bound.bound - 1);
+            assert!(
+                find_schedule_exact(&graph, &caps, budget).unwrap().is_none(),
+                "seed {seed}: feasible with {} - 1 units of {}",
+                bound.bound,
+                graph.catalog().name(bound.resource)
+            );
+            exercised += 1;
+        }
+    }
+    assert!(exercised > 50, "too few bound checks exercised ({exercised})");
+}
