@@ -149,7 +149,9 @@ mod tests {
             b.add_edge(f, t, Dur::ZERO).unwrap();
         }
         let g = b.build().unwrap();
-        let full = analyze(&g, &SystemModel::shared()).unwrap().units_required(p);
+        let full = analyze(&g, &SystemModel::shared())
+            .unwrap()
+            .units_required(p);
         assert_eq!(full, fernandez_bussell_bound(&g));
         assert_eq!(full, 2);
     }

@@ -53,10 +53,7 @@ pub fn level_partition(graph: &TaskGraph) -> Vec<Vec<TaskId>> {
 /// The Figure 4 partition always satisfies this; the Jain–Rajaraman level
 /// partition generally does not once execution times vary — the property
 /// the ablation experiment (E11) demonstrates.
-pub fn is_time_disjoint(
-    timing: &TimingAnalysis,
-    partition: &[Vec<TaskId>],
-) -> bool {
+pub fn is_time_disjoint(timing: &TimingAnalysis, partition: &[Vec<TaskId>]) -> bool {
     for k in 0..partition.len() {
         let Some(max_l) = partition[k].iter().map(|&t| timing.lct(t)).max() else {
             continue;
@@ -134,8 +131,7 @@ mod tests {
         let ex = rtlb_workloads::paper_example();
         let timing = compute_timing(&ex.graph, &SystemModel::shared());
         for part in partition_all(&ex.graph, &timing) {
-            let blocks: Vec<Vec<TaskId>> =
-                part.blocks.iter().map(|b| b.tasks.clone()).collect();
+            let blocks: Vec<Vec<TaskId>> = part.blocks.iter().map(|b| b.tasks.clone()).collect();
             assert!(is_time_disjoint(&timing, &blocks));
         }
         // ...whereas the level partition of the same instance is not.

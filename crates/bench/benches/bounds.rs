@@ -1,11 +1,34 @@
 //! B2 — resource-bound sweep scaling: the full analysis pipeline
-//! (EST/LCT + partitioning + interval sweep) on growing task counts.
+//! (EST/LCT + partitioning + interval sweep) on growing task counts,
+//! plus the naive-vs-incremental Θ-sweep comparison and the parallel
+//! fan-out.
+//!
+//! `sweep/*` uses a high-load independent-task workload (few, large
+//! partition blocks with many candidate points) — the regime where the
+//! naive sweep's `O(P²·N)` per block dominates. The summary line at the
+//! end prints the measured single-thread speedup on the largest
+//! workload.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
-use rtlb_core::{analyze, SystemModel};
+use rtlb_core::{analyze, analyze_with, AnalysisOptions, SweepStrategy, SystemModel};
 use rtlb_workloads::{independent_tasks, paper_example};
+
+/// Sizes for the strategy comparison; the last is the headline workload.
+const SWEEP_SIZES: [usize; 3] = [100, 200, 400];
+/// Overlap depth: high load keeps windows overlapping, so the
+/// partitioner produces few, large blocks.
+const SWEEP_LOAD: u32 = 20;
+
+fn options(sweep: SweepStrategy, parallelism: usize) -> AnalysisOptions {
+    AnalysisOptions {
+        sweep,
+        parallelism,
+        ..AnalysisOptions::default()
+    }
+}
 
 fn bench_pipeline(c: &mut Criterion) {
     let mut group = c.benchmark_group("bounds/pipeline");
@@ -19,6 +42,65 @@ fn bench_pipeline(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_sweep_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bounds/sweep");
+    group.sample_size(10);
+    for &n in &SWEEP_SIZES {
+        let graph = independent_tasks(n, SWEEP_LOAD, 11);
+        for (label, sweep) in [
+            ("naive", SweepStrategy::Naive),
+            ("incremental", SweepStrategy::Incremental),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, n), &graph, |b, graph| {
+                b.iter(|| {
+                    analyze_with(black_box(graph), &SystemModel::shared(), options(sweep, 1))
+                        .unwrap()
+                })
+            });
+        }
+        group.bench_with_input(
+            BenchmarkId::new("incremental-allcores", n),
+            &graph,
+            |b, graph| {
+                b.iter(|| {
+                    analyze_with(
+                        black_box(graph),
+                        &SystemModel::shared(),
+                        options(SweepStrategy::Incremental, 0),
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Directly measures and prints the single-thread speedup on the largest
+/// sweep workload, so a regression is visible without comparing
+/// per-benchmark lines by hand.
+fn report_headline_speedup(_c: &mut Criterion) {
+    let n = *SWEEP_SIZES.last().unwrap();
+    let graph = independent_tasks(n, SWEEP_LOAD, 11);
+    let time = |sweep: SweepStrategy| {
+        let start = Instant::now();
+        black_box(analyze_with(&graph, &SystemModel::shared(), options(sweep, 1)).unwrap());
+        start.elapsed()
+    };
+    // Warm both paths once, then measure.
+    time(SweepStrategy::Naive);
+    time(SweepStrategy::Incremental);
+    let naive = time(SweepStrategy::Naive);
+    let incremental = time(SweepStrategy::Incremental);
+    println!(
+        "bounds/sweep: single-thread speedup on {n} tasks (load {SWEEP_LOAD}): \
+         {:.1}x (naive {:?}, incremental {:?})",
+        naive.as_secs_f64() / incremental.as_secs_f64().max(1e-9),
+        naive,
+        incremental,
+    );
+}
+
 fn bench_paper_example(c: &mut Criterion) {
     let ex = paper_example();
     c.bench_function("bounds/paper_example_full", |b| {
@@ -26,5 +108,11 @@ fn bench_paper_example(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_pipeline, bench_paper_example);
+criterion_group!(
+    benches,
+    bench_pipeline,
+    bench_sweep_strategies,
+    report_headline_speedup,
+    bench_paper_example
+);
 criterion_main!(benches);

@@ -4,7 +4,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use rtlb_core::{compute_timing, overlap, theta, SystemModel, TaskWindow};
+use rtlb_core::{
+    compute_timing, overlap, partition_tasks, resource_bound_sweep, theta, CandidatePolicy,
+    SweepStrategy, SystemModel, TaskWindow,
+};
 use rtlb_graph::{Dur, ExecutionMode, Time};
 use rtlb_workloads::independent_tasks;
 
@@ -51,20 +54,47 @@ fn bench_theta(c: &mut Criterion) {
             BenchmarkId::from_parameter(n),
             &(graph, timing, tasks),
             |b, (graph, timing, tasks)| {
-                b.iter(|| {
-                    theta(
-                        black_box(graph),
-                        timing,
-                        tasks,
-                        Time::new(5),
-                        Time::new(60),
-                    )
-                })
+                b.iter(|| theta(black_box(graph), timing, tasks, Time::new(5), Time::new(60)))
             },
         );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_psi, bench_theta);
+/// The sweep kernel alone (no timing or partitioning in the loop):
+/// naive Θ recomputation vs the incremental event scan over the same
+/// candidate pairs, on one resource's partition.
+fn bench_sweep_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overlap/sweep_kernel");
+    group.sample_size(15);
+    for &n in &[100usize, 400] {
+        let graph = independent_tasks(n, 20, 9);
+        let timing = compute_timing(&graph, &SystemModel::shared());
+        let p = graph.catalog().lookup("P0").unwrap();
+        let partition = partition_tasks(&graph, &timing, p);
+        for (label, strategy) in [
+            ("naive", SweepStrategy::Naive),
+            ("incremental", SweepStrategy::Incremental),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, n),
+                &(&graph, &timing, &partition),
+                |b, (graph, timing, partition)| {
+                    b.iter(|| {
+                        resource_bound_sweep(
+                            black_box(graph),
+                            timing,
+                            partition,
+                            CandidatePolicy::EstLct,
+                            strategy,
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_psi, bench_theta, bench_sweep_kernel);
 criterion_main!(benches);

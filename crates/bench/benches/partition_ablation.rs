@@ -1,11 +1,14 @@
 //! B3 — Theorem 5 ablation as a timed benchmark: the interval sweep with
 //! and without Figure 4 partitioning (the bounds are identical; the work
-//! is not).
+//! is not), crossed with the Θ-sweep strategy. The flat sweep is always
+//! naive, so the three rows per size separate the two speedups:
+//! partitioning (flat → partitioned/naive) and the incremental scan
+//! (partitioned/naive → partitioned/incremental).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use rtlb_core::{analyze_with, AnalysisOptions, SystemModel};
+use rtlb_core::{analyze_with, AnalysisOptions, SweepStrategy, SystemModel};
 use rtlb_workloads::independent_tasks;
 
 fn bench_ablation(c: &mut Criterion) {
@@ -13,29 +16,34 @@ fn bench_ablation(c: &mut Criterion) {
     group.sample_size(15);
     for &n in &[50usize, 100, 200] {
         let graph = independent_tasks(n, 3, 42);
-        group.bench_with_input(BenchmarkId::new("partitioned", n), &graph, |b, graph| {
-            b.iter(|| {
-                analyze_with(
-                    black_box(graph),
-                    &SystemModel::shared(),
-                    AnalysisOptions::default(),
-                )
-                .unwrap()
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("flat", n), &graph, |b, graph| {
-            b.iter(|| {
-                analyze_with(
-                    black_box(graph),
-                    &SystemModel::shared(),
-                    AnalysisOptions {
-                        partitioning: false,
-                        ..AnalysisOptions::default()
-                    },
-                )
-                .unwrap()
-            })
-        });
+        let configs = [
+            (
+                "flat",
+                AnalysisOptions {
+                    partitioning: false,
+                    ..AnalysisOptions::default()
+                },
+            ),
+            (
+                "partitioned-naive",
+                AnalysisOptions {
+                    sweep: SweepStrategy::Naive,
+                    ..AnalysisOptions::default()
+                },
+            ),
+            (
+                "partitioned-incremental",
+                AnalysisOptions {
+                    sweep: SweepStrategy::Incremental,
+                    ..AnalysisOptions::default()
+                },
+            ),
+        ];
+        for (label, options) in configs {
+            group.bench_with_input(BenchmarkId::new(label, n), &graph, |b, graph| {
+                b.iter(|| analyze_with(black_box(graph), &SystemModel::shared(), options).unwrap())
+            });
+        }
     }
     group.finish();
 }

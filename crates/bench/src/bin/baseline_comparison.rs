@@ -33,12 +33,7 @@ fn main() {
         .map(|&p| analysis.units_required(p))
         .sum();
 
-    let mut table = TextTable::new([
-        "instance",
-        "FB 1973",
-        "AM 1990",
-        "this paper (Σ proc LBs)",
-    ]);
+    let mut table = TextTable::new(["instance", "FB 1973", "AM 1990", "this paper (Σ proc LBs)"]);
     table.row([
         "paper Figure 7 (15 tasks)".to_owned(),
         fernandez_bussell_bound(&ex.graph).to_string(),
@@ -74,11 +69,7 @@ fn main() {
         let Ok(a) = analyze(&g, &SystemModel::shared()) else {
             continue;
         };
-        let ours: u32 = g
-            .catalog()
-            .processors()
-            .map(|p| a.units_required(p))
-            .sum();
+        let ours: u32 = g.catalog().processors().map(|p| a.units_required(p)).sum();
         table.row([
             format!("layered 5x5, seed {seed}"),
             fernandez_bussell_bound(&g).to_string(),
@@ -105,13 +96,11 @@ fn main() {
         let timing = compute_timing(&graph, &SystemModel::shared());
         let levels = level_partition(&graph);
         let level_ok = is_time_disjoint(&timing, &levels);
-        let fig4_ok = rtlb_core::partition_all(&graph, &timing)
-            .iter()
-            .all(|p| {
-                let blocks: Vec<Vec<rtlb_graph::TaskId>> =
-                    p.blocks.iter().map(|b| b.tasks.clone()).collect();
-                is_time_disjoint(&timing, &blocks)
-            });
+        let fig4_ok = rtlb_core::partition_all(&graph, &timing).iter().all(|p| {
+            let blocks: Vec<Vec<rtlb_graph::TaskId>> =
+                p.blocks.iter().map(|b| b.tasks.clone()).collect();
+            is_time_disjoint(&timing, &blocks)
+        });
         part_table.row([
             name.to_owned(),
             if level_ok { "yes" } else { "no" }.to_owned(),

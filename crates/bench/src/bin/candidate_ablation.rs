@@ -14,9 +14,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 use rtlb_bench::TextTable;
-use rtlb_core::{
-    analyze_with, AnalysisOptions, CandidatePolicy, SystemModel,
-};
+use rtlb_core::{analyze_with, AnalysisOptions, CandidatePolicy, SystemModel};
 use rtlb_graph::{Catalog, Dur, TaskGraph, TaskGraphBuilder, TaskSpec, Time};
 use rtlb_sched::{min_units_exact, Capacities, SearchBudget};
 use rtlb_workloads::independent_tasks;
@@ -55,8 +53,12 @@ fn main() {
     let mut ext_intervals = 0u64;
     for seed in 0..40u64 {
         let graph = independent_tasks(25, 4, seed);
-        let std = analyze_with(&graph, &SystemModel::shared(), options(CandidatePolicy::EstLct))
-            .expect("feasible");
+        let std = analyze_with(
+            &graph,
+            &SystemModel::shared(),
+            options(CandidatePolicy::EstLct),
+        )
+        .expect("feasible");
         let ext = analyze_with(
             &graph,
             &SystemModel::shared(),
@@ -76,10 +78,16 @@ fn main() {
 
     println!("E13: candidate-grid extension (EST/LCT vs extended)\n");
     let mut t = TextTable::new(["metric", "value"]);
-    t.row(["resources bounded (40 medium instances)", &total.to_string()]);
+    t.row([
+        "resources bounded (40 medium instances)",
+        &total.to_string(),
+    ]);
     t.row([
         "strictly tightened by the extended grid",
-        &format!("{improved} ({:.1}%)", 100.0 * f64::from(improved) / f64::from(total)),
+        &format!(
+            "{improved} ({:.1}%)",
+            100.0 * f64::from(improved) / f64::from(total)
+        ),
     ]);
     t.row([
         "interval cost (extended / standard)",
@@ -95,9 +103,11 @@ fn main() {
     for seed in 0..40u64 {
         let graph = small_instance(seed);
         let p = graph.catalog().lookup("P").unwrap();
-        let Ok(std) =
-            analyze_with(&graph, &SystemModel::shared(), options(CandidatePolicy::EstLct))
-        else {
+        let Ok(std) = analyze_with(
+            &graph,
+            &SystemModel::shared(),
+            options(CandidatePolicy::EstLct),
+        ) else {
             continue;
         };
         let ext = analyze_with(
@@ -107,9 +117,8 @@ fn main() {
         )
         .expect("std feasible implies ext feasible");
         let generous = Capacities::uniform(&graph, graph.task_count() as u32);
-        let Some(exact) =
-            min_units_exact(&graph, p, &generous, graph.task_count() as u32, budget)
-                .expect("budget")
+        let Some(exact) = min_units_exact(&graph, p, &generous, graph.task_count() as u32, budget)
+            .expect("budget")
         else {
             continue;
         };
@@ -134,9 +143,11 @@ fn main() {
     for seed in 0..40u64 {
         let graph = small_instance(seed);
         let p = graph.catalog().lookup("P").unwrap();
-        let Ok(std) =
-            analyze_with(&graph, &SystemModel::shared(), options(CandidatePolicy::EstLct))
-        else {
+        let Ok(std) = analyze_with(
+            &graph,
+            &SystemModel::shared(),
+            options(CandidatePolicy::EstLct),
+        ) else {
             continue;
         };
         let timing = std.timing();

@@ -18,9 +18,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 use rtlb_bench::TextTable;
-use rtlb_core::{
-    analyze, dedicated_cost_bound, DedicatedModel, NodeType, NodeTypeId, SystemModel,
-};
+use rtlb_core::{analyze, dedicated_cost_bound, DedicatedModel, NodeType, NodeTypeId, SystemModel};
 use rtlb_graph::{Catalog, Dur, TaskGraph, TaskGraphBuilder, TaskSpec, Time};
 use rtlb_sched::{
     find_dedicated_schedule_exact, preemptive_min_processors, validate_dedicated, NodeMix,
@@ -46,7 +44,11 @@ fn dedicated_instance(seed: u64) -> (TaskGraph, DedicatedModel) {
         let mut spec = TaskSpec::new(
             format!("t{i}"),
             Dur::new(c),
-            if rng.random_range(0..100) < 70 { p0 } else { p1 },
+            if rng.random_range(0..100) < 70 {
+                p0
+            } else {
+                p1
+            },
         )
         .release(Time::new(rel))
         .deadline(Time::new(rel + c + slack));
@@ -120,8 +122,7 @@ fn main() {
                         .with(NodeTypeId::from_index(1), x1)
                         .with(NodeTypeId::from_index(2), x2);
                     mixes_checked += 1;
-                    let Ok(found) =
-                        find_dedicated_schedule_exact(&graph, &model, &mix, budget)
+                    let Ok(found) = find_dedicated_schedule_exact(&graph, &model, &mix, budget)
                     else {
                         continue;
                     };
@@ -173,7 +174,10 @@ fn main() {
             .expect("independent tasks are feasible alone")
             .units_required(p);
         let exact = preemptive_min_processors(&graph);
-        assert!(lb <= exact, "seed {seed}: preemptive LB {lb} > exact {exact}");
+        assert!(
+            lb <= exact,
+            "seed {seed}: preemptive LB {lb} > exact {exact}"
+        );
         total += 1;
         if lb == exact {
             tight += 1;
@@ -186,7 +190,10 @@ fn main() {
     t.row(["violations (LB > exact)", "0"]);
     t.row([
         "tight (LB = exact)",
-        &format!("{tight} ({:.0}%)", 100.0 * f64::from(tight) / f64::from(total)),
+        &format!(
+            "{tight} ({:.0}%)",
+            100.0 * f64::from(tight) / f64::from(total)
+        ),
     ]);
     t.row(["max gap", &max_gap.to_string()]);
     print!("{}", t.render());

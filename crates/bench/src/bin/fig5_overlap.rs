@@ -20,7 +20,14 @@ fn window(e: i64, l: i64) -> TaskWindow {
 }
 
 fn psi(mode: ExecutionMode, e: i64, l: i64, c: i64, t1: i64, t2: i64) -> i64 {
-    overlap(window(e, l), Dur::new(c), mode, Time::new(t1), Time::new(t2)).ticks()
+    overlap(
+        window(e, l),
+        Dur::new(c),
+        mode,
+        Time::new(t1),
+        Time::new(t2),
+    )
+    .ticks()
 }
 
 fn brute_np(e: i64, l: i64, c: i64, t1: i64, t2: i64) -> i64 {
@@ -49,7 +56,12 @@ fn main() {
     ];
 
     let mut table = TextTable::new([
-        "case", "[E,L]", "C", "[t1,t2]", "Ψ preemptive", "Ψ non-preemptive",
+        "case",
+        "[E,L]",
+        "C",
+        "[t1,t2]",
+        "Ψ preemptive",
+        "Ψ non-preemptive",
     ]);
     for (name, e, l, c, t1, t2) in cases {
         table.row([

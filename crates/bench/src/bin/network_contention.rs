@@ -62,7 +62,9 @@ fn main() {
         t.row([
             name.to_owned(),
             r.deadline_misses.len().to_string(),
-            r.makespan.map(|m| m.to_string()).unwrap_or_else(|| "-".into()),
+            r.makespan
+                .map(|m| m.to_string())
+                .unwrap_or_else(|| "-".into()),
             r.network_busy.to_string(),
             r.network_transfers.to_string(),
         ]);
@@ -78,7 +80,9 @@ fn main() {
         t.row([
             name.to_owned(),
             r.deadline_misses.len().to_string(),
-            r.makespan.map(|m| m.to_string()).unwrap_or_else(|| "-".into()),
+            r.makespan
+                .map(|m| m.to_string())
+                .unwrap_or_else(|| "-".into()),
             r.network_busy.to_string(),
             r.network_transfers.to_string(),
         ]);
@@ -110,10 +114,7 @@ fn main() {
         };
         let ideal = replay(&g, &caps, &schedule, NetworkModel::Ideal).expect("replay");
         let bus = replay(&g, &caps, &schedule, NetworkModel::SharedBus).expect("replay");
-        let (mi, mb) = (
-            ideal.makespan.expect("ran"),
-            bus.makespan.expect("ran"),
-        );
+        let (mi, mb) = (ideal.makespan.expect("ran"), bus.makespan.expect("ran"));
         t.row([
             m.to_string(),
             ideal.deadline_misses.len().to_string(),

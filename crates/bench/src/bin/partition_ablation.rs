@@ -58,7 +58,10 @@ fn main() {
             n.to_string(),
             flat_intervals.to_string(),
             part_intervals.to_string(),
-            format!("{:.1}x", flat_intervals as f64 / part_intervals.max(1) as f64),
+            format!(
+                "{:.1}x",
+                flat_intervals as f64 / part_intervals.max(1) as f64
+            ),
             format!("{:.2?}", flat_time),
             format!("{:.2?}", part_time),
             if equal { "yes" } else { "NO" }.to_owned(),

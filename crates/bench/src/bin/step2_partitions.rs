@@ -9,7 +9,10 @@ use rtlb_core::{analyze, SystemModel};
 use rtlb_workloads::paper_example;
 
 const PAPER: [(&str, &[&[usize]]); 3] = [
-    ("P1", &[&[1, 2, 3, 4, 5], &[9], &[10, 11, 13, 14], &[12, 15]]),
+    (
+        "P1",
+        &[&[1, 2, 3, 4, 5], &[9], &[10, 11, 13, 14], &[12, 15]],
+    ),
     ("P2", &[&[6, 7], &[8]]),
     ("r1", &[&[1, 2], &[5], &[10, 13, 14], &[15]]),
 ];
@@ -50,7 +53,10 @@ fn main() {
                 .map(|b| {
                     format!(
                         "{{{}}}",
-                        b.iter().map(ToString::to_string).collect::<Vec<_>>().join(",")
+                        b.iter()
+                            .map(ToString::to_string)
+                            .collect::<Vec<_>>()
+                            .join(",")
                     )
                 })
                 .collect::<Vec<_>>()

@@ -7,8 +7,8 @@
 //! ```
 
 use rtlb_core::{
-    analyze, dedicated_cost_bound, render_dedicated_cost, render_shared_cost,
-    shared_cost_bound, SystemModel,
+    analyze, dedicated_cost_bound, render_dedicated_cost, render_shared_cost, shared_cost_bound,
+    SystemModel,
 };
 use rtlb_workloads::paper_example;
 

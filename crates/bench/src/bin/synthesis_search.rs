@@ -19,11 +19,7 @@ use rtlb_workloads::paper_example;
 /// A candidate system: a catalog and how many nodes of each type to buy.
 /// The scheduler checks the shared-capacity projection (units per
 /// processor type / resource implied by the node mix).
-fn schedulable(
-    ex: &rtlb_workloads::PaperExample,
-    model: &DedicatedModel,
-    mix: &[u32],
-) -> bool {
+fn schedulable(ex: &rtlb_workloads::PaperExample, model: &DedicatedModel, mix: &[u32]) -> bool {
     // Project node counts onto per-resource unit counts. A shared-model
     // schedule with those counts is necessary for the dedicated system to
     // work; as a demo oracle that is enough (and errs on the generous

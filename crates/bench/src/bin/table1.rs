@@ -52,8 +52,7 @@ fn main() {
     let timing = compute_timing(&ex.graph, &SystemModel::shared());
 
     let mut table = TextTable::new([
-        "Task", "E_i", "E(paper)", "M_i", "M(paper)", "L_i", "L(paper)", "G_i", "G(paper)",
-        "match",
+        "Task", "E_i", "E(paper)", "M_i", "M(paper)", "L_i", "L(paper)", "G_i", "G(paper)", "match",
     ]);
     let mut mismatches = Vec::new();
     for n in 1..=15usize {

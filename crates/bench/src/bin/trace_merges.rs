@@ -35,7 +35,10 @@ fn main() {
             .iter()
             .find(|t| t.task == id)
             .expect("trace recorded");
-        println!("L_{n}: no-merge bound {} -> final {}", t.base, t.final_value);
+        println!(
+            "L_{n}: no-merge bound {} -> final {}",
+            t.base, t.final_value
+        );
         let mut table = TextTable::new(["candidate", "lms", "resulting L", "decision"]);
         for step in &t.steps {
             let kid = (1..=15)
@@ -55,7 +58,11 @@ fn main() {
         }
         print!("{}", table.render());
         println!("{paper_notes}");
-        println!("final L_{n} = {} (paper: {})\n", timing.lct(id), if n == 9 { 19 } else { 15 });
+        println!(
+            "final L_{n} = {} (paper: {})\n",
+            timing.lct(id),
+            if n == 9 { 19 } else { 15 }
+        );
     }
 
     println!("EST-side trace for E_15 (paper: M_15 = {{10, 11}}):");

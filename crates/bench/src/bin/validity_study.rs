@@ -31,7 +31,11 @@ fn small_instance(seed: u64) -> TaskGraph {
         let mut spec = TaskSpec::new(
             format!("t{i}"),
             Dur::new(c),
-            if rng.random_range(0..100) < 70 { p0 } else { p1 },
+            if rng.random_range(0..100) < 70 {
+                p0
+            } else {
+                p1
+            },
         )
         .release(Time::new(rel))
         .deadline(Time::new(rel + c + slack));
@@ -111,8 +115,14 @@ fn main() {
 
     println!("E7: bound validity against exact search ({instances} random instances)\n");
     let mut table = TextTable::new(["metric", "value"]);
-    table.row(["resources checked against exact minimum", &checked.to_string()]);
-    table.row(["validity violations (LB > exact minimum)", &violations.to_string()]);
+    table.row([
+        "resources checked against exact minimum",
+        &checked.to_string(),
+    ]);
+    table.row([
+        "validity violations (LB > exact minimum)",
+        &violations.to_string(),
+    ]);
     table.row([
         "infeasibility checks at LB − 1 (all infeasible)",
         &below_infeasible_checks.to_string(),

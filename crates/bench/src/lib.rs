@@ -60,7 +60,11 @@ impl TextTable {
             out.push('\n');
         };
         render_row(&mut out, &self.header);
-        let total: usize = widths.iter().map(|w| w + 2).sum::<usize>().saturating_sub(2);
+        let total: usize = widths
+            .iter()
+            .map(|w| w + 2)
+            .sum::<usize>()
+            .saturating_sub(2);
         let _ = writeln!(out, "{}", "-".repeat(total));
         for row in &self.rows {
             render_row(&mut out, row);

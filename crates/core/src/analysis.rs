@@ -4,14 +4,13 @@ use serde::{Deserialize, Serialize};
 
 use rtlb_graph::{ResourceId, TaskGraph};
 
-use crate::bounds::{
-    resource_bound_unpartitioned, resource_bound_with, CandidatePolicy, ResourceBound,
-};
+use crate::bounds::{resource_bound_unpartitioned_with, CandidatePolicy, ResourceBound};
 use crate::cost::{dedicated_cost_bound, shared_cost_bound, DedicatedCostBound, SharedCostBound};
 use crate::error::AnalysisError;
 use crate::estlct::{compute_timing, TimingAnalysis};
 use crate::model::SystemModel;
 use crate::partition::{partition_all, ResourcePartition};
+use crate::sweep::{sweep_partitions, SweepStrategy};
 
 /// Tuning knobs for [`analyze_with`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -24,6 +23,16 @@ pub struct AnalysisOptions {
     /// default is the paper's EST/LCT grid, [`CandidatePolicy::Extended`]
     /// adds the forced-overlap corners and can only tighten the bound.
     pub candidates: CandidatePolicy,
+    /// How the Equation 6.3 sweep evaluates `Θ`: the incremental
+    /// event-based scan (default) or the naive per-pair recomputation
+    /// kept as the testing oracle. Both give bit-identical results.
+    /// Ignored when `partitioning` is off (the flat ablation sweep is
+    /// always naive).
+    pub sweep: SweepStrategy,
+    /// Worker threads for the partitioned sweep: `1` (default) is fully
+    /// serial, `0` means one per available core. Results are identical
+    /// for every value.
+    pub parallelism: usize,
 }
 
 impl Default for AnalysisOptions {
@@ -31,6 +40,8 @@ impl Default for AnalysisOptions {
         AnalysisOptions {
             partitioning: true,
             candidates: CandidatePolicy::EstLct,
+            sweep: SweepStrategy::default(),
+            parallelism: 1,
         }
     }
 }
@@ -148,16 +159,20 @@ pub fn analyze_with(
 
     let (partitions, bounds) = if options.partitioning {
         let partitions = partition_all(graph, &timing);
-        let bounds = partitions
-            .iter()
-            .map(|p| resource_bound_with(graph, &timing, p, options.candidates))
-            .collect();
+        let bounds = sweep_partitions(
+            graph,
+            &timing,
+            &partitions,
+            options.candidates,
+            options.sweep,
+            options.parallelism,
+        );
         (partitions, bounds)
     } else {
         let bounds = graph
             .resources_used()
             .into_iter()
-            .map(|r| resource_bound_unpartitioned(graph, &timing, r))
+            .map(|r| resource_bound_unpartitioned_with(graph, &timing, r, options.candidates))
             .collect();
         (Vec::new(), bounds)
     };
@@ -180,10 +195,8 @@ mod tests {
         let p = c.processor("P");
         let mut b = TaskGraphBuilder::new(c);
         for i in 0..3 {
-            b.add_task(
-                TaskSpec::new(format!("t{i}"), Dur::new(4), p).deadline(Time::new(4)),
-            )
-            .unwrap();
+            b.add_task(TaskSpec::new(format!("t{i}"), Dur::new(4), p).deadline(Time::new(4)))
+                .unwrap();
         }
         (b.build().unwrap(), p)
     }

@@ -233,10 +233,7 @@ mod tests {
             Err(AnalysisError::MissingCost(p1))
         );
         // …but a zero bound needs no price.
-        assert_eq!(
-            shared_cost_bound(&model, &[bound(p1, 0)]).unwrap().total,
-            0
-        );
+        assert_eq!(shared_cost_bound(&model, &[bound(p1, 0)]).unwrap().total, 0);
     }
 
     /// The paper's Section 8 Step 4 dedicated-model program with unit
@@ -264,8 +261,7 @@ mod tests {
         let bounds = [bound(p1, 3), bound(p2, 2), bound(r1, 2)];
         let cost = dedicated_cost_bound(&g, &model, &bounds).unwrap();
         assert_eq!(cost.total, 5); // 2·CostN(1) + 1·CostN(2) + 2·CostN(3)
-        let counts: std::collections::BTreeMap<_, _> =
-            cost.node_counts.iter().copied().collect();
+        let counts: std::collections::BTreeMap<_, _> = cost.node_counts.iter().copied().collect();
         assert_eq!(counts[&NodeTypeId::from_index(0)], 2);
         assert_eq!(counts[&NodeTypeId::from_index(1)], 1);
         assert_eq!(counts[&NodeTypeId::from_index(2)], 2);
@@ -361,10 +357,8 @@ mod tests {
         let p = c.processor("P");
         let mut b = TaskGraphBuilder::new(c);
         for i in 0..3 {
-            b.add_task(
-                TaskSpec::new(format!("t{i}"), Dur::new(4), p).deadline(Time::new(4)),
-            )
-            .unwrap();
+            b.add_task(TaskSpec::new(format!("t{i}"), Dur::new(4), p).deadline(Time::new(4)))
+                .unwrap();
         }
         let g = b.build().unwrap();
         let timing = compute_timing(&g, &SystemModel::shared());

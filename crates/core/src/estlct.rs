@@ -319,8 +319,7 @@ fn lct_of(
         .collect();
 
     // MS_i: successors individually mergeable with i.
-    let mut seed =
-        MergeSet::new(model, graph, i).expect("validated models host every task");
+    let mut seed = MergeSet::new(model, graph, i).expect("validated models host every task");
     let (ms, non_ms): (Vec<Boundary>, Vec<Boundary>) =
         lms.iter().copied().partition(|&(j, _)| seed.can_add(j));
 
@@ -435,8 +434,7 @@ fn est_of(
         })
         .collect();
 
-    let mut seed =
-        MergeSet::new(model, graph, i).expect("validated models host every task");
+    let mut seed = MergeSet::new(model, graph, i).expect("validated models host every task");
     let (mp, non_mp): (Vec<Boundary>, Vec<Boundary>) =
         emr.iter().copied().partition(|&(j, _)| seed.can_add(j));
 
@@ -661,7 +659,13 @@ mod tests {
         let t = compute_timing(&g, &shared());
         assert_eq!(t.est(a), Time::new(4));
         assert_eq!(t.lct(a), Time::new(9));
-        assert_eq!(t.window(a), TaskWindow { est: Time::new(4), lct: Time::new(9) });
+        assert_eq!(
+            t.window(a),
+            TaskWindow {
+                est: Time::new(4),
+                lct: Time::new(9)
+            }
+        );
     }
 
     #[test]
@@ -750,10 +754,7 @@ mod tests {
             v[z.index()] = Time::new(vals[2]);
             v
         };
-        assert_eq!(
-            lst(&g, &[x, y, z], &lcts_for([20, 15, 12])),
-            Time::new(8)
-        );
+        assert_eq!(lst(&g, &[x, y, z], &lcts_for([20, 15, 12])), Time::new(8));
 
         // ect: ESTs 0, 4, 4 → x [0,3], y starts max(3,4)=4 ends 9,
         // z starts 9 ends 11.
@@ -764,9 +765,6 @@ mod tests {
             v[z.index()] = Time::new(vals[2]);
             v
         };
-        assert_eq!(
-            ect(&g, &[x, y, z], &ests_for([0, 4, 4])),
-            Time::new(11)
-        );
+        assert_eq!(ect(&g, &[x, y, z], &ests_for([0, 4, 4])), Time::new(11));
     }
 }

@@ -65,11 +65,13 @@ mod model;
 mod overlap;
 mod partition;
 mod report;
+mod sweep;
 
 pub use analysis::{analyze, analyze_with, Analysis, AnalysisOptions};
 pub use bounds::{
-    lower_bounds, resource_bound, resource_bound_unpartitioned, resource_bound_with,
-    theta, CandidatePolicy, IntervalWitness, ResourceBound,
+    lower_bounds, resource_bound, resource_bound_sweep, resource_bound_unpartitioned,
+    resource_bound_unpartitioned_with, resource_bound_with, theta, CandidatePolicy,
+    IntervalWitness, ResourceBound,
 };
 pub use cost::{dedicated_cost_bound, shared_cost_bound, DedicatedCostBound, SharedCostBound};
 pub use error::AnalysisError;
@@ -82,6 +84,7 @@ pub use model::{DedicatedModel, NodeType, NodeTypeId, SharedModel, SystemModel};
 pub use overlap::{overlap, task_overlap};
 pub use partition::{partition_all, partition_tasks, PartitionBlock, ResourcePartition};
 pub use report::{
-    render_analysis, render_bounds, render_dedicated_cost, render_partitions,
-    render_shared_cost, render_timing_table,
+    render_analysis, render_bounds, render_dedicated_cost, render_partitions, render_shared_cost,
+    render_timing_table,
 };
+pub use sweep::{sweep_partitions, SweepStrategy};

@@ -108,12 +108,9 @@ impl<'a> MergeSet<'a> {
         }
         match &self.viable_nodes {
             None => true,
-            Some((model, nodes)) => nodes.iter().any(|&n| {
-                model
-                    .node_type(n)
-                    .resources()
-                    .is_superset(task.resources())
-            }),
+            Some((model, nodes)) => nodes
+                .iter()
+                .any(|&n| model.node_type(n).resources().is_superset(task.resources())),
         }
     }
 
@@ -125,12 +122,7 @@ impl<'a> MergeSet<'a> {
         }
         let task = self.graph.task(candidate);
         if let Some((model, nodes)) = &mut self.viable_nodes {
-            nodes.retain(|&n| {
-                model
-                    .node_type(n)
-                    .resources()
-                    .is_superset(task.resources())
-            });
+            nodes.retain(|&n| model.node_type(n).resources().is_superset(task.resources()));
             debug_assert!(!nodes.is_empty());
         }
         self.members.push(candidate);
@@ -179,8 +171,12 @@ mod tests {
         let b = builder
             .add_task(TaskSpec::new("b", Dur::new(1), p1).resource(r2))
             .unwrap();
-        let c = builder.add_task(TaskSpec::new("c", Dur::new(1), p2)).unwrap();
-        let d = builder.add_task(TaskSpec::new("d", Dur::new(1), p1)).unwrap();
+        let c = builder
+            .add_task(TaskSpec::new("c", Dur::new(1), p2))
+            .unwrap();
+        let d = builder
+            .add_task(TaskSpec::new("d", Dur::new(1), p1))
+            .unwrap();
         Fixture {
             graph: builder.build().unwrap(),
             p1,
@@ -218,12 +214,7 @@ mod tests {
         assert!(mergeable(&model, &f.graph, &[f.b, f.d]));
         assert!(!mergeable(&model, &f.graph, &[f.a, f.b]));
         // A richer node type makes the pair mergeable.
-        let rich = SystemModel::dedicated(vec![NodeType::new(
-            "N-both",
-            f.p1,
-            [f.r1, f.r2],
-            1,
-        )]);
+        let rich = SystemModel::dedicated(vec![NodeType::new("N-both", f.p1, [f.r1, f.r2], 1)]);
         assert!(mergeable(&rich, &f.graph, &[f.a, f.b, f.d]));
         assert!(!mergeable(&rich, &f.graph, &[f.a, f.c])); // c's P2 unhostable
     }

@@ -11,9 +11,7 @@ use rtlb_graph::{ResourceId, Task, TaskGraph};
 use crate::error::AnalysisError;
 
 /// Identifier of a node type inside one [`DedicatedModel`].
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct NodeTypeId(u32);
 
 impl NodeTypeId {

@@ -43,13 +43,7 @@ fn alpha(x: i64) -> i64 {
 /// );
 /// assert_eq!(psi, Dur::new(6));
 /// ```
-pub fn overlap(
-    window: TaskWindow,
-    c: Dur,
-    mode: ExecutionMode,
-    t1: Time,
-    t2: Time,
-) -> Dur {
+pub fn overlap(window: TaskWindow, c: Dur, mode: ExecutionMode, t1: Time, t2: Time) -> Dur {
     assert!(t1 < t2, "overlap interval must satisfy t1 < t2");
     let e = window.est;
     let l = window.lct;
@@ -89,7 +83,14 @@ mod tests {
     }
 
     fn psi_p(w: TaskWindow, c: i64, t1: i64, t2: i64) -> i64 {
-        overlap(w, Dur::new(c), ExecutionMode::Preemptive, Time::new(t1), Time::new(t2)).ticks()
+        overlap(
+            w,
+            Dur::new(c),
+            ExecutionMode::Preemptive,
+            Time::new(t1),
+            Time::new(t2),
+        )
+        .ticks()
     }
 
     fn psi_np(w: TaskWindow, c: i64, t1: i64, t2: i64) -> i64 {
@@ -158,6 +159,66 @@ mod tests {
         assert_eq!(psi_np(win(0, 10), 6, 3, 7), 3);
     }
 
+    // Ψ(t1, ·) is piecewise linear in t2 with breakpoints at E, E+C,
+    // L−C and L. Pin the values at those corners for both modes — these
+    // are exactly the points the incremental sweep's ramp decomposition
+    // must hit.
+    #[test]
+    fn breakpoints_nonpreemptive() {
+        // Window [2, 8], C = 4: E=2, E+C=6, L−C=4, L=8.
+        let w = win(2, 8);
+        // t1 before the window.
+        assert_eq!(psi_np(w, 4, 0, 2), 0); // t2 = E: window untouched
+        assert_eq!(psi_np(w, 4, 0, 4), 0); // t2 = L−C: can run in [4, 8]
+        assert_eq!(psi_np(w, 4, 0, 6), 2); // t2 = E+C: ≥ 2 ticks spill in
+        assert_eq!(psi_np(w, 4, 0, 8), 4); // t2 = L: whole computation
+                                           // t1 inside the window (head room 1).
+        assert_eq!(psi_np(w, 4, 3, 4), 0); // t2 = L−C
+        assert_eq!(psi_np(w, 4, 3, 6), 2); // t2 = E+C: min(4,3,2,3)
+        assert_eq!(psi_np(w, 4, 3, 8), 3); // t2 = L: min(4,3,4,5)
+    }
+
+    #[test]
+    fn breakpoints_preemptive() {
+        let w = win(2, 8);
+        assert_eq!(psi_p(w, 4, 0, 2), 0); // t2 = E
+        assert_eq!(psi_p(w, 4, 0, 4), 0); // t2 = L−C: α(4−0−4)
+        assert_eq!(psi_p(w, 4, 0, 6), 2); // t2 = E+C: α(4−0−2)
+        assert_eq!(psi_p(w, 4, 0, 8), 4); // t2 = L: α(4−0−0)
+        assert_eq!(psi_p(w, 4, 3, 4), 0); // α(4−1−4)
+        assert_eq!(psi_p(w, 4, 3, 6), 1); // α(4−1−2)
+        assert_eq!(psi_p(w, 4, 3, 8), 3); // α(4−1−0)
+    }
+
+    // Zero-slack windows (L − E = C): the task occupies its whole
+    // window, so Ψ is exactly the window∩interval length in both modes.
+    #[test]
+    fn zero_slack_window_forces_full_intersection() {
+        let w = win(2, 6); // C = 4 fills it
+        let modes: [&dyn Fn(TaskWindow, i64, i64, i64) -> i64; 2] = [&psi_np, &psi_p];
+        for mode in modes {
+            assert_eq!(mode(w, 4, 0, 2), 0); // t2 = E
+            assert_eq!(mode(w, 4, 0, 3), 1);
+            assert_eq!(mode(w, 4, 3, 5), 2); // strictly inside
+            assert_eq!(mode(w, 4, 0, 6), 4); // covers the window
+            assert_eq!(mode(w, 4, 5, 9), 1); // hangs off the end
+            assert_eq!(mode(w, 4, 6, 9), 0); // t1 = L
+        }
+    }
+
+    // An interval that fully contains the window forces the entire
+    // computation regardless of mode or slack.
+    #[test]
+    fn interval_containing_window_forces_everything() {
+        for c in 1..=6 {
+            assert_eq!(psi_np(win(2, 8), c, 0, 20), c);
+            assert_eq!(psi_p(win(2, 8), c, 0, 20), c);
+            // Touching exactly at the window edges counts as containing.
+            assert_eq!(psi_np(win(2, 8), c, 2, 8), c);
+            assert_eq!(psi_p(win(2, 8), c, 2, 8), c);
+        }
+    }
+
     #[test]
     fn preemptive_never_exceeds_non_preemptive() {
         for e in 0..4 {
@@ -167,10 +228,7 @@ mod tests {
                         for t2 in (t1 + 1)..12 {
                             let p = psi_p(win(e, l), c, t1, t2);
                             let np = psi_np(win(e, l), c, t1, t2);
-                            assert!(
-                                p <= np,
-                                "Ψ_p > Ψ_np at E={e} L={l} C={c} [{t1},{t2}]"
-                            );
+                            assert!(p <= np, "Ψ_p > Ψ_np at E={e} L={l} C={c} [{t1},{t2}]");
                             assert!(np <= c.min(t2 - t1));
                             assert!(p >= 0);
                         }

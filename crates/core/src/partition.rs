@@ -88,13 +88,7 @@ pub fn partition_tasks(
     resource: ResourceId,
 ) -> ResourcePartition {
     let mut tasks = graph.tasks_demanding(resource);
-    tasks.sort_by_key(|&t| {
-        (
-            timing.est(t),
-            std::cmp::Reverse(timing.lct(t)),
-            t,
-        )
-    });
+    tasks.sort_by_key(|&t| (timing.est(t), std::cmp::Reverse(timing.lct(t)), t));
 
     let mut blocks: Vec<PartitionBlock> = Vec::new();
     for t in tasks {
@@ -129,8 +123,8 @@ pub fn partition_all(graph: &TaskGraph, timing: &TimingAnalysis) -> Vec<Resource
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::SystemModel;
     use crate::estlct::compute_timing;
+    use crate::model::SystemModel;
     use rtlb_graph::{Catalog, Dur, TaskGraphBuilder, TaskSpec};
 
     /// Builds independent tasks with explicit windows [release, deadline]

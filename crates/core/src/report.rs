@@ -28,7 +28,11 @@ fn task_list(graph: &TaskGraph, tasks: &[TaskId]) -> String {
 /// `L_i`, `G_i`.
 pub fn render_timing_table(graph: &TaskGraph, timing: &TimingAnalysis) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "{:<10} {:>6}  {:<14} {:>6}  {:<14}", "Task", "E_i", "M_i", "L_i", "G_i");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>6}  {:<14} {:>6}  {:<14}",
+        "Task", "E_i", "M_i", "L_i", "G_i"
+    );
     for (id, task) in graph.tasks() {
         let _ = writeln!(
             out,
@@ -111,7 +115,12 @@ pub fn render_shared_cost(graph: &TaskGraph, cost: &SharedCostBound) -> String {
         .iter()
         .map(|&(r, lb, c)| format!("{}·CostR({})[{}]", lb, graph.catalog().name(r), c))
         .collect();
-    let _ = writeln!(out, "Shared system cost ≥ {} = {}", terms.join(" + "), cost.total);
+    let _ = writeln!(
+        out,
+        "Shared system cost ≥ {} = {}",
+        terms.join(" + "),
+        cost.total
+    );
     out
 }
 

@@ -1,0 +1,456 @@
+//! Incremental, parallelizable evaluation of the Equation 6.3 sweep.
+//!
+//! The naive sweep recomputes `Θ(r, t1, t2) = Σ Ψ(i, t1, t2)` from
+//! scratch for every candidate pair — `O(P²·N)` per partition block for
+//! `P` candidate points over `N` tasks. This module exploits the shape of
+//! Ψ (Equations 6.1/6.2): **for a fixed `t1`, each task's minimum overlap
+//! is a clamped ramp in `t2`**,
+//!
+//! ```text
+//! Ψ_i(t1, t2) = min(h_i, α(t2 − s_i))        α(x) = max(x, 0)
+//! ```
+//!
+//! with a task-specific onset `s_i` and saturation height `h_i`:
+//!
+//! * non-preemptive (Equation 6.2): the binding terms are the constant
+//!   `min(C, α(C − (t1 − E)))` and the two slope-1 terms `t2 − t1` and
+//!   `α(C − (L − t2))`; the minimum of two slope-1 ramps is the ramp
+//!   starting at the later onset, so `s = max(t1, L − C)` and
+//!   `h = min(C, α(C − (t1 − E)))`;
+//! * preemptive (Equation 6.1): the work that cannot escape the interval
+//!   is `α(C − before − after)` with `before = α(min(L, t1) − E)` slack
+//!   before `t1` and `after = α(L − t2)` slack after `t2`, i.e. a ramp of
+//!   height `h = α(C − before)` saturating exactly at `t2 = L`, so
+//!   `s = L − h`.
+//!
+//! Feasible windows (`E + C ≤ L`) guarantee `s ≥ max(t1, E)`, so the ramp
+//! is identically zero wherever the equations' window-miss guard
+//! (`t2 ≤ E` or `L ≤ t1`) forces zero. Each ramp contributes two *slope
+//! events* — `+1` at `s`, `−1` at `s + h` — and one pass over the sorted
+//! candidate `t2` points with a running slope accumulates `Θ` exactly in
+//! integer arithmetic: `O(P + N log N)` per `t1` instead of `O(P·N)`.
+//!
+//! Results are **bit-identical** to the naive sweep (same demands, same
+//! candidate pairs offered in the same order, same tie-breaks), which the
+//! differential suite in `tests/sweep_equivalence.rs` enforces; the naive
+//! path survives behind [`SweepStrategy::Naive`] as the testing oracle.
+//!
+//! Blocks are independent after Theorem 5, so [`sweep_partitions`] also
+//! fans the per-block (and, within large blocks, per-`t1`-chunk) sweeps
+//! out across cores with `std::thread::scope`. Merging the per-chunk
+//! maxima in deterministic chunk order with a first-wins strict
+//! comparison reproduces the serial result exactly, whatever the thread
+//! count.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use rtlb_graph::{Dur, ExecutionMode, TaskGraph, TaskId, Time};
+use serde::{Deserialize, Serialize};
+
+use crate::bounds::{candidate_points, CandidatePolicy, RatioMax, ResourceBound};
+use crate::estlct::{TaskWindow, TimingAnalysis};
+use crate::partition::ResourcePartition;
+
+/// How the Equation 6.3 interval sweep evaluates `Θ`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SweepStrategy {
+    /// Recompute `Θ` from scratch for every candidate pair —
+    /// `O(P²·N)` per block. Kept as the differential-testing oracle.
+    Naive,
+    /// Event-based incremental accumulation — `O(P·(P + N log N))` per
+    /// block, bit-identical results.
+    #[default]
+    Incremental,
+}
+
+/// One task's `Ψ(t1, ·)` as a clamped ramp: zero up to `start`, slope 1
+/// for `height` ticks, then saturated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Ramp {
+    start: i64,
+    height: i64,
+}
+
+/// Decomposes `Ψ(i, t1, ·)` into its ramp, or `None` when the task can
+/// dodge the interval entirely (height 0). Requires a feasible window.
+fn psi_ramp(window: TaskWindow, c: Dur, mode: ExecutionMode, t1: Time) -> Option<Ramp> {
+    let (e, l, c, t1) = (
+        window.est.ticks(),
+        window.lct.ticks(),
+        c.ticks(),
+        t1.ticks(),
+    );
+    debug_assert!(
+        e + c <= l,
+        "incremental sweep requires feasible windows (E + C <= L)"
+    );
+    let ramp = match mode {
+        ExecutionMode::NonPreemptive => Ramp {
+            start: t1.max(l - c),
+            height: c.min((c - (t1 - e)).max(0)),
+        },
+        ExecutionMode::Preemptive => {
+            let before = (l.min(t1) - e).max(0);
+            let height = (c - before).max(0);
+            Ramp {
+                start: l - height,
+                height,
+            }
+        }
+    };
+    if ramp.height <= 0 {
+        return None;
+    }
+    // The sweep starts accumulating at t1; an event before that would be
+    // silently skipped. Feasibility guarantees it cannot happen.
+    debug_assert!(ramp.start >= t1);
+    Some(ramp)
+}
+
+/// The naive oracle for one fixed `t1`: full `Θ` recomputation per `t2`.
+fn naive_t1_sweep(
+    graph: &TaskGraph,
+    timing: &TimingAnalysis,
+    tasks: &[TaskId],
+    points: &[Time],
+    li: usize,
+    max: &mut RatioMax,
+) {
+    let t1 = points[li];
+    for &t2 in &points[li + 1..] {
+        max.offer(crate::bounds::theta(graph, timing, tasks, t1, t2), t1, t2);
+    }
+}
+
+/// The incremental sweep for one fixed `t1`: build slope events from the
+/// ramps, then walk the candidate `t2` points once with a running slope.
+fn incremental_t1_sweep(
+    graph: &TaskGraph,
+    timing: &TimingAnalysis,
+    tasks: &[TaskId],
+    points: &[Time],
+    li: usize,
+    events: &mut Vec<(i64, i64)>,
+    max: &mut RatioMax,
+) {
+    let t1 = points[li];
+    events.clear();
+    for &t in tasks {
+        let task = graph.task(t);
+        if let Some(ramp) = psi_ramp(timing.window(t), task.computation(), task.mode(), t1) {
+            events.push((ramp.start, 1));
+            events.push((ramp.start + ramp.height, -1));
+        }
+    }
+    events.sort_unstable();
+
+    let (mut value, mut slope, mut pos) = (0i64, 0i64, t1.ticks());
+    let mut next_event = 0;
+    for &t2 in &points[li + 1..] {
+        let at_t2 = t2.ticks();
+        while next_event < events.len() && events[next_event].0 <= at_t2 {
+            let (at, delta) = events[next_event];
+            value += slope * (at - pos);
+            pos = at;
+            slope += delta;
+            next_event += 1;
+        }
+        value += slope * (at_t2 - pos);
+        pos = at_t2;
+        max.offer(Dur::new(value), t1, t2);
+    }
+}
+
+/// Sweeps the candidate-`t1` index range `span` of one block into `max`.
+fn sweep_span(
+    graph: &TaskGraph,
+    timing: &TimingAnalysis,
+    tasks: &[TaskId],
+    points: &[Time],
+    span: Range<usize>,
+    strategy: SweepStrategy,
+    max: &mut RatioMax,
+) {
+    let mut events = Vec::with_capacity(tasks.len() * 2);
+    for li in span {
+        match strategy {
+            SweepStrategy::Naive => naive_t1_sweep(graph, timing, tasks, points, li, max),
+            SweepStrategy::Incremental => {
+                incremental_t1_sweep(graph, timing, tasks, points, li, &mut events, max)
+            }
+        }
+    }
+}
+
+/// Sweeps every block of one partition sequentially (Theorem 5), with the
+/// chosen strategy.
+pub(crate) fn sweep_partition_into(
+    graph: &TaskGraph,
+    timing: &TimingAnalysis,
+    partition: &ResourcePartition,
+    policy: CandidatePolicy,
+    strategy: SweepStrategy,
+    max: &mut RatioMax,
+) {
+    for block in &partition.blocks {
+        let points = candidate_points(graph, timing, &block.tasks, policy);
+        let span = 0..points.len().saturating_sub(1);
+        sweep_span(graph, timing, &block.tasks, &points, span, strategy, max);
+    }
+}
+
+/// Computes `LB_r` for every partition, fanning the per-block sweeps out
+/// across `parallelism` threads (`0` = all available cores, `1` =
+/// serial). Large blocks are further split into contiguous `t1` chunks
+/// for load balance. Results are bit-identical to the serial sweep for
+/// any thread count: chunk maxima are merged in deterministic order with
+/// the same first-wins tie-break the serial scan applies.
+pub fn sweep_partitions(
+    graph: &TaskGraph,
+    timing: &TimingAnalysis,
+    partitions: &[ResourcePartition],
+    policy: CandidatePolicy,
+    strategy: SweepStrategy,
+    parallelism: usize,
+) -> Vec<ResourceBound> {
+    let threads = effective_threads(parallelism);
+
+    // Candidate points once per block; blocks in (partition, block) order.
+    let blocks: Vec<(usize, &[TaskId], Vec<Time>)> = partitions
+        .iter()
+        .enumerate()
+        .flat_map(|(pi, partition)| {
+            partition.blocks.iter().map(move |block| {
+                let points = candidate_points(graph, timing, &block.tasks, policy);
+                (pi, block.tasks.as_slice(), points)
+            })
+        })
+        .collect();
+
+    // One job per contiguous t1 chunk, in (partition, block, chunk) order.
+    let mut jobs: Vec<(usize, Range<usize>)> = Vec::new();
+    for (bi, (_, _, points)) in blocks.iter().enumerate() {
+        let t1_count = points.len().saturating_sub(1);
+        if t1_count == 0 {
+            continue;
+        }
+        let chunk = if threads <= 1 {
+            t1_count
+        } else {
+            t1_count.div_ceil(threads * 4).max(8)
+        };
+        let mut start = 0;
+        while start < t1_count {
+            let end = (start + chunk).min(t1_count);
+            jobs.push((bi, start..end));
+            start = end;
+        }
+    }
+
+    let chunk_maxima = run_jobs(threads, jobs.len(), |j| {
+        let (bi, span) = &jobs[j];
+        let (_, tasks, points) = &blocks[*bi];
+        let mut max = RatioMax::default();
+        sweep_span(
+            graph,
+            timing,
+            tasks,
+            points,
+            span.clone(),
+            strategy,
+            &mut max,
+        );
+        max
+    });
+
+    // Fold chunk maxima back per partition, preserving job order so ties
+    // resolve exactly as in the serial sweep.
+    let mut folded = vec![RatioMax::default(); partitions.len()];
+    for (j, (bi, _)) in jobs.iter().enumerate() {
+        folded[blocks[*bi].0].merge(chunk_maxima[j]);
+    }
+    folded
+        .into_iter()
+        .zip(partitions)
+        .map(|(max, partition)| max.into_bound(partition.resource))
+        .collect()
+}
+
+/// Resolves the `parallelism` knob: `0` means every available core.
+fn effective_threads(parallelism: usize) -> usize {
+    if parallelism == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        parallelism
+    }
+}
+
+/// Runs `count` independent jobs on up to `threads` scoped threads and
+/// returns their results in job order.
+fn run_jobs<T, F>(threads: usize, count: usize, run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = threads.min(count);
+    if workers <= 1 {
+        return (0..count).map(run).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut collected: Vec<(usize, T)> = Vec::with_capacity(count);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut done = Vec::new();
+                    loop {
+                        let job = next.fetch_add(1, Ordering::Relaxed);
+                        if job >= count {
+                            break done;
+                        }
+                        done.push((job, run(job)));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            collected.extend(handle.join().expect("sweep worker panicked"));
+        }
+    });
+
+    let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
+    for (job, value) in collected {
+        slots[job] = Some(value);
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every job ran exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estlct::compute_timing;
+    use crate::model::SystemModel;
+    use crate::overlap::overlap;
+    use crate::partition::partition_all;
+    use rtlb_graph::{Catalog, ResourceId, TaskGraphBuilder, TaskSpec};
+
+    /// The ramp decomposition must equal Equation 6.1/6.2 pointwise on
+    /// every feasible small window, both modes, all t1 < t2.
+    #[test]
+    fn ramp_matches_overlap_exhaustively() {
+        for e in 0..6 {
+            for l in (e + 1)..10 {
+                for c in 1..=(l - e) {
+                    let window = TaskWindow {
+                        est: Time::new(e),
+                        lct: Time::new(l),
+                    };
+                    for mode in [ExecutionMode::NonPreemptive, ExecutionMode::Preemptive] {
+                        for t1 in -2..12 {
+                            let ramp = psi_ramp(window, Dur::new(c), mode, Time::new(t1));
+                            for t2 in (t1 + 1)..14 {
+                                let expect = overlap(
+                                    window,
+                                    Dur::new(c),
+                                    mode,
+                                    Time::new(t1),
+                                    Time::new(t2),
+                                )
+                                .ticks();
+                                let got = ramp.map_or(0, |r| (t2 - r.start).clamp(0, r.height));
+                                assert_eq!(
+                                    got, expect,
+                                    "window [{e},{l}] C={c} {mode:?} interval [{t1},{t2}]"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Mixed-mode fixture with several partition blocks.
+    fn fixture() -> (rtlb_graph::TaskGraph, ResourceId) {
+        let mut c = Catalog::new();
+        let p = c.processor("P");
+        let mut b = TaskGraphBuilder::new(c);
+        let windows = [
+            (0, 4, 3, false),
+            (1, 5, 2, true),
+            (2, 9, 4, false),
+            (8, 12, 4, false),
+            (9, 14, 3, true),
+            (20, 22, 2, false),
+            (19, 26, 5, true),
+        ];
+        for (i, &(rel, d, comp, pre)) in windows.iter().enumerate() {
+            let mut spec = TaskSpec::new(format!("t{i}"), Dur::new(comp), p)
+                .release(Time::new(rel))
+                .deadline(Time::new(d));
+            if pre {
+                spec = spec.preemptive();
+            }
+            b.add_task(spec).unwrap();
+        }
+        (b.build().unwrap(), p)
+    }
+
+    #[test]
+    fn incremental_matches_naive_including_witness_and_count() {
+        let (g, _) = fixture();
+        let timing = compute_timing(&g, &SystemModel::shared());
+        let partitions = partition_all(&g, &timing);
+        for policy in [CandidatePolicy::EstLct, CandidatePolicy::Extended] {
+            let naive = sweep_partitions(&g, &timing, &partitions, policy, SweepStrategy::Naive, 1);
+            let inc = sweep_partitions(
+                &g,
+                &timing,
+                &partitions,
+                policy,
+                SweepStrategy::Incremental,
+                1,
+            );
+            assert_eq!(naive, inc, "policy {policy:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_serial() {
+        let (g, _) = fixture();
+        let timing = compute_timing(&g, &SystemModel::shared());
+        let partitions = partition_all(&g, &timing);
+        let serial = sweep_partitions(
+            &g,
+            &timing,
+            &partitions,
+            CandidatePolicy::Extended,
+            SweepStrategy::Incremental,
+            1,
+        );
+        for threads in [0, 2, 3, 8] {
+            let par = sweep_partitions(
+                &g,
+                &timing,
+                &partitions,
+                CandidatePolicy::Extended,
+                SweepStrategy::Incremental,
+                threads,
+            );
+            assert_eq!(serial, par, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn run_jobs_preserves_job_order() {
+        for threads in [1, 2, 5] {
+            let out = run_jobs(threads, 23, |j| j * j);
+            assert_eq!(out, (0..23).map(|j| j * j).collect::<Vec<_>>());
+        }
+    }
+}

@@ -18,9 +18,7 @@ use crate::error::GraphError;
 ///
 /// Ids are dense indices into the owning [`Catalog`]; they are only
 /// meaningful together with the catalog that produced them.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct ResourceId(u32);
 
 impl ResourceId {
@@ -121,11 +119,7 @@ impl Catalog {
     ///
     /// Returns [`GraphError::KindConflict`] if `name` is already interned
     /// with the other kind.
-    pub fn try_intern(
-        &mut self,
-        name: &str,
-        kind: ResourceKind,
-    ) -> Result<ResourceId, GraphError> {
+    pub fn try_intern(&mut self, name: &str, kind: ResourceKind) -> Result<ResourceId, GraphError> {
         if let Some(&id) = self.index.get(name) {
             let existing = self.kinds[id.index()];
             if existing != kind {
@@ -256,9 +250,7 @@ mod tests {
     #[test]
     fn ids_are_dense_and_ordered() {
         let mut c = Catalog::new();
-        let ids: Vec<_> = (0..5)
-            .map(|i| c.resource(&format!("r{i}")))
-            .collect();
+        let ids: Vec<_> = (0..5).map(|i| c.resource(&format!("r{i}"))).collect();
         let listed: Vec<_> = c.ids().collect();
         assert_eq!(ids, listed);
         assert_eq!(ids[3].index(), 3);

@@ -45,7 +45,11 @@ pub fn to_dot(graph: &TaskGraph) -> String {
             task.deadline(),
             escape(graph.catalog().name(task.processor())),
             resources.join(","),
-            if task.is_preemptive() { "\\npreemptive" } else { "" },
+            if task.is_preemptive() {
+                "\\npreemptive"
+            } else {
+                ""
+            },
         );
     }
     for (id, _) in graph.tasks() {
@@ -80,7 +84,11 @@ mod tests {
         let mut b = TaskGraphBuilder::new(c);
         b.default_deadline(Time::new(30));
         let a = b
-            .add_task(TaskSpec::new("alpha", Dur::new(2), p).resource(r).preemptive())
+            .add_task(
+                TaskSpec::new("alpha", Dur::new(2), p)
+                    .resource(r)
+                    .preemptive(),
+            )
             .unwrap();
         let z = b.add_task(TaskSpec::new("omega", Dur::new(3), p)).unwrap();
         b.add_edge(a, z, Dur::new(4)).unwrap();
@@ -99,7 +107,8 @@ mod tests {
         let p = c.processor("P\"1");
         let mut b = TaskGraphBuilder::new(c);
         b.default_deadline(Time::new(5));
-        b.add_task(TaskSpec::new("we\"ird", Dur::new(1), p)).unwrap();
+        b.add_task(TaskSpec::new("we\"ird", Dur::new(1), p))
+            .unwrap();
         let dot = to_dot(&b.build().unwrap());
         assert!(dot.contains("we\\\"ird"));
         assert!(dot.contains("P\\\"1"));

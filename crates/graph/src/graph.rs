@@ -14,9 +14,7 @@ use crate::time::{Dur, Time};
 ///
 /// Ids are dense indices assigned in insertion order; they are only
 /// meaningful together with the graph (or builder) that produced them.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct TaskId(u32);
 
 impl TaskId {
@@ -597,11 +595,7 @@ mod tests {
         ));
         // Foreign id.
         assert!(matches!(
-            b.add_task(TaskSpec::new(
-                "z",
-                Dur::new(1),
-                ResourceId::from_index(77)
-            )),
+            b.add_task(TaskSpec::new("z", Dur::new(1), ResourceId::from_index(77))),
             Err(GraphError::BadTaskTyping { .. })
         ));
     }

@@ -191,8 +191,7 @@ impl Task {
 
     /// All resource ids the task occupies while executing: `R_i ∪ {φ_i}`.
     pub fn demands(&self) -> impl Iterator<Item = ResourceId> + '_ {
-        std::iter::once(self.processor)
-            .chain(self.resources.iter().copied())
+        std::iter::once(self.processor).chain(self.resources.iter().copied())
     }
 
     /// Whether the task occupies resource `r` while executing,

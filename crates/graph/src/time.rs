@@ -131,9 +131,7 @@ impl SubAssign<Dur> for Time {
 /// let total: Dur = [Dur::new(2), Dur::new(3)].into_iter().sum();
 /// assert_eq!(total, Dur::new(5));
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct Dur(i64);
 
 impl Dur {

@@ -17,7 +17,9 @@ pub struct BranchBoundConfig {
 
 impl Default for BranchBoundConfig {
     fn default() -> BranchBoundConfig {
-        BranchBoundConfig { node_limit: 100_000 }
+        BranchBoundConfig {
+            node_limit: 100_000,
+        }
     }
 }
 
@@ -141,9 +143,9 @@ pub fn solve_ilp_with(
         }
 
         // Find a fractional integer-flagged variable to branch on.
-        let fractional = problem.vars().find(|&v| {
-            problem.is_integer(v) && !relaxed.value(v).is_integer()
-        });
+        let fractional = problem
+            .vars()
+            .find(|&v| problem.is_integer(v) && !relaxed.value(v).is_integer());
 
         match fractional {
             None => {
@@ -306,10 +308,7 @@ mod tests {
         let x = p.add_var("x", r(1), true);
         let y = p.add_var("y", r(1), true);
         p.add_constraint(Constraint::ge(vec![(x, r(2)), (y, r(3))], r(7)));
-        let err = solve_ilp_with(
-            &p,
-            BranchBoundConfig { node_limit: 1 },
-        );
+        let err = solve_ilp_with(&p, BranchBoundConfig { node_limit: 1 });
         // One node is solved, then branching needs a second node.
         assert!(matches!(err, Err(NodeLimitExceeded { limit: 1 })));
         assert!(NodeLimitExceeded { limit: 1 }.to_string().contains("1"));

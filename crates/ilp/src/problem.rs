@@ -86,10 +86,7 @@ impl Constraint {
 
     /// Evaluates the left-hand side at a point.
     pub fn lhs_at(&self, x: &[Rational]) -> Rational {
-        self.coeffs
-            .iter()
-            .map(|&(v, c)| c * x[v.index()])
-            .sum()
+        self.coeffs.iter().map(|&(v, c)| c * x[v.index()]).sum()
     }
 
     /// Whether the constraint holds at a point.
@@ -213,11 +210,7 @@ impl Problem {
 
     /// Objective value at a point.
     pub fn objective_at(&self, x: &[Rational]) -> Rational {
-        self.costs
-            .iter()
-            .zip(x)
-            .map(|(&c, &v)| c * v)
-            .sum()
+        self.costs.iter().zip(x).map(|(&c, &v)| c * v).sum()
     }
 
     /// Whether a point satisfies every constraint, non-negativity, and the

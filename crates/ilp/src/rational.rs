@@ -295,19 +295,11 @@ mod tests {
         assert!(Rational::new(1, 3) < Rational::new(1, 2));
         assert!(Rational::new(-1, 2) < Rational::ZERO);
         assert!(Rational::new(7, 2) > Rational::from(3));
-        let mut v = vec![
-            Rational::new(3, 2),
-            Rational::from(-1),
-            Rational::new(1, 3),
-        ];
+        let mut v = vec![Rational::new(3, 2), Rational::from(-1), Rational::new(1, 3)];
         v.sort();
         assert_eq!(
             v,
-            vec![
-                Rational::from(-1),
-                Rational::new(1, 3),
-                Rational::new(3, 2)
-            ]
+            vec![Rational::from(-1), Rational::new(1, 3), Rational::new(3, 2)]
         );
     }
 

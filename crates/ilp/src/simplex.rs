@@ -212,9 +212,8 @@ impl Tableau {
     fn optimize(&mut self, costs: &[Rational]) -> OptimizeResult {
         loop {
             // Reduced costs: z_j = c_j - Σ_i c_{basis(i)} · a_{ij}.
-            let entering = (0..self.usable_cols(costs)).find(|&j| {
-                !self.is_basic(j) && self.reduced_cost(costs, j).is_negative()
-            });
+            let entering = (0..self.usable_cols(costs))
+                .find(|&j| !self.is_basic(j) && self.reduced_cost(costs, j).is_negative());
             let Some(col) = entering else {
                 let obj = self
                     .basis
@@ -308,8 +307,7 @@ impl Tableau {
         while row < self.rows.len() {
             if self.basis[row] >= artificial_start {
                 debug_assert!(self.rhs[row].is_zero(), "basic artificial at nonzero level");
-                let pivot_col =
-                    (0..artificial_start).find(|&j| !self.rows[row][j].is_zero());
+                let pivot_col = (0..artificial_start).find(|&j| !self.rows[row][j].is_zero());
                 match pivot_col {
                     Some(col) => self.pivot(row, col),
                     None => {

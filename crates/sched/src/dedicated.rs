@@ -240,18 +240,14 @@ pub fn validate_dedicated(
             let Some(pf) = schedule.placement(e.other) else {
                 continue;
             };
-            let colocated =
-                pf.node_type == pt.node_type && pf.node_index == pt.node_index;
+            let colocated = pf.node_type == pt.node_type && pf.node_index == pt.node_index;
             let arrival = if colocated {
                 pf.slice.end
             } else {
                 pf.slice.end + e.message
             };
             if pt.slice.start < arrival {
-                violations.push(DedicatedViolation::PrecedenceViolated {
-                    from: e.other,
-                    to,
-                });
+                violations.push(DedicatedViolation::PrecedenceViolated { from: e.other, to });
             }
         }
     }
@@ -418,7 +414,9 @@ mod tests {
         let a = builder
             .add_task(TaskSpec::new("a", Dur::new(3), p).resource(r))
             .unwrap();
-        let b = builder.add_task(TaskSpec::new("b", Dur::new(4), p)).unwrap();
+        let b = builder
+            .add_task(TaskSpec::new("b", Dur::new(4), p))
+            .unwrap();
         builder.add_edge(a, b, Dur::new(2)).unwrap();
         let graph = builder.build().unwrap();
         let model = DedicatedModel::new(vec![
@@ -452,14 +450,10 @@ mod tests {
     fn exact_search_finds_valid_dedicated_schedule() {
         let f = fix();
         let mix = NodeMix::new().with(f.n_bundle, 1).with(f.n_bare, 1);
-        let s = find_dedicated_schedule_exact(
-            &f.graph,
-            &f.model,
-            &mix,
-            crate::SearchBudget::default(),
-        )
-        .unwrap()
-        .expect("feasible");
+        let s =
+            find_dedicated_schedule_exact(&f.graph, &f.model, &mix, crate::SearchBudget::default())
+                .unwrap()
+                .expect("feasible");
         assert!(validate_dedicated(&f.graph, &f.model, &mix, &s).is_empty());
         // Task a must sit on the bundle (only host).
         assert_eq!(s.placement(f.a).unwrap().node_type, f.n_bundle);
@@ -469,14 +463,10 @@ mod tests {
     fn single_bundle_colocates_and_serializes() {
         let f = fix();
         let mix = NodeMix::new().with(f.n_bundle, 1);
-        let s = find_dedicated_schedule_exact(
-            &f.graph,
-            &f.model,
-            &mix,
-            crate::SearchBudget::default(),
-        )
-        .unwrap()
-        .expect("feasible on one bundle");
+        let s =
+            find_dedicated_schedule_exact(&f.graph, &f.model, &mix, crate::SearchBudget::default())
+                .unwrap()
+                .expect("feasible on one bundle");
         assert!(validate_dedicated(&f.graph, &f.model, &mix, &s).is_empty());
         // Co-located: b starts right at a's completion (no message).
         assert_eq!(s.placement(f.b).unwrap().slice.start, Time::new(3));
@@ -486,13 +476,9 @@ mod tests {
     fn hosting_constraints_make_empty_mix_infeasible() {
         let f = fix();
         let mix = NodeMix::new().with(f.n_bare, 3); // nothing can host a
-        let s = find_dedicated_schedule_exact(
-            &f.graph,
-            &f.model,
-            &mix,
-            crate::SearchBudget::default(),
-        )
-        .unwrap();
+        let s =
+            find_dedicated_schedule_exact(&f.graph, &f.model, &mix, crate::SearchBudget::default())
+                .unwrap();
         assert!(s.is_none());
     }
 
@@ -577,8 +563,7 @@ mod tests {
     fn feasible_mixes_respect_cost_bound() {
         use rtlb_core::{analyze, dedicated_cost_bound, SystemModel};
         let f = fix();
-        let analysis =
-            analyze(&f.graph, &SystemModel::Dedicated(f.model.clone())).unwrap();
+        let analysis = analyze(&f.graph, &SystemModel::Dedicated(f.model.clone())).unwrap();
         let cost_lb = dedicated_cost_bound(&f.graph, &f.model, analysis.bounds())
             .unwrap()
             .total;
@@ -589,10 +574,9 @@ mod tests {
                 let mix = NodeMix::new()
                     .with(f.n_bundle, bundles)
                     .with(f.n_bare, bares);
-                let feasible =
-                    find_dedicated_schedule_exact(&f.graph, &f.model, &mix, budget)
-                        .unwrap()
-                        .is_some();
+                let feasible = find_dedicated_schedule_exact(&f.graph, &f.model, &mix, budget)
+                    .unwrap()
+                    .is_some();
                 if feasible {
                     feasible_seen += 1;
                     assert!(

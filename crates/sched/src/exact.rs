@@ -43,7 +43,11 @@ pub struct BudgetExceeded {
 
 impl fmt::Display for BudgetExceeded {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "exact search exceeded its budget of {} nodes", self.nodes)
+        write!(
+            f,
+            "exact search exceeded its budget of {} nodes",
+            self.nodes
+        )
     }
 }
 
@@ -66,12 +70,15 @@ impl<'g> Search<'g> {
         let t = self.graph.task(task);
         let mut lo = t.release();
         for e in self.graph.predecessors(task) {
-            let (_, finish, pred_unit) =
-                self.placed[e.other.index()].expect("topological order");
+            let (_, finish, pred_unit) = self.placed[e.other.index()].expect("topological order");
             let colocated = self.graph.task(e.other).processor() == t.processor()
                 && pred_unit == unit
                 && !self.graph.task(e.other).computation().is_zero();
-            let arrival = if colocated { finish } else { finish + e.message };
+            let arrival = if colocated {
+                finish
+            } else {
+                finish + e.message
+            };
             lo = lo.max(arrival);
         }
         lo

@@ -42,7 +42,10 @@ impl MaxFlow {
     ///
     /// Panics if an endpoint is out of range or the capacity is negative.
     pub fn add_edge(&mut self, from: usize, to: usize, capacity: i64) {
-        assert!(from < self.adj.len() && to < self.adj.len(), "endpoint in range");
+        assert!(
+            from < self.adj.len() && to < self.adj.len(),
+            "endpoint in range"
+        );
         assert!(capacity >= 0, "capacity must be non-negative");
         let e = self.edges.len();
         self.edges.push((to, capacity, e + 1));
@@ -84,14 +87,7 @@ impl MaxFlow {
         }
     }
 
-    fn dfs(
-        &mut self,
-        u: usize,
-        sink: usize,
-        limit: i64,
-        level: &[usize],
-        it: &mut [usize],
-    ) -> i64 {
+    fn dfs(&mut self, u: usize, sink: usize, limit: i64, level: &[usize], it: &mut [usize]) -> i64 {
         if u == sink {
             return limit;
         }
@@ -123,9 +119,11 @@ impl MaxFlow {
 /// non-preemptive exact search instead.
 pub fn preemptive_feasible(graph: &TaskGraph, m: u32) -> bool {
     assert_eq!(graph.edge_count(), 0, "flow oracle needs independent tasks");
-    let types: std::collections::BTreeSet<_> =
-        graph.tasks().map(|(_, t)| t.processor()).collect();
-    assert!(types.len() <= 1, "flow oracle needs a single processor type");
+    let types: std::collections::BTreeSet<_> = graph.tasks().map(|(_, t)| t.processor()).collect();
+    assert!(
+        types.len() <= 1,
+        "flow oracle needs a single processor type"
+    );
 
     // Interval boundaries: all releases and deadlines.
     let mut points: Vec<Time> = graph
@@ -137,8 +135,7 @@ pub fn preemptive_feasible(graph: &TaskGraph, m: u32) -> bool {
     if points.len() < 2 {
         return graph.tasks().all(|(_, t)| t.computation().is_zero());
     }
-    let intervals: Vec<(Time, Time)> =
-        points.windows(2).map(|w| (w[0], w[1])).collect();
+    let intervals: Vec<(Time, Time)> = points.windows(2).map(|w| (w[0], w[1])).collect();
 
     let n = graph.task_count();
     let k = intervals.len();
@@ -287,6 +284,9 @@ mod tests {
                 tight += 1;
             }
         }
-        assert!(total == 40 && tight * 2 >= total, "tight on {tight}/{total}");
+        assert!(
+            total == 40 && tight * 2 >= total,
+            "tight on {tight}/{total}"
+        );
     }
 }

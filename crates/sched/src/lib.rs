@@ -50,8 +50,8 @@ mod validate;
 
 pub use capacity::Capacities;
 pub use dedicated::{
-    find_dedicated_schedule_exact, validate_dedicated, DedicatedSchedule,
-    DedicatedViolation, NodeMix, NodePlacement,
+    find_dedicated_schedule_exact, validate_dedicated, DedicatedSchedule, DedicatedViolation,
+    NodeMix, NodePlacement,
 };
 pub use exact::{find_schedule_exact, min_units_exact, BudgetExceeded, SearchBudget};
 pub use flow::{preemptive_feasible, preemptive_min_processors, MaxFlow};

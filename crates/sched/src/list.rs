@@ -124,7 +124,11 @@ impl<'g> State<'g> {
             let colocated = self.graph.task(e.other).processor() == t.processor()
                 && pred_unit == unit
                 && !self.graph.task(e.other).computation().is_zero();
-            let arrival = if colocated { finish } else { finish + e.message };
+            let arrival = if colocated {
+                finish
+            } else {
+                finish + e.message
+            };
             est = est.max(arrival);
         }
         est
@@ -184,10 +188,7 @@ impl<'g> State<'g> {
 /// # Ok(())
 /// # }
 /// ```
-pub fn list_schedule(
-    graph: &TaskGraph,
-    caps: &Capacities,
-) -> Result<Schedule, ListScheduleError> {
+pub fn list_schedule(graph: &TaskGraph, caps: &Capacities) -> Result<Schedule, ListScheduleError> {
     let timing = compute_timing(graph, &SystemModel::shared());
     list_schedule_with_timing(graph, caps, &timing)
 }
@@ -290,15 +291,12 @@ pub fn list_schedule_with_timing(
                 let hi = task.deadline() - task.computation();
                 let claimed = state.claims.get(&root).copied();
                 let chosen: (Time, u32) = match claimed {
-                    Some(u) if state.earliest_on(id, u) <= hi => {
-                        (state.earliest_on(id, u), u)
-                    }
+                    Some(u) if state.earliest_on(id, u) <= hi => (state.earliest_on(id, u), u),
                     _ => {
                         let mut best: Option<(Time, bool, u32)> = None;
                         for u in 0..units {
                             let est = state.earliest_on(id, u);
-                            let claimed_by_other =
-                                state.claimed_units[proc.index()].contains(&u);
+                            let claimed_by_other = state.claimed_units[proc.index()].contains(&u);
                             let key = (est, claimed_by_other, u);
                             if best.is_none_or(|b| key < b) {
                                 best = Some(key);

@@ -133,7 +133,10 @@ impl Schedule {
 
     /// The highest unit index used per processor type plus one — i.e. how
     /// many units of each processor type this schedule actually occupies.
-    pub fn units_used(&self, graph: &TaskGraph) -> std::collections::BTreeMap<rtlb_graph::ResourceId, u32> {
+    pub fn units_used(
+        &self,
+        graph: &TaskGraph,
+    ) -> std::collections::BTreeMap<rtlb_graph::ResourceId, u32> {
         let mut used = std::collections::BTreeMap::new();
         for p in &self.placements {
             let proc = graph.task(p.task).processor();
@@ -154,16 +157,33 @@ mod tests {
 
     #[test]
     fn slice_geometry() {
-        let a = Slice { start: t(0), end: t(5) };
-        let b = Slice { start: t(5), end: t(9) };
-        let c = Slice { start: t(4), end: t(6) };
+        let a = Slice {
+            start: t(0),
+            end: t(5),
+        };
+        let b = Slice {
+            start: t(5),
+            end: t(9),
+        };
+        let c = Slice {
+            start: t(4),
+            end: t(6),
+        };
         assert!(!a.overlaps(&b));
         assert!(a.overlaps(&c));
         assert!(c.overlaps(&b));
         assert_eq!(a.len(), Dur::new(5));
         assert!(a.covers(t(0)) && a.covers(t(4)) && !a.covers(t(5)));
-        assert!(!Slice { start: t(3), end: t(3) }.covers(t(3)));
-        assert!(Slice { start: t(3), end: t(3) }.is_empty());
+        assert!(!Slice {
+            start: t(3),
+            end: t(3)
+        }
+        .covers(t(3)));
+        assert!(Slice {
+            start: t(3),
+            end: t(3)
+        }
+        .is_empty());
     }
 
     #[test]
@@ -172,8 +192,14 @@ mod tests {
             task: TaskId::from_index(0),
             unit: 1,
             slices: vec![
-                Slice { start: t(2), end: t(4) },
-                Slice { start: t(7), end: t(10) },
+                Slice {
+                    start: t(2),
+                    end: t(4),
+                },
+                Slice {
+                    start: t(7),
+                    end: t(10),
+                },
             ],
         };
         assert_eq!(p.start(), t(2));
@@ -193,8 +219,18 @@ mod tests {
         let mut s = Schedule::new();
         assert!(s.is_empty());
         assert_eq!(s.finish(), None);
-        s.place(Placement::contiguous(TaskId::from_index(0), 0, t(0), Dur::new(3)));
-        s.place(Placement::contiguous(TaskId::from_index(1), 1, t(2), Dur::new(5)));
+        s.place(Placement::contiguous(
+            TaskId::from_index(0),
+            0,
+            t(0),
+            Dur::new(3),
+        ));
+        s.place(Placement::contiguous(
+            TaskId::from_index(1),
+            1,
+            t(2),
+            Dur::new(5),
+        ));
         assert_eq!(s.len(), 2);
         assert_eq!(s.finish(), Some(t(7)));
         assert!(s.placement(TaskId::from_index(1)).is_some());

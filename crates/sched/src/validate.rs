@@ -144,9 +144,7 @@ pub fn validate_schedule(
                 ok = false;
             }
         }
-        if p.slices.iter().any(|s| s.end < s.start)
-            || p.slices.iter().any(|s| s.is_empty())
-        {
+        if p.slices.iter().any(|s| s.end < s.start) || p.slices.iter().any(|s| s.is_empty()) {
             ok = false;
         }
         if !ok {
@@ -206,8 +204,7 @@ pub fn validate_schedule(
             };
             let from_task = graph.task(edge.other);
             let to_task = graph.task(to);
-            let colocated = from_task.processor() == to_task.processor()
-                && pf.unit == pt.unit;
+            let colocated = from_task.processor() == to_task.processor() && pf.unit == pt.unit;
             let arrival = if pf.slices.is_empty() {
                 // Zero-computation predecessor: treat as completing at its
                 // release time.
@@ -385,8 +382,14 @@ mod tests {
             task: f.a,
             unit: 0,
             slices: vec![
-                Slice { start: t(0), end: t(2) },
-                Slice { start: t(4), end: t(5) },
+                Slice {
+                    start: t(0),
+                    end: t(2),
+                },
+                Slice {
+                    start: t(4),
+                    end: t(5),
+                },
             ],
         });
         s.place(Placement::contiguous(f.b, 0, t(7), Dur::new(2)));
@@ -409,8 +412,14 @@ mod tests {
             task: a,
             unit: 0,
             slices: vec![
-                Slice { start: t(0), end: t(2) },
-                Slice { start: t(5), end: t(6) },
+                Slice {
+                    start: t(0),
+                    end: t(2),
+                },
+                Slice {
+                    start: t(5),
+                    end: t(6),
+                },
             ],
         });
         let caps = Capacities::new().with(p, 1);

@@ -87,7 +87,12 @@ pub fn online_dispatch_with_timing(
         events.push(Reverse((at, *seq, kind)));
     };
     for (id, task) in graph.tasks() {
-        push(&mut events, &mut seq, task.release(), EventKind::Release(id));
+        push(
+            &mut events,
+            &mut seq,
+            task.release(),
+            EventKind::Release(id),
+        );
     }
 
     let mut log = Vec::new();
@@ -142,10 +147,7 @@ pub fn online_dispatch_with_timing(
             for id in ready {
                 let task = graph.task(id);
                 let proc = task.processor();
-                let Some(unit) = unit_free[proc.index()]
-                    .iter()
-                    .position(|&f| f <= now)
-                else {
+                let Some(unit) = unit_free[proc.index()].iter().position(|&f| f <= now) else {
                     continue;
                 };
                 if unit_free[proc.index()].is_empty() {
@@ -169,7 +171,12 @@ pub fn online_dispatch_with_timing(
                     task: id,
                     unit: unit as u32,
                 });
-                push(&mut events, &mut seq, finish, EventKind::Finish(id, unit as u32));
+                push(
+                    &mut events,
+                    &mut seq,
+                    finish,
+                    EventKind::Finish(id, unit as u32),
+                );
                 progress = true;
             }
             if !progress {
@@ -180,9 +187,7 @@ pub fn online_dispatch_with_timing(
 
     let deadline_misses: Vec<TaskId> = graph
         .task_ids()
-        .filter(|&id| {
-            finished[id.index()].is_some_and(|f| f > graph.task(id).deadline())
-        })
+        .filter(|&id| finished[id.index()].is_some_and(|f| f > graph.task(id).deadline()))
         .collect();
     let stalled: Vec<TaskId> = graph
         .task_ids()

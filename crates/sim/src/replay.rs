@@ -39,7 +39,10 @@ impl fmt::Display for ReplayError {
         match self {
             ReplayError::MissingPlacement(t) => write!(f, "{t} has no placement"),
             ReplayError::PreemptedPlacement(t) => {
-                write!(f, "{t} is planned with preemption, which replay does not support")
+                write!(
+                    f,
+                    "{t} is planned with preemption, which replay does not support"
+                )
             }
         }
     }
@@ -103,15 +106,18 @@ impl<'g> Engine<'g> {
                 .iter()
                 .copied()
                 .filter(|&id| {
-                    self.graph.task(id).release() <= now
-                        && self.waiting_msgs[id.index()] == 0
+                    self.graph.task(id).release() <= now && self.waiting_msgs[id.index()] == 0
                 })
                 .collect();
             for id in runnable {
                 self.zero_pending.retain(|&x| x != id);
                 self.started[id.index()] = Some(now);
                 let unit = schedule.placement(id).expect("validated").unit;
-                self.log.push(SimEvent::Started { at: now, task: id, unit });
+                self.log.push(SimEvent::Started {
+                    at: now,
+                    task: id,
+                    unit,
+                });
                 self.push(now, EventKind::Finish(id));
                 progress = true;
             }
@@ -174,8 +180,7 @@ impl<'g> Engine<'g> {
         let my_place = schedule.placement(id).expect("validated");
         for e in self.graph.successors(id) {
             let their_place = schedule.placement(e.other).expect("validated");
-            let colocated = self.graph.task(id).processor()
-                == self.graph.task(e.other).processor()
+            let colocated = self.graph.task(id).processor() == self.graph.task(e.other).processor()
                 && my_place.unit == their_place.unit
                 && !self.graph.task(id).computation().is_zero();
             let delivery = if colocated {
@@ -249,7 +254,10 @@ pub fn replay(
             zero_pending.push(id);
             continue;
         }
-        let start = p.slices.first().map_or(graph.task(id).release(), |s| s.start);
+        let start = p
+            .slices
+            .first()
+            .map_or(graph.task(id).release(), |s| s.start);
         by_unit
             .entry((graph.task(id).processor(), p.unit))
             .or_default()
@@ -307,10 +315,7 @@ pub fn replay(
 
     let deadline_misses: Vec<TaskId> = graph
         .task_ids()
-        .filter(|&id| {
-            engine.finished[id.index()]
-                .is_some_and(|f| f > graph.task(id).deadline())
-        })
+        .filter(|&id| engine.finished[id.index()].is_some_and(|f| f > graph.task(id).deadline()))
         .collect();
     let stalled: Vec<TaskId> = graph
         .task_ids()
@@ -422,14 +427,30 @@ mod tests {
         let caps = Capacities::new().with(p, 2).with(q, 2);
         let mut s = rtlb_sched::Schedule::new();
         for (i, &(a, z)) in pairs.iter().enumerate() {
-            s.place(Placement::contiguous(a, i as u32, Time::new(0), Dur::new(3)));
-            s.place(Placement::contiguous(z, i as u32, Time::new(7), Dur::new(2)));
+            s.place(Placement::contiguous(
+                a,
+                i as u32,
+                Time::new(0),
+                Dur::new(3),
+            ));
+            s.place(Placement::contiguous(
+                z,
+                i as u32,
+                Time::new(7),
+                Dur::new(2),
+            ));
         }
         let ideal = replay(&g, &caps, &s, NetworkModel::Ideal).unwrap();
         let bus = replay(&g, &caps, &s, NetworkModel::SharedBus).unwrap();
         // Ideal: both z finish at 9. Bus: the second message waits 4.
-        let zf_ideal: Vec<_> = pairs.iter().map(|&(_, z)| ideal.finish_of(z).unwrap()).collect();
-        let zf_bus: Vec<_> = pairs.iter().map(|&(_, z)| bus.finish_of(z).unwrap()).collect();
+        let zf_ideal: Vec<_> = pairs
+            .iter()
+            .map(|&(_, z)| ideal.finish_of(z).unwrap())
+            .collect();
+        let zf_bus: Vec<_> = pairs
+            .iter()
+            .map(|&(_, z)| bus.finish_of(z).unwrap())
+            .collect();
         assert_eq!(zf_ideal, vec![Time::new(9), Time::new(9)]);
         assert!(zf_bus.contains(&Time::new(9)));
         assert!(zf_bus.contains(&Time::new(13)));
@@ -527,8 +548,14 @@ mod tests {
             task: t,
             unit: 0,
             slices: vec![
-                rtlb_sched::Slice { start: Time::new(0), end: Time::new(2) },
-                rtlb_sched::Slice { start: Time::new(5), end: Time::new(7) },
+                rtlb_sched::Slice {
+                    start: Time::new(0),
+                    end: Time::new(2),
+                },
+                rtlb_sched::Slice {
+                    start: Time::new(5),
+                    end: Time::new(7),
+                },
             ],
         });
         let caps2 = Capacities::new().with(p2, 1);

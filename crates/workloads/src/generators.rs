@@ -71,7 +71,10 @@ impl Default for LayeredConfig {
 /// ```
 pub fn layered(config: &LayeredConfig, seed: u64) -> TaskGraph {
     assert!(config.layers > 0 && config.width > 0, "non-empty shape");
-    assert!(config.processor_types > 0, "need at least one processor type");
+    assert!(
+        config.processor_types > 0,
+        "need at least one processor type"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
 
     let mut catalog = Catalog::new();
@@ -170,7 +173,8 @@ pub fn fork_join(width: usize, depth: usize, message: i64, seed: u64) -> TaskGra
             b.add_edge(prev, t, Dur::new(message)).expect("unique edge");
             prev = t;
         }
-        b.add_edge(prev, sink, Dur::new(message)).expect("unique edge");
+        b.add_edge(prev, sink, Dur::new(message))
+            .expect("unique edge");
     }
     b.build().expect("fork-join is acyclic")
 }
@@ -250,18 +254,15 @@ mod tests {
         let c = layered(&cfg, 8);
         // Different seeds differ somewhere (edge count or annotations);
         // compare a robust scalar.
-        assert!(
-            a.edge_count() != c.edge_count()
-                || a.total_computation() != c.total_computation()
-        );
+        assert!(a.edge_count() != c.edge_count() || a.total_computation() != c.total_computation());
     }
 
     #[test]
     fn layered_instances_are_feasible_and_analyzable() {
         for seed in 0..10 {
             let g = layered(&LayeredConfig::default(), seed);
-            let analysis = analyze(&g, &SystemModel::shared())
-                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            let analysis =
+                analyze(&g, &SystemModel::shared()).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             // Every used processor type needs at least one unit.
             for r in g.resources_used() {
                 if g.catalog().is_processor(r) {

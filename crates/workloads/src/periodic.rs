@@ -92,16 +92,16 @@ pub fn hyperperiod(transactions: &[Transaction]) -> i64 {
 ///
 /// Panics if a transaction has no stages, a stage pipeline cannot fit its
 /// relative deadline even alone (`Σ C > D`), or names collide.
-pub fn unroll(
-    catalog: Catalog,
-    transactions: &[Transaction],
-    horizon: Option<i64>,
-) -> TaskGraph {
+pub fn unroll(catalog: Catalog, transactions: &[Transaction], horizon: Option<i64>) -> TaskGraph {
     let horizon = horizon.unwrap_or_else(|| hyperperiod(transactions));
     let mut builder = TaskGraphBuilder::new(catalog);
 
     for txn in transactions {
-        assert!(!txn.stages.is_empty(), "transaction {} has no stages", txn.name);
+        assert!(
+            !txn.stages.is_empty(),
+            "transaction {} has no stages",
+            txn.name
+        );
         let serial: i64 = txn.stages.iter().map(|s| s.computation.ticks()).sum();
         assert!(
             serial <= txn.relative_deadline,
@@ -128,7 +128,9 @@ pub fn unroll(
                 .mode(stage.mode);
                 let id = builder.add_task(spec).expect("unique job names");
                 if let Some((prev_id, msg)) = prev {
-                    builder.add_edge(prev_id, id, msg).expect("chain edges unique");
+                    builder
+                        .add_edge(prev_id, id, msg)
+                        .expect("chain edges unique");
                 }
                 prev = Some((id, stage.message_out));
             }
@@ -208,14 +210,8 @@ mod tests {
         t.offset = 3;
         let g = unroll(c, &[t], Some(16));
         assert_eq!(g.task_count(), 2);
-        assert_eq!(
-            g.task(g.task_id("t/0/s").unwrap()).release(),
-            Time::new(3)
-        );
-        assert_eq!(
-            g.task(g.task_id("t/1/s").unwrap()).release(),
-            Time::new(11)
-        );
+        assert_eq!(g.task(g.task_id("t/0/s").unwrap()).release(), Time::new(3));
+        assert_eq!(g.task(g.task_id("t/1/s").unwrap()).release(), Time::new(11));
     }
 
     /// The classical necessary condition: the unrolled lower bound is at

@@ -84,8 +84,7 @@ pub fn radar_scenario(threats: usize) -> RadarScenario {
         // Identification must complete within 200 ms of detection.
         let identify = b
             .add_task(
-                TaskSpec::new(name("identify"), Dur::new(60), gpp)
-                    .deadline(Time::new(t0 + 200)),
+                TaskSpec::new(name("identify"), Dur::new(60), gpp).deadline(Time::new(t0 + 200)),
             )
             .expect("unique");
         // Track filter keeps holding the antenna; preemptible.
@@ -100,15 +99,13 @@ pub fn radar_scenario(threats: usize) -> RadarScenario {
         // Threat assessment feeds engagement.
         let assess = b
             .add_task(
-                TaskSpec::new(name("assess"), Dur::new(120), gpp)
-                    .deadline(Time::new(t0 + 2_000)),
+                TaskSpec::new(name("assess"), Dur::new(120), gpp).deadline(Time::new(t0 + 2_000)),
             )
             .expect("unique");
         // Engagement decision within 5 s of detection.
         let engage = b
             .add_task(
-                TaskSpec::new(name("engage"), Dur::new(150), wcp)
-                    .deadline(Time::new(t0 + 5_000)),
+                TaskSpec::new(name("engage"), Dur::new(150), wcp).deadline(Time::new(t0 + 5_000)),
             )
             .expect("unique");
         // Launch within 500 ms of engagement, holding the launcher.

@@ -11,9 +11,7 @@
 //! cargo run --example design_space
 //! ```
 
-use rtlb::core::{
-    analyze, render_dedicated_cost, DedicatedModel, NodeType, SystemModel,
-};
+use rtlb::core::{analyze, render_dedicated_cost, DedicatedModel, NodeType, SystemModel};
 use rtlb::workloads::paper_example;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -1,11 +1,16 @@
 //! `rtlb` — command-line front end for the lower-bound analysis.
 //!
 //! ```text
-//! rtlb analyze <file>     run the four-step analysis on a text-format instance
-//! rtlb dot <file>         emit Graphviz DOT for the instance
-//! rtlb example            print the paper's 15-task instance in the text format
-//! rtlb schedule <file> N  try the merge-guided list scheduler with N units
-//!                         of every demanded resource
+//! rtlb analyze <file> [flags]   run the four-step analysis on a text-format
+//!                               instance; flags:
+//!                                 --sweep=naive|incremental  Θ-sweep strategy
+//!                                 --jobs=N     sweep worker threads (0 = all cores)
+//!                                 --extended   denser candidate-point grid
+//!                                 --no-partition  skip Theorem 5 partitioning
+//! rtlb dot <file>               emit Graphviz DOT for the instance
+//! rtlb example                  print the paper's 15-task instance
+//! rtlb schedule <file> N        try the merge-guided list scheduler with N
+//!                               units of every demanded resource
 //! ```
 //!
 //! The text format is documented in `rtlb::format`; `rtlb example > f.rtlb`
@@ -14,7 +19,8 @@
 use std::process::ExitCode;
 
 use rtlb::core::{
-    analyze, render_analysis, render_dedicated_cost, render_shared_cost, SystemModel,
+    analyze_with, render_analysis, render_dedicated_cost, render_shared_cost, AnalysisOptions,
+    CandidatePolicy, SweepStrategy, SystemModel,
 };
 use rtlb::format::{parse, render};
 use rtlb::graph::to_dot;
@@ -29,9 +35,7 @@ fn main() -> ExitCode {
         Some("example") => cmd_example(),
         Some("schedule") => with_file(&args, 3, cmd_schedule),
         _ => {
-            eprintln!(
-                "usage: rtlb <analyze|dot|schedule> <file> [...] | rtlb example"
-            );
+            eprintln!("usage: rtlb <analyze|dot|schedule> <file> [...] | rtlb example");
             return ExitCode::from(2);
         }
     };
@@ -52,15 +56,41 @@ fn with_file(
     if args.len() < expected {
         return Err(format!("`{}` needs a file argument", args[0]));
     }
-    let input = std::fs::read_to_string(&args[1])
-        .map_err(|e| format!("cannot read {}: {e}", args[1]))?;
+    let input =
+        std::fs::read_to_string(&args[1]).map_err(|e| format!("cannot read {}: {e}", args[1]))?;
     let parsed = parse(&input).map_err(|e| format!("{}: {e}", args[1]))?;
     run(&parsed, args)
 }
 
-fn cmd_analyze(parsed: &rtlb::format::ParsedSystem, _args: &[String]) -> Result<(), String> {
+/// Parses `analyze` flags (everything after the file argument).
+fn analyze_options(flags: &[String]) -> Result<AnalysisOptions, String> {
+    let mut options = AnalysisOptions::default();
+    for flag in flags {
+        if let Some(strategy) = flag.strip_prefix("--sweep=") {
+            options.sweep = match strategy {
+                "naive" => SweepStrategy::Naive,
+                "incremental" => SweepStrategy::Incremental,
+                other => return Err(format!("unknown sweep strategy `{other}`")),
+            };
+        } else if let Some(jobs) = flag.strip_prefix("--jobs=") {
+            options.parallelism = jobs
+                .parse()
+                .map_err(|_| format!("invalid job count `{jobs}`"))?;
+        } else if flag == "--extended" {
+            options.candidates = CandidatePolicy::Extended;
+        } else if flag == "--no-partition" {
+            options.partitioning = false;
+        } else {
+            return Err(format!("unknown flag `{flag}`"));
+        }
+    }
+    Ok(options)
+}
+
+fn cmd_analyze(parsed: &rtlb::format::ParsedSystem, args: &[String]) -> Result<(), String> {
+    let options = analyze_options(&args[2..])?;
     let analysis =
-        analyze(&parsed.graph, &SystemModel::shared()).map_err(|e| e.to_string())?;
+        analyze_with(&parsed.graph, &SystemModel::shared(), options).map_err(|e| e.to_string())?;
     print!("{}", render_analysis(&parsed.graph, &analysis));
 
     if let Some(shared) = &parsed.shared_costs {

@@ -173,8 +173,8 @@ pub fn parse(input: &str) -> Result<ParsedSystem, ParseError> {
                     .get("c")
                     .ok_or_else(|| err(line, "task needs c=<ticks>"))
                     .and_then(|v| parse_i64(v, line, "computation"))?;
-                let c = Dur::try_new(c)
-                    .ok_or_else(|| err(line, "computation must be non-negative"))?;
+                let c =
+                    Dur::try_new(c).ok_or_else(|| err(line, "computation must be non-negative"))?;
                 let proc_name = map
                     .get("proc")
                     .ok_or_else(|| err(line, "task needs proc=<type>"))?;
@@ -194,9 +194,7 @@ pub fn parse(input: &str) -> Result<ParsedSystem, ParseError> {
                 for flag in &flags {
                     match *flag {
                         "preemptive" => spec = spec.preemptive(),
-                        other => {
-                            return Err(err(line, format!("unknown task flag `{other}`")))
-                        }
+                        other => return Err(err(line, format!("unknown task flag `{other}`"))),
                     }
                 }
                 for key in map.keys() {
@@ -233,7 +231,10 @@ pub fn parse(input: &str) -> Result<ParsedSystem, ParseError> {
             }
             "node" => {
                 if tokens.len() < 2 {
-                    return Err(err(line, "usage: node <name> proc=<type> [uses=..] cost=<price>"));
+                    return Err(err(
+                        line,
+                        "usage: node <name> proc=<type> [uses=..] cost=<price>",
+                    ));
                 }
                 let name = tokens[1];
                 let (map, flags) = fields(&tokens[2..], line)?;
@@ -336,10 +337,14 @@ pub fn render(
     if let Some(model) = node_types {
         out.push('\n');
         for nt in model.node_types() {
-            let _ = write!(out, "node {} proc={}", nt.name(), catalog.name(nt.processor()));
+            let _ = write!(
+                out,
+                "node {} proc={}",
+                nt.name(),
+                catalog.name(nt.processor())
+            );
             if !nt.resources().is_empty() {
-                let names: Vec<&str> =
-                    nt.resources().iter().map(|&r| catalog.name(r)).collect();
+                let names: Vec<&str> = nt.resources().iter().map(|&r| catalog.name(r)).collect();
                 let _ = write!(out, " uses={}", names.join(","));
             }
             let _ = writeln!(out, " cost={}", nt.cost());
@@ -466,10 +471,9 @@ node N2 proc=P2 cost=45
 
     #[test]
     fn comments_and_blank_lines_are_ignored() {
-        let parsed = parse(
-            "# leading comment\n\nprocessor P\n\ntask t c=1 proc=P deadline=9 # trailing\n",
-        )
-        .unwrap();
+        let parsed =
+            parse("# leading comment\n\nprocessor P\n\ntask t c=1 proc=P deadline=9 # trailing\n")
+                .unwrap();
         assert_eq!(parsed.graph.task_count(), 1);
         assert!(parsed.shared_costs.is_none());
         assert!(parsed.node_types.is_none());

@@ -37,7 +37,11 @@ fn small_instance(seed: u64) -> TaskGraph {
         let mut spec = TaskSpec::new(
             format!("t{i}"),
             Dur::new(c),
-            if rng.random_range(0..100) < 70 { p0 } else { p1 },
+            if rng.random_range(0..100) < 70 {
+                p0
+            } else {
+                p1
+            },
         )
         .release(Time::new(rel))
         .deadline(Time::new(rel + c + slack));
@@ -90,8 +94,8 @@ fn bounds_never_exceed_exact_minimum() {
         for bound in analysis.bounds() {
             let r = bound.resource;
             let lb = bound.bound;
-            let min = min_units_exact(&graph, r, &generous, graph.task_count() as u32, budget)
-                .unwrap();
+            let min =
+                min_units_exact(&graph, r, &generous, graph.task_count() as u32, budget).unwrap();
             match min {
                 Some(min) => {
                     assert!(
@@ -136,7 +140,9 @@ fn one_unit_below_the_bound_is_infeasible() {
             }
             let caps = generous.clone().with(bound.resource, bound.bound - 1);
             assert!(
-                find_schedule_exact(&graph, &caps, budget).unwrap().is_none(),
+                find_schedule_exact(&graph, &caps, budget)
+                    .unwrap()
+                    .is_none(),
                 "seed {seed}: feasible with {} - 1 units of {}",
                 bound.bound,
                 graph.catalog().name(bound.resource)
@@ -144,5 +150,8 @@ fn one_unit_below_the_bound_is_infeasible() {
             exercised += 1;
         }
     }
-    assert!(exercised > 50, "too few bound checks exercised ({exercised})");
+    assert!(
+        exercised > 50,
+        "too few bound checks exercised ({exercised})"
+    );
 }

@@ -26,7 +26,10 @@ fn sensor_fusion_instance_file_analyzes() {
     let parsed = load("sensor_fusion.rtlb");
     let analysis = analyze(&parsed.graph, &SystemModel::shared()).unwrap();
     for b in analysis.bounds() {
-        assert!(b.bound >= 1, "every demanded resource needs at least one unit");
+        assert!(
+            b.bound >= 1,
+            "every demanded resource needs at least one unit"
+        );
     }
     let model = parsed.node_types.unwrap();
     let cost = analysis.dedicated_cost(&parsed.graph, &model).unwrap();

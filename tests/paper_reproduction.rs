@@ -110,9 +110,8 @@ fn e3_bounds_and_quoted_ratios() {
 
     let timing = analysis.timing();
     let st_p1 = ex.graph.tasks_demanding(ex.p1);
-    let th = |t1: i64, t2: i64| {
-        theta(&ex.graph, timing, &st_p1, Time::new(t1), Time::new(t2)).ticks()
-    };
+    let th =
+        |t1: i64, t2: i64| theta(&ex.graph, timing, &st_p1, Time::new(t1), Time::new(t2)).ticks();
     assert_eq!(th(0, 3), 6);
     assert_eq!(th(3, 6), 9);
     assert_eq!(th(3, 8), 11);

@@ -1,15 +1,12 @@
 //! Cross-crate integration tests: scenarios, periodic unrolling, cost
 //! ordering, scheduler interplay, and the text format end-to-end.
 
-use rtlb::core::{
-    analyze, dedicated_cost_bound, shared_cost_bound, NodeType, SystemModel,
-};
+use rtlb::core::{analyze, dedicated_cost_bound, shared_cost_bound, NodeType, SystemModel};
 use rtlb::graph::Dur;
 use rtlb::ilp::Rational;
 use rtlb::sched::{list_schedule, validate_schedule, Capacities};
 use rtlb::workloads::{
-    layered, paper_example, radar_scenario, unroll, utilization, LayeredConfig, Stage,
-    Transaction,
+    layered, paper_example, radar_scenario, unroll, utilization, LayeredConfig, Stage, Transaction,
 };
 
 /// More simultaneous threats can only increase (never decrease) every
@@ -163,7 +160,9 @@ fn text_format_full_circle_on_paper_example() {
 
     let shared2 = parsed.shared_costs.unwrap();
     assert_eq!(
-        shared_cost_bound(&shared2, analysis.bounds()).unwrap().total,
+        shared_cost_bound(&shared2, analysis.bounds())
+            .unwrap()
+            .total,
         3 * 30 + 2 * 45 + 2 * 20
     );
     let model2 = parsed.node_types.unwrap();

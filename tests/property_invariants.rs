@@ -377,3 +377,30 @@ fn analysis_is_deterministic() {
         }
     }
 }
+
+/// Deterministic port of the recorded `theorem1_greedy_is_optimal`
+/// regression (`succs = [(2, 5, 15), (1, 4, 13)], center_c = 1` in
+/// `property_invariants.proptest-regressions`): a star whose two
+/// successors each allow `lms = 8` unmerged, but merging *both* packs
+/// them back from their deadlines (completion 15 → start 13, completion
+/// 13 → start 12) and lifts the center's LCT to 12. A scan that only
+/// considered single-successor merges reported 8 here.
+#[test]
+fn theorem1_regression_two_successor_merge() {
+    let mut catalog = Catalog::new();
+    let p = catalog.processor("P");
+    let mut builder = TaskGraphBuilder::new(catalog);
+    builder.default_deadline(Time::new(60));
+    let center = builder
+        .add_task(TaskSpec::new("center", Dur::new(1), p))
+        .unwrap();
+    for (i, (c, m, d)) in [(2, 5, 15), (1, 4, 13)].into_iter().enumerate() {
+        let kid = builder
+            .add_task(TaskSpec::new(format!("k{i}"), Dur::new(c), p).deadline(Time::new(d)))
+            .unwrap();
+        builder.add_edge(center, kid, Dur::new(m)).unwrap();
+    }
+    let graph = builder.build().unwrap();
+    let timing = compute_timing(&graph, &SystemModel::shared());
+    assert_eq!(timing.lct(center).ticks(), 12);
+}

@@ -108,10 +108,12 @@ fn paper_example_simulation_is_causal() {
         // The log appends Started/Finished in event order; Delivered
         // entries are logged at send time with their future delivery
         // stamp, so only compare the monotone kinds.
-        if let (rtlb::sim::SimEvent::Started { at: a, .. }
-        | rtlb::sim::SimEvent::Finished { at: a, .. },
+        if let (
+            rtlb::sim::SimEvent::Started { at: a, .. }
+            | rtlb::sim::SimEvent::Finished { at: a, .. },
             rtlb::sim::SimEvent::Started { at: b, .. }
-            | rtlb::sim::SimEvent::Finished { at: b, .. }) = (&w[0], &w[1])
+            | rtlb::sim::SimEvent::Finished { at: b, .. },
+        ) = (&w[0], &w[1])
         {
             assert!(a <= b, "event log out of order");
         }

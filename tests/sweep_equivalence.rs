@@ -1,0 +1,180 @@
+//! Differential tests of the incremental Θ-sweep against its oracles.
+//!
+//! The incremental event-based sweep must be **bit-identical** to the
+//! naive per-pair recomputation it replaced — same bound, same witness
+//! interval, same `intervals_examined` — on every generated workload,
+//! under both candidate-point policies, at every thread count. A second,
+//! structurally different oracle is the unpartitioned flat sweep, which
+//! must agree on the bound value by Theorem 5.
+
+use proptest::prelude::*;
+
+use rtlb::core::{
+    analyze_with, compute_timing, partition_all, sweep_partitions, theta, AnalysisOptions,
+    CandidatePolicy, ResourceBound, SweepStrategy, SystemModel,
+};
+use rtlb::graph::TaskGraph;
+use rtlb::workloads::{chain, fork_join, independent_tasks, layered, LayeredConfig};
+
+const POLICIES: [CandidatePolicy; 2] = [CandidatePolicy::EstLct, CandidatePolicy::Extended];
+
+/// Runs the full pipeline with the given knobs, skipping infeasible
+/// instances (the generators aim for feasibility but the property layer
+/// must not depend on it).
+fn bounds_with(
+    graph: &TaskGraph,
+    policy: CandidatePolicy,
+    sweep: SweepStrategy,
+    parallelism: usize,
+    partitioning: bool,
+) -> Option<Vec<ResourceBound>> {
+    analyze_with(
+        graph,
+        &SystemModel::shared(),
+        AnalysisOptions {
+            partitioning,
+            candidates: policy,
+            sweep,
+            parallelism,
+        },
+    )
+    .ok()
+    .map(|a| a.bounds().to_vec())
+}
+
+/// Asserts the three-way equivalence for one graph: incremental ==
+/// naive bit-for-bit, and both == the unpartitioned oracle on bound
+/// values, under both candidate policies.
+fn assert_equivalence(graph: &TaskGraph) -> Result<(), TestCaseError> {
+    for policy in POLICIES {
+        let naive = bounds_with(graph, policy, SweepStrategy::Naive, 1, true);
+        let incremental = bounds_with(graph, policy, SweepStrategy::Incremental, 1, true);
+        prop_assume!(naive.is_some());
+        let (naive, incremental) = (naive.unwrap(), incremental.unwrap());
+        prop_assert_eq!(&naive, &incremental);
+
+        let flat = bounds_with(graph, policy, SweepStrategy::Naive, 1, false).unwrap();
+        prop_assert_eq!(naive.len(), flat.len());
+        for (part, whole) in naive.iter().zip(&flat) {
+            prop_assert_eq!(part.resource, whole.resource);
+            // Theorem 5: same bound, never more intervals examined.
+            prop_assert_eq!(part.bound, whole.bound);
+            prop_assert!(part.intervals_examined <= whole.intervals_examined);
+        }
+    }
+    Ok(())
+}
+
+/// Every witness reported by the incremental sweep must attain its
+/// claimed demand when Θ is recomputed from Equations 6.1/6.2, and the
+/// bound must be exactly ⌈demand / length⌉.
+fn assert_witnesses(graph: &TaskGraph) -> Result<(), TestCaseError> {
+    let model = SystemModel::shared();
+    let timing = compute_timing(graph, &model);
+    let partitions = partition_all(graph, &timing);
+    for policy in POLICIES {
+        let bounds = sweep_partitions(
+            graph,
+            &timing,
+            &partitions,
+            policy,
+            SweepStrategy::Incremental,
+            1,
+        );
+        for b in &bounds {
+            let Some(w) = b.witness else { continue };
+            let tasks = graph.tasks_demanding(b.resource);
+            let recomputed = theta(graph, &timing, &tasks, w.t1, w.t2);
+            prop_assert_eq!(recomputed, w.demand);
+            let len = w.t2.diff(w.t1);
+            prop_assert!(len > 0);
+            let expect =
+                w.demand.ticks().div_euclid(len) + i64::from(w.demand.ticks().rem_euclid(len) != 0);
+            prop_assert_eq!(i64::from(b.bound), expect);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    /// Layered DAGs: precedence-shrunk windows, multiple processor and
+    /// resource types, mixed preemption.
+    #[test]
+    fn equivalence_on_layered(
+        seed in 0u64..1_000_000,
+        layers in 2usize..5,
+        width in 1usize..6,
+        preemptive_pct in 0u32..=100,
+    ) {
+        let config = LayeredConfig {
+            layers,
+            width,
+            preemptive_pct,
+            resource_types: 2,
+            ..LayeredConfig::default()
+        };
+        let graph = layered(&config, seed);
+        assert_equivalence(&graph)?;
+        assert_witnesses(&graph)?;
+    }
+
+    /// Independent tasks: many partition blocks, tight windows — the
+    /// partitioner and sweep stress case.
+    #[test]
+    fn equivalence_on_independent(
+        seed in 0u64..1_000_000,
+        count in 1usize..60,
+        load in 1u32..8,
+    ) {
+        let graph = independent_tasks(count, load, seed);
+        assert_equivalence(&graph)?;
+        assert_witnesses(&graph)?;
+    }
+
+    /// Fork–join and chain shapes: heavy precedence, single block.
+    #[test]
+    fn equivalence_on_structured(
+        seed in 0u64..1_000_000,
+        width in 1usize..5,
+        depth in 1usize..5,
+        message in 0i64..4,
+    ) {
+        assert_equivalence(&fork_join(width, depth, message, seed))?;
+        assert_equivalence(&chain(width * depth + 1, message, seed))?;
+    }
+
+    /// The parallel fan-out must reproduce the serial sweep bit-for-bit
+    /// at every thread count, including 0 (= all cores).
+    #[test]
+    fn parallel_is_bit_identical(
+        seed in 0u64..1_000_000,
+        count in 2usize..50,
+        threads in 0usize..9,
+    ) {
+        let graph = independent_tasks(count, 4, seed);
+        let serial = bounds_with(
+            &graph, CandidatePolicy::Extended, SweepStrategy::Incremental, 1, true);
+        prop_assume!(serial.is_some());
+        let parallel = bounds_with(
+            &graph, CandidatePolicy::Extended, SweepStrategy::Incremental, threads, true);
+        prop_assert_eq!(serial, parallel);
+    }
+}
+
+/// The two golden instances, pinned outside the property layer so a
+/// regression names the exact file.
+#[test]
+fn equivalence_on_golden_instances() {
+    for name in ["paper_fig7", "sensor_fusion"] {
+        let path = format!("examples/instances/{name}.rtlb");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed = rtlb::format::parse(&text).unwrap();
+        for policy in POLICIES {
+            let naive = bounds_with(&parsed.graph, policy, SweepStrategy::Naive, 1, true);
+            let incremental =
+                bounds_with(&parsed.graph, policy, SweepStrategy::Incremental, 1, true);
+            assert_eq!(naive, incremental, "{name} {policy:?}");
+            assert!(naive.is_some(), "{name} must analyze");
+        }
+    }
+}

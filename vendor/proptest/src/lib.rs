@@ -1,0 +1,160 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace uses: the [`proptest!`] macro,
+//! range / tuple / [`collection::vec`] / [`strategy::any`] strategies,
+//! and the `prop_assert*` / `prop_assume!` macros. Sampling is random
+//! and deterministic (seeds derive from the test name and the iteration
+//! index) but there is **no shrinking** — failure output prints the
+//! sampled inputs verbatim instead. `PROPTEST_CASES` overrides the
+//! default of 64 cases per property.
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+use test_runner::TestRng;
+
+/// Why one sampled case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// A `prop_assert*` failed; the property is falsified.
+    Fail(String),
+    /// A `prop_assume!` rejected the inputs; sample again.
+    Reject,
+}
+
+/// Drives one property: samples inputs and runs the body until the
+/// configured number of accepted cases have passed. Panics with the
+/// failing inputs on the first [`TestCaseError::Fail`].
+///
+/// The closure returns the case outcome plus a rendering of the sampled
+/// inputs for failure reports.
+pub fn run<F>(name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> (Result<(), TestCaseError>, String),
+{
+    let cases: u64 = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    let base = fnv1a(name.as_bytes());
+
+    let mut accepted = 0u64;
+    let mut attempts = 0u64;
+    let max_attempts = cases.saturating_mul(20).max(100);
+    while accepted < cases {
+        assert!(
+            attempts < max_attempts,
+            "property `{name}`: gave up after {attempts} attempts \
+             ({accepted}/{cases} cases accepted) — prop_assume! rejects too much"
+        );
+        let mut rng = TestRng::from_seed(base ^ attempts.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        attempts += 1;
+        match case(&mut rng) {
+            (Ok(()), _) => accepted += 1,
+            (Err(TestCaseError::Reject), _) => {}
+            (Err(TestCaseError::Fail(message)), inputs) => {
+                panic!(
+                    "property `{name}` falsified on case {attempts}:\n  {message}\n  inputs: {inputs}"
+                )
+            }
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` (the attribute is written at the call site, as in
+/// real proptest) that samples the strategies and runs the body.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run(stringify!($name), |__rng| {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), __rng);)+
+                    let __inputs = ::std::format!(
+                        concat!($(stringify!($arg), " = {:?}; "),+),
+                        $(&$arg),+
+                    );
+                    let mut __body = move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    };
+                    (__body(), __inputs)
+                });
+            }
+        )*
+    };
+}
+
+/// `assert!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __l == __r,
+            "assertion failed: `{}` == `{}`\n  left: {:?}\n  right: {:?}",
+            stringify!($left), stringify!($right), __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __l == __r,
+            "{}\n  left: {:?}\n  right: {:?}",
+            ::std::format!($($fmt)*), __l, __r
+        );
+    }};
+}
+
+/// `assert_ne!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __l != __r,
+            "assertion failed: `{}` != `{}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            __l
+        );
+    }};
+}
+
+/// Rejects the current case (resampled without counting as a pass).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}

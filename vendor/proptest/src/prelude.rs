@@ -1,0 +1,5 @@
+//! The commonly-imported surface: `use proptest::prelude::*;`.
+
+pub use crate::strategy::{any, Arbitrary, Strategy};
+pub use crate::TestCaseError;
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};

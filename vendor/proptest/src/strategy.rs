@@ -1,0 +1,127 @@
+//! Value-generation strategies (sampling only, no shrinking).
+
+use core::marker::PhantomData;
+use core::ops::{Range, RangeInclusive};
+
+use crate::test_runner::TestRng;
+
+/// Something that can produce values of one type from an RNG.
+pub trait Strategy {
+    /// The type of value produced.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Integers sampleable from range strategies via one blanket impl.
+pub trait SampleUniform: Copy {
+    /// `end - self`, widened.
+    fn span_to(self, end: Self) -> u128;
+    /// `self + offset` for an offset below a previously computed span.
+    fn add_offset(self, offset: u128) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn span_to(self, end: Self) -> u128 {
+                (end as i128).wrapping_sub(self as i128) as u128
+            }
+
+            fn add_offset(self, offset: u128) -> Self {
+                (self as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: SampleUniform> Strategy for Range<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let span = self.start.span_to(self.end);
+        assert!(span > 0, "empty range strategy");
+        self.start.add_offset(rng.below(span))
+    }
+}
+
+impl<T: SampleUniform> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let (start, end) = (*self.start(), *self.end());
+        let span = start.span_to(end) + 1;
+        assert!(span > 0, "empty range strategy");
+        start.add_offset(rng.below(span))
+    }
+}
+
+/// Types with a canonical whole-domain strategy (see [`any`]).
+pub trait Arbitrary {
+    /// Draws an unconstrained value of the type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy drawing from a type's whole domain; see [`any`].
+pub struct AnyStrategy<T> {
+    _marker: PhantomData<T>,
+}
+
+/// The canonical strategy for a type (`any::<bool>()`, …).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);

@@ -1,0 +1,143 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Provides exactly the surface this workspace uses: a seedable
+//! deterministic RNG ([`rngs::StdRng`]), [`SeedableRng::seed_from_u64`],
+//! and [`RngExt::random_range`] over integer ranges. The generator is
+//! SplitMix64 rather than upstream's ChaCha, so the streams differ from
+//! real `rand` — every consumer here only relies on determinism given a
+//! seed.
+
+/// Deterministic random number generators.
+pub mod rngs {
+    /// Seedable generator based on SplitMix64.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl crate::RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl crate::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng { state: seed }
+        }
+    }
+}
+
+/// Source of raw random 64-bit words.
+pub trait RngCore {
+    /// The next raw 64-bit word from the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a seed; equal seeds give equal streams.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Integer types uniformly sampleable from ranges. The single blanket
+/// [`SampleRange`] impl over this trait is what lets type inference flow
+/// from a use site (e.g. a comparison) back into the range literal, as
+/// with real `rand`.
+pub trait SampleUniform: Copy {
+    /// `end - self`, widened; the number of values in `self..end`.
+    fn span_to(self, end: Self) -> u128;
+    /// `self + offset`, with `offset` < some previously computed span.
+    fn add_offset(self, offset: u128) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn span_to(self, end: Self) -> u128 {
+                (end as i128).wrapping_sub(self as i128) as u128
+            }
+
+            fn add_offset(self, offset: u128) -> Self {
+                (self as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draws one value from the range using `rng`.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let span = self.start.span_to(self.end);
+        assert!(span > 0, "cannot sample empty range");
+        self.start.add_offset(u128::from(rng.next_u64()) % span)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = (*self.start(), *self.end());
+        let span = start.span_to(end) + 1;
+        assert!(span > 0, "cannot sample empty range");
+        start.add_offset(u128::from(rng.next_u64()) % span)
+    }
+}
+
+/// Convenience sampling methods on any [`RngCore`].
+pub trait RngExt: RngCore {
+    /// Uniform draw from an integer range (`a..b` or `a..=b`).
+    fn random_range<T, S>(&mut self, range: S) -> T
+    where
+        S: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0i64..1000), b.random_range(0i64..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let x: i64 = rng.random_range(-5..7);
+            assert!((-5..7).contains(&x));
+            let y: usize = rng.random_range(3..=9);
+            assert!((3..=9).contains(&y));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<i64> = (0..16).map(|_| a.random_range(0..1_000_000)).collect();
+        let vb: Vec<i64> = (0..16).map(|_| b.random_range(0..1_000_000)).collect();
+        assert_ne!(va, vb);
+    }
+}

@@ -1,0 +1,23 @@
+//! Offline marker-trait stand-in for `serde`.
+//!
+//! The repo derives `Serialize`/`Deserialize` on its types but never
+//! serializes them to a wire format, so blanket marker impls keep every
+//! derive site and trait bound compiling without any codegen.
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

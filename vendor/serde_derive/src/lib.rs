@@ -1,0 +1,20 @@
+//! No-op derive macros standing in for `serde_derive` in offline builds.
+//!
+//! The real derives generate `Serialize`/`Deserialize` impls; here the
+//! sibling `serde` stand-in provides blanket impls of its marker traits,
+//! so these derives only need to exist and accept `#[serde(...)]`
+//! attributes without emitting anything.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and emits nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and emits nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
