@@ -13,7 +13,11 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Instant;
 
-use rtlb_core::{analyze, analyze_with, AnalysisOptions, SweepStrategy, SystemModel};
+use rtlb_bench::{counters_json, write_bench_json};
+use rtlb_core::{
+    analyze, analyze_with, analyze_with_probe, AnalysisOptions, SweepStrategy, SystemModel,
+};
+use rtlb_obs::{Json, Recorder};
 use rtlb_workloads::{independent_tasks, paper_example};
 
 /// Sizes for the strategy comparison; the last is the headline workload.
@@ -78,20 +82,24 @@ fn bench_sweep_strategies(c: &mut Criterion) {
 
 /// Directly measures and prints the single-thread speedup on the largest
 /// sweep workload, so a regression is visible without comparing
-/// per-benchmark lines by hand.
+/// per-benchmark lines by hand, and writes the recorder-backed
+/// `BENCH_sweep.json` artifact at the repository root.
 fn report_headline_speedup(_c: &mut Criterion) {
     let n = *SWEEP_SIZES.last().unwrap();
     let graph = independent_tasks(n, SWEEP_LOAD, 11);
-    let time = |sweep: SweepStrategy| {
+    let time = |sweep: SweepStrategy, parallelism: usize| {
         let start = Instant::now();
-        black_box(analyze_with(&graph, &SystemModel::shared(), options(sweep, 1)).unwrap());
+        black_box(
+            analyze_with(&graph, &SystemModel::shared(), options(sweep, parallelism)).unwrap(),
+        );
         start.elapsed()
     };
     // Warm both paths once, then measure.
-    time(SweepStrategy::Naive);
-    time(SweepStrategy::Incremental);
-    let naive = time(SweepStrategy::Naive);
-    let incremental = time(SweepStrategy::Incremental);
+    time(SweepStrategy::Naive, 1);
+    time(SweepStrategy::Incremental, 1);
+    let naive = time(SweepStrategy::Naive, 1);
+    let incremental = time(SweepStrategy::Incremental, 1);
+    let allcores = time(SweepStrategy::Incremental, 0);
     println!(
         "bounds/sweep: single-thread speedup on {n} tasks (load {SWEEP_LOAD}): \
          {:.1}x (naive {:?}, incremental {:?})",
@@ -99,6 +107,57 @@ fn report_headline_speedup(_c: &mut Criterion) {
         naive,
         incremental,
     );
+
+    // Re-run the headline configuration under the recorder so the
+    // artifact carries the pipeline counters alongside the timings.
+    let recorder = Recorder::new();
+    analyze_with_probe(
+        &graph,
+        &SystemModel::shared(),
+        options(SweepStrategy::Incremental, 0),
+        &recorder,
+    )
+    .unwrap();
+    let metrics = recorder.take_metrics();
+
+    let micros = |d: std::time::Duration| Json::Int(d.as_micros() as i64);
+    let body = vec![
+        (
+            "workload".to_owned(),
+            Json::obj([
+                ("tasks", Json::Int(n as i64)),
+                ("load", Json::Int(SWEEP_LOAD as i64)),
+                ("seed", Json::Int(11)),
+            ]),
+        ),
+        (
+            "times_micros".to_owned(),
+            Json::obj([
+                ("naive", micros(naive)),
+                ("incremental", micros(incremental)),
+                ("incremental_allcores", micros(allcores)),
+            ]),
+        ),
+        (
+            "speedup".to_owned(),
+            Json::obj([
+                (
+                    "incremental_vs_naive",
+                    Json::Float(naive.as_secs_f64() / incremental.as_secs_f64().max(1e-9)),
+                ),
+                (
+                    "allcores_vs_serial",
+                    Json::Float(incremental.as_secs_f64() / allcores.as_secs_f64().max(1e-9)),
+                ),
+            ]),
+        ),
+        ("counters".to_owned(), counters_json(&metrics)),
+        ("threads".to_owned(), Json::Int(metrics.threads as i64)),
+    ];
+    match write_bench_json("BENCH_sweep.json", "sweep-headline", body) {
+        Ok(path) => println!("bounds/sweep: wrote {}", path.display()),
+        Err(e) => eprintln!("bounds/sweep: could not write BENCH_sweep.json: {e}"),
+    }
 }
 
 fn bench_paper_example(c: &mut Criterion) {

@@ -8,12 +8,14 @@
 
 use std::time::Instant;
 
-use rtlb_bench::TextTable;
-use rtlb_core::{analyze_with, AnalysisOptions, SystemModel};
+use rtlb_bench::{counters_json, write_bench_json, TextTable};
+use rtlb_core::{analyze_with, analyze_with_probe, AnalysisOptions, SystemModel};
+use rtlb_obs::{Json, Recorder};
 use rtlb_workloads::independent_tasks;
 
 fn main() {
     println!("E9: partitioning ablation (Theorem 5)\n");
+    let mut rows: Vec<Json> = Vec::new();
     let mut table = TextTable::new([
         "tasks",
         "intervals (flat)",
@@ -41,10 +43,17 @@ fn main() {
         .expect("feasible");
         let flat_time = t0.elapsed();
 
+        let recorder = Recorder::new();
         let t0 = Instant::now();
-        let part = analyze_with(&graph, &SystemModel::shared(), AnalysisOptions::default())
-            .expect("feasible");
+        let part = analyze_with_probe(
+            &graph,
+            &SystemModel::shared(),
+            AnalysisOptions::default(),
+            &recorder,
+        )
+        .expect("feasible");
         let part_time = t0.elapsed();
+        let metrics = recorder.take_metrics();
 
         let flat_intervals: u64 = flat.bounds().iter().map(|b| b.intervals_examined).sum();
         let part_intervals: u64 = part.bounds().iter().map(|b| b.intervals_examined).sum();
@@ -67,6 +76,19 @@ fn main() {
             if equal { "yes" } else { "NO" }.to_owned(),
         ]);
         assert!(equal, "Theorem 5 violated at n = {n}");
+
+        rows.push(Json::obj([
+            ("tasks", Json::Int(n as i64)),
+            ("intervals_flat", Json::Int(flat_intervals as i64)),
+            ("intervals_partitioned", Json::Int(part_intervals as i64)),
+            ("micros_flat", Json::Int(flat_time.as_micros() as i64)),
+            (
+                "micros_partitioned",
+                Json::Int(part_time.as_micros() as i64),
+            ),
+            ("bounds_equal", Json::Bool(equal)),
+            ("counters", counters_json(&metrics)),
+        ]));
     }
 
     print!("{}", table.render());
@@ -74,4 +96,10 @@ fn main() {
         "\nPartitioning preserves every LB_r (Theorem 5) while cutting the\n\
          interval sweep roughly by the square of the number of blocks."
     );
+
+    let body = vec![("rows".to_owned(), Json::Arr(rows))];
+    match write_bench_json("BENCH_partition_ablation.json", "partition-ablation", body) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\ncould not write BENCH_partition_ablation.json: {e}"),
+    }
 }

@@ -6,14 +6,22 @@
 //! cargo run -p rtlb-bench --bin step3_bounds
 //! ```
 
-use rtlb_bench::TextTable;
-use rtlb_core::{analyze, theta, SystemModel};
+use rtlb_bench::{counters_json, write_bench_json, TextTable};
+use rtlb_core::{analyze_with_probe, theta, AnalysisOptions, SystemModel};
 use rtlb_graph::Time;
+use rtlb_obs::{Json, Recorder};
 use rtlb_workloads::paper_example;
 
 fn main() {
     let ex = paper_example();
-    let analysis = analyze(&ex.graph, &SystemModel::shared()).expect("feasible");
+    let recorder = Recorder::new();
+    let analysis = analyze_with_probe(
+        &ex.graph,
+        &SystemModel::shared(),
+        AnalysisOptions::default(),
+        &recorder,
+    )
+    .expect("feasible");
 
     println!("E3: Step 3 resource lower bounds\n");
     let mut table = TextTable::new(["Resource", "LB (ours)", "LB (paper)", "witness", "match"]);
@@ -57,4 +65,27 @@ fn main() {
     }
     print!("{}", quoted.render());
     println!("\n(The paper reads ⌈6/3⌉ = 2, ⌈9/3⌉ = 3, ⌈11/5⌉ = 3; LB_P1 = 3.)");
+
+    let metrics = recorder.take_metrics();
+    let bounds = Json::Arr(
+        analysis
+            .bounds()
+            .iter()
+            .map(|b| {
+                Json::obj([
+                    ("resource", Json::str(ex.graph.catalog().name(b.resource))),
+                    ("lb", Json::Int(i64::from(b.bound))),
+                    ("intervals_examined", Json::Int(b.intervals_examined as i64)),
+                ])
+            })
+            .collect(),
+    );
+    let body = vec![
+        ("bounds".to_owned(), bounds),
+        ("counters".to_owned(), counters_json(&metrics)),
+    ];
+    match write_bench_json("BENCH_step3.json", "step3-bounds", body) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\ncould not write BENCH_step3.json: {e}"),
+    }
 }

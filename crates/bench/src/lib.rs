@@ -8,6 +8,54 @@
 #![warn(missing_docs)]
 
 use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use rtlb_obs::{Json, Metrics};
+
+/// The `schema` tag of every `BENCH_*.json` artifact.
+pub const BENCH_SCHEMA: &str = "rtlb-bench-v1";
+
+/// Absolute path of a `BENCH_*.json` artifact at the repository root,
+/// independent of the working directory the bench was started from.
+pub fn bench_artifact_path(file_name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(file_name)
+}
+
+/// Writes one `BENCH_*.json` artifact: a `{schema, bench, ...body}`
+/// object, pretty-printed, at the repository root. Returns the path
+/// written.
+///
+/// # Errors
+///
+/// Propagates the underlying [`std::fs::write`] failure.
+pub fn write_bench_json(
+    file_name: &str,
+    bench_name: &str,
+    body: Vec<(String, Json)>,
+) -> std::io::Result<PathBuf> {
+    let mut doc = vec![
+        ("schema".to_owned(), Json::str(BENCH_SCHEMA)),
+        ("bench".to_owned(), Json::str(bench_name)),
+    ];
+    doc.extend(body);
+    let path = bench_artifact_path(file_name);
+    std::fs::write(&path, Json::Obj(doc).pretty() + "\n")?;
+    Ok(path)
+}
+
+/// The counters of a [`Metrics`] snapshot as a JSON object (sorted by
+/// counter name, as recorded).
+pub fn counters_json(metrics: &Metrics) -> Json {
+    Json::Obj(
+        metrics
+            .counters
+            .iter()
+            .map(|&(name, value)| (name.to_owned(), Json::Int(value as i64)))
+            .collect(),
+    )
+}
 
 /// A minimal fixed-width text table: header row plus data rows, columns
 /// sized to content. Keeps the experiment binaries free of formatting

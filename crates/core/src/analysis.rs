@@ -1,5 +1,6 @@
 //! The end-to-end analysis pipeline (Section 3's four steps).
 
+use rtlb_obs::{span, Label, Probe, NULL_PROBE};
 use serde::{Deserialize, Serialize};
 
 use rtlb_graph::{ResourceId, TaskGraph};
@@ -7,10 +8,10 @@ use rtlb_graph::{ResourceId, TaskGraph};
 use crate::bounds::{resource_bound_unpartitioned_with, CandidatePolicy, ResourceBound};
 use crate::cost::{dedicated_cost_bound, shared_cost_bound, DedicatedCostBound, SharedCostBound};
 use crate::error::AnalysisError;
-use crate::estlct::{compute_timing, TimingAnalysis};
+use crate::estlct::{compute_timing_probed, TimingAnalysis};
 use crate::model::SystemModel;
 use crate::partition::{partition_all, ResourcePartition};
-use crate::sweep::{sweep_partitions, SweepStrategy};
+use crate::sweep::{sweep_partitions_probed, SweepStrategy};
 
 /// Tuning knobs for [`analyze_with`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -95,6 +96,20 @@ impl Analysis {
         &self,
         model: &crate::model::SharedModel,
     ) -> Result<SharedCostBound, AnalysisError> {
+        self.shared_cost_probed(model, &NULL_PROBE)
+    }
+
+    /// [`Analysis::shared_cost`] under a `cost.shared` span on `probe`.
+    ///
+    /// # Errors
+    ///
+    /// See [`shared_cost_bound`].
+    pub fn shared_cost_probed(
+        &self,
+        model: &crate::model::SharedModel,
+        probe: &dyn Probe,
+    ) -> Result<SharedCostBound, AnalysisError> {
+        let _step = span(probe, "cost.shared", Label::None);
         shared_cost_bound(model, &self.bounds)
     }
 
@@ -108,6 +123,22 @@ impl Analysis {
         graph: &TaskGraph,
         model: &crate::model::DedicatedModel,
     ) -> Result<DedicatedCostBound, AnalysisError> {
+        self.dedicated_cost_probed(graph, model, &NULL_PROBE)
+    }
+
+    /// [`Analysis::dedicated_cost`] under a `cost.dedicated` span on
+    /// `probe`.
+    ///
+    /// # Errors
+    ///
+    /// See [`dedicated_cost_bound`].
+    pub fn dedicated_cost_probed(
+        &self,
+        graph: &TaskGraph,
+        model: &crate::model::DedicatedModel,
+        probe: &dyn Probe,
+    ) -> Result<DedicatedCostBound, AnalysisError> {
+        let _step = span(probe, "cost.dedicated", Label::None);
         dedicated_cost_bound(graph, model, &self.bounds)
     }
 }
@@ -153,27 +184,77 @@ pub fn analyze_with(
     model: &SystemModel,
     options: AnalysisOptions,
 ) -> Result<Analysis, AnalysisError> {
-    model.validate(graph)?;
-    let timing = compute_timing(graph, model);
-    timing.check_feasible(graph)?;
+    analyze_with_probe(graph, model, options, &NULL_PROBE)
+}
+
+/// [`analyze_with`], reporting per-stage spans and pipeline counters to
+/// `probe`.
+///
+/// Instrumentation is purely observational: the returned [`Analysis`] is
+/// bit-identical whatever probe is attached (including [`NULL_PROBE`],
+/// which compiles to no-ops).
+///
+/// # Errors
+///
+/// Same as [`analyze`].
+pub fn analyze_with_probe(
+    graph: &TaskGraph,
+    model: &SystemModel,
+    options: AnalysisOptions,
+    probe: &dyn Probe,
+) -> Result<Analysis, AnalysisError> {
+    let _run = span(probe, "analyze", Label::None);
+
+    {
+        let _step = span(probe, "analyze.validate", Label::None);
+        model.validate(graph)?;
+    }
+
+    let timing = {
+        let _step = span(probe, "analyze.timing", Label::None);
+        compute_timing_probed(graph, model, probe)
+    };
+
+    {
+        let _step = span(probe, "analyze.feasibility", Label::None);
+        timing.check_feasible(graph)?;
+    }
 
     let (partitions, bounds) = if options.partitioning {
-        let partitions = partition_all(graph, &timing);
-        let bounds = sweep_partitions(
+        let partitions = {
+            let _step = span(probe, "analyze.partition", Label::None);
+            partition_all(graph, &timing)
+        };
+        probe.add("partition.resources", partitions.len() as u64);
+        probe.add(
+            "partition.blocks",
+            partitions.iter().map(|p| p.blocks.len() as u64).sum(),
+        );
+        probe.add(
+            "partition.tasks",
+            partitions.iter().map(|p| p.task_count() as u64).sum(),
+        );
+        let bounds = sweep_partitions_probed(
             graph,
             &timing,
             &partitions,
             options.candidates,
             options.sweep,
             options.parallelism,
+            probe,
         );
         (partitions, bounds)
     } else {
-        let bounds = graph
+        let _step = span(probe, "analyze.sweep", Label::None);
+        let bounds: Vec<ResourceBound> = graph
             .resources_used()
             .into_iter()
             .map(|r| resource_bound_unpartitioned_with(graph, &timing, r, options.candidates))
             .collect();
+        probe.add(
+            "sweep.pairs_offered",
+            bounds.iter().map(|b| b.intervals_examined).sum(),
+        );
         (Vec::new(), bounds)
     };
 

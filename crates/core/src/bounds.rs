@@ -95,6 +95,12 @@ pub(crate) struct RatioMax {
 }
 
 impl RatioMax {
+    /// Candidate pairs offered so far (the sweep's instrumentation
+    /// counter; equals `intervals_examined` of the resulting bound).
+    pub(crate) fn intervals(&self) -> u64 {
+        self.intervals
+    }
+
     pub(crate) fn offer(&mut self, demand: Dur, t1: Time, t2: Time) {
         self.intervals += 1;
         let num = demand.ticks();

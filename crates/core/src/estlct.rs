@@ -36,6 +36,7 @@
 //! EXPERIMENTS.md.
 
 use rtlb_graph::{TaskGraph, TaskId, Time};
+use rtlb_obs::{span, Label, Probe, NULL_PROBE};
 use serde::{Deserialize, Serialize};
 
 use crate::error::AnalysisError;
@@ -201,7 +202,7 @@ pub struct TimingTrace {
 /// # }
 /// ```
 pub fn compute_timing(graph: &TaskGraph, model: &SystemModel) -> TimingAnalysis {
-    compute_timing_inner(graph, model, None)
+    compute_timing_inner(graph, model, None, &NULL_PROBE)
 }
 
 /// Like [`compute_timing`], additionally recording every merge decision.
@@ -210,40 +211,67 @@ pub fn compute_timing_traced(
     model: &SystemModel,
 ) -> (TimingAnalysis, TimingTrace) {
     let mut trace = TimingTrace::default();
-    let analysis = compute_timing_inner(graph, model, Some(&mut trace));
+    let analysis = compute_timing_inner(graph, model, Some(&mut trace), &NULL_PROBE);
     (analysis, trace)
+}
+
+/// [`compute_timing`] reporting into `probe`: `timing.lct_pass` and
+/// `timing.est_pass` spans around the two Figure 2/3 evaluation orders,
+/// plus `timing.merge_candidates` / `timing.merges_accepted` counters for
+/// the merge-selection scans. The windows are bit-identical with any
+/// probe.
+pub fn compute_timing_probed(
+    graph: &TaskGraph,
+    model: &SystemModel,
+    probe: &dyn Probe,
+) -> TimingAnalysis {
+    compute_timing_inner(graph, model, None, probe)
 }
 
 fn compute_timing_inner(
     graph: &TaskGraph,
     model: &SystemModel,
     mut trace: Option<&mut TimingTrace>,
+    probe: &dyn Probe,
 ) -> TimingAnalysis {
     let n = graph.task_count();
     let mut lct = vec![Time::ZERO; n];
     let mut est = vec![Time::ZERO; n];
     let mut merged_succs = vec![Vec::new(); n];
     let mut merged_preds = vec![Vec::new(); n];
+    let (mut candidates, mut accepted) = (0u64, 0u64);
 
     // LCT: sinks first.
-    for i in graph.reverse_topological_order() {
-        let (value, merged, task_trace) = lct_of(graph, model, i, &lct);
-        lct[i.index()] = value;
-        merged_succs[i.index()] = merged;
-        if let Some(t) = trace.as_deref_mut() {
-            t.lct.push(task_trace);
+    {
+        let _pass = span(probe, "timing.lct_pass", Label::None);
+        for i in graph.reverse_topological_order() {
+            let (value, merged, task_trace) = lct_of(graph, model, i, &lct);
+            candidates += task_trace.steps.len() as u64;
+            accepted += merged.len() as u64;
+            lct[i.index()] = value;
+            merged_succs[i.index()] = merged;
+            if let Some(t) = trace.as_deref_mut() {
+                t.lct.push(task_trace);
+            }
         }
     }
 
     // EST: sources first.
-    for &i in graph.topological_order() {
-        let (value, merged, task_trace) = est_of(graph, model, i, &est);
-        est[i.index()] = value;
-        merged_preds[i.index()] = merged;
-        if let Some(t) = trace.as_deref_mut() {
-            t.est.push(task_trace);
+    {
+        let _pass = span(probe, "timing.est_pass", Label::None);
+        for &i in graph.topological_order() {
+            let (value, merged, task_trace) = est_of(graph, model, i, &est);
+            candidates += task_trace.steps.len() as u64;
+            accepted += merged.len() as u64;
+            est[i.index()] = value;
+            merged_preds[i.index()] = merged;
+            if let Some(t) = trace.as_deref_mut() {
+                t.est.push(task_trace);
+            }
         }
     }
+    probe.add("timing.merge_candidates", candidates);
+    probe.add("timing.merges_accepted", accepted);
 
     let windows = est
         .into_iter()

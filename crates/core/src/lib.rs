@@ -61,13 +61,14 @@ mod cost;
 mod error;
 mod estlct;
 mod merge;
+mod metrics;
 mod model;
 mod overlap;
 mod partition;
 mod report;
 mod sweep;
 
-pub use analysis::{analyze, analyze_with, Analysis, AnalysisOptions};
+pub use analysis::{analyze, analyze_with, analyze_with_probe, Analysis, AnalysisOptions};
 pub use bounds::{
     lower_bounds, resource_bound, resource_bound_sweep, resource_bound_unpartitioned,
     resource_bound_unpartitioned_with, resource_bound_with, theta, CandidatePolicy,
@@ -76,10 +77,11 @@ pub use bounds::{
 pub use cost::{dedicated_cost_bound, shared_cost_bound, DedicatedCostBound, SharedCostBound};
 pub use error::AnalysisError;
 pub use estlct::{
-    compute_timing, compute_timing_traced, MergeDecision, MergeStep, TaskTrace, TaskWindow,
-    TimingAnalysis, TimingTrace,
+    compute_timing, compute_timing_probed, compute_timing_traced, MergeDecision, MergeStep,
+    TaskTrace, TaskWindow, TimingAnalysis, TimingTrace,
 };
 pub use merge::{mergeable, MergeSet};
+pub use metrics::{build_run_report, options_as_json};
 pub use model::{DedicatedModel, NodeType, NodeTypeId, SharedModel, SystemModel};
 pub use overlap::{overlap, task_overlap};
 pub use partition::{partition_all, partition_tasks, PartitionBlock, ResourcePartition};
@@ -87,4 +89,4 @@ pub use report::{
     render_analysis, render_bounds, render_dedicated_cost, render_partitions, render_shared_cost,
     render_timing_table,
 };
-pub use sweep::{sweep_partitions, SweepStrategy};
+pub use sweep::{sweep_partitions, sweep_partitions_probed, SweepStrategy};

@@ -46,6 +46,7 @@ use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use rtlb_graph::{Dur, ExecutionMode, TaskGraph, TaskId, Time};
+use rtlb_obs::{span, Label, Probe, NULL_PROBE};
 use serde::{Deserialize, Serialize};
 
 use crate::bounds::{candidate_points, CandidatePolicy, RatioMax, ResourceBound};
@@ -125,6 +126,10 @@ fn naive_t1_sweep(
 
 /// The incremental sweep for one fixed `t1`: build slope events from the
 /// ramps, then walk the candidate `t2` points once with a running slope.
+/// Consumed slope events are tallied into `events_processed` (a plain
+/// local accumulator — never a probe call — so the hot loop is identical
+/// with or without instrumentation).
+#[allow(clippy::too_many_arguments)]
 fn incremental_t1_sweep(
     graph: &TaskGraph,
     timing: &TimingAnalysis,
@@ -133,6 +138,7 @@ fn incremental_t1_sweep(
     li: usize,
     events: &mut Vec<(i64, i64)>,
     max: &mut RatioMax,
+    events_processed: &mut u64,
 ) {
     let t1 = points[li];
     events.clear();
@@ -160,9 +166,11 @@ fn incremental_t1_sweep(
         pos = at_t2;
         max.offer(Dur::new(value), t1, t2);
     }
+    *events_processed += next_event as u64;
 }
 
 /// Sweeps the candidate-`t1` index range `span` of one block into `max`.
+#[allow(clippy::too_many_arguments)]
 fn sweep_span(
     graph: &TaskGraph,
     timing: &TimingAnalysis,
@@ -171,14 +179,22 @@ fn sweep_span(
     span: Range<usize>,
     strategy: SweepStrategy,
     max: &mut RatioMax,
+    events_processed: &mut u64,
 ) {
     let mut events = Vec::with_capacity(tasks.len() * 2);
     for li in span {
         match strategy {
             SweepStrategy::Naive => naive_t1_sweep(graph, timing, tasks, points, li, max),
-            SweepStrategy::Incremental => {
-                incremental_t1_sweep(graph, timing, tasks, points, li, &mut events, max)
-            }
+            SweepStrategy::Incremental => incremental_t1_sweep(
+                graph,
+                timing,
+                tasks,
+                points,
+                li,
+                &mut events,
+                max,
+                events_processed,
+            ),
         }
     }
 }
@@ -193,10 +209,20 @@ pub(crate) fn sweep_partition_into(
     strategy: SweepStrategy,
     max: &mut RatioMax,
 ) {
+    let mut events_processed = 0u64;
     for block in &partition.blocks {
         let points = candidate_points(graph, timing, &block.tasks, policy);
-        let span = 0..points.len().saturating_sub(1);
-        sweep_span(graph, timing, &block.tasks, &points, span, strategy, max);
+        let t1s = 0..points.len().saturating_sub(1);
+        sweep_span(
+            graph,
+            timing,
+            &block.tasks,
+            &points,
+            t1s,
+            strategy,
+            max,
+            &mut events_processed,
+        );
     }
 }
 
@@ -214,6 +240,35 @@ pub fn sweep_partitions(
     strategy: SweepStrategy,
     parallelism: usize,
 ) -> Vec<ResourceBound> {
+    sweep_partitions_probed(
+        graph,
+        timing,
+        partitions,
+        policy,
+        strategy,
+        parallelism,
+        &NULL_PROBE,
+    )
+}
+
+/// [`sweep_partitions`] reporting into `probe`: an `analyze.sweep` span
+/// around the whole step, a `sweep.worker` span per worker thread, a
+/// `sweep.chunk` span (labeled with the partition index) per chunk job,
+/// and the `sweep.blocks` / `sweep.jobs` / `sweep.pairs_offered` /
+/// `sweep.events_processed` counters. Instrumentation is observational
+/// only — bounds, witnesses, and tie-breaks are bit-identical to the
+/// unprobed sweep (enforced by `tests/sweep_equivalence.rs`).
+#[allow(clippy::too_many_arguments)]
+pub fn sweep_partitions_probed(
+    graph: &TaskGraph,
+    timing: &TimingAnalysis,
+    partitions: &[ResourcePartition],
+    policy: CandidatePolicy,
+    strategy: SweepStrategy,
+    parallelism: usize,
+    probe: &dyn Probe,
+) -> Vec<ResourceBound> {
+    let _sweep = span(probe, "analyze.sweep", Label::None);
     let threads = effective_threads(parallelism);
 
     // Candidate points once per block; blocks in (partition, block) order.
@@ -248,19 +303,27 @@ pub fn sweep_partitions(
         }
     }
 
-    let chunk_maxima = run_jobs(threads, jobs.len(), |j| {
-        let (bi, span) = &jobs[j];
-        let (_, tasks, points) = &blocks[*bi];
+    probe.add("sweep.blocks", blocks.len() as u64);
+    probe.add("sweep.jobs", jobs.len() as u64);
+
+    let chunk_maxima = run_jobs(probe, threads, jobs.len(), |j| {
+        let (bi, t1s) = &jobs[j];
+        let (pi, tasks, points) = &blocks[*bi];
+        let _chunk = span(probe, "sweep.chunk", Label::Index(*pi as u64));
         let mut max = RatioMax::default();
+        let mut events_processed = 0u64;
         sweep_span(
             graph,
             timing,
             tasks,
             points,
-            span.clone(),
+            t1s.clone(),
             strategy,
             &mut max,
+            &mut events_processed,
         );
+        probe.add("sweep.pairs_offered", max.intervals());
+        probe.add("sweep.events_processed", events_processed);
         max
     });
 
@@ -287,14 +350,17 @@ fn effective_threads(parallelism: usize) -> usize {
 }
 
 /// Runs `count` independent jobs on up to `threads` scoped threads and
-/// returns their results in job order.
-fn run_jobs<T, F>(threads: usize, count: usize, run: F) -> Vec<T>
+/// returns their results in job order. Each worker thread (including the
+/// calling thread on the serial path) runs under a `sweep.worker` span so
+/// trace sinks get one swim-lane per worker.
+fn run_jobs<T, F>(probe: &dyn Probe, threads: usize, count: usize, run: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
     let workers = threads.min(count);
     if workers <= 1 {
+        let _worker = span(probe, "sweep.worker", Label::None);
         return (0..count).map(run).collect();
     }
 
@@ -304,6 +370,7 @@ where
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
+                    let _worker = span(probe, "sweep.worker", Label::None);
                     let mut done = Vec::new();
                     loop {
                         let job = next.fetch_add(1, Ordering::Relaxed);
@@ -449,8 +516,93 @@ mod tests {
     #[test]
     fn run_jobs_preserves_job_order() {
         for threads in [1, 2, 5] {
-            let out = run_jobs(threads, 23, |j| j * j);
+            let out = run_jobs(&NULL_PROBE, threads, 23, |j| j * j);
             assert_eq!(out, (0..23).map(|j| j * j).collect::<Vec<_>>());
         }
+    }
+
+    /// An attached recorder observes the sweep without perturbing it, and
+    /// both strategies offer the same number of candidate pairs.
+    #[test]
+    fn recorder_observes_without_perturbing() {
+        use rtlb_obs::Recorder;
+        let (g, _) = fixture();
+        let timing = compute_timing(&g, &SystemModel::shared());
+        let partitions = partition_all(&g, &timing);
+        let plain = sweep_partitions(
+            &g,
+            &timing,
+            &partitions,
+            CandidatePolicy::EstLct,
+            SweepStrategy::Incremental,
+            1,
+        );
+
+        let mut pairs = Vec::new();
+        for strategy in [SweepStrategy::Incremental, SweepStrategy::Naive] {
+            let recorder = Recorder::new();
+            let probed = sweep_partitions_probed(
+                &g,
+                &timing,
+                &partitions,
+                CandidatePolicy::EstLct,
+                strategy,
+                1,
+                &recorder,
+            );
+            assert_eq!(plain, probed, "{strategy:?} must be bit-identical");
+            let metrics = recorder.take_metrics();
+            let offered: u64 = plain.iter().map(|b| b.intervals_examined).sum();
+            assert_eq!(metrics.counter("sweep.pairs_offered"), offered);
+            assert_eq!(metrics.span_count("analyze.sweep"), 1);
+            assert_eq!(metrics.span_count("sweep.worker"), 1);
+            assert!(metrics.span_count("sweep.chunk") >= 1);
+            pairs.push(metrics.counter("sweep.pairs_offered"));
+            if strategy == SweepStrategy::Incremental {
+                assert!(metrics.counter("sweep.events_processed") > 0);
+            } else {
+                assert_eq!(metrics.counter("sweep.events_processed"), 0);
+            }
+        }
+        assert_eq!(pairs[0], pairs[1], "strategies offer identical pairs");
+    }
+
+    /// With a parallel fan-out, the recorder sees one worker span per
+    /// thread and the same final bounds.
+    #[test]
+    fn parallel_recorder_sees_worker_spans() {
+        use rtlb_obs::Recorder;
+        let (g, _) = fixture();
+        let timing = compute_timing(&g, &SystemModel::shared());
+        let partitions = partition_all(&g, &timing);
+        let serial = sweep_partitions(
+            &g,
+            &timing,
+            &partitions,
+            CandidatePolicy::Extended,
+            SweepStrategy::Incremental,
+            1,
+        );
+        let recorder = Recorder::new();
+        let par = sweep_partitions_probed(
+            &g,
+            &timing,
+            &partitions,
+            CandidatePolicy::Extended,
+            SweepStrategy::Incremental,
+            3,
+            &recorder,
+        );
+        assert_eq!(serial, par);
+        let metrics = recorder.take_metrics();
+        let workers = metrics.span_count("sweep.worker");
+        assert!(
+            (1..=3).contains(&workers),
+            "worker spans = min(threads, jobs), got {workers}"
+        );
+        assert_eq!(
+            metrics.counter("sweep.jobs"),
+            metrics.span_count("sweep.chunk")
+        );
     }
 }

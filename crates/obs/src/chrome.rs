@@ -1,0 +1,111 @@
+//! Chrome trace-event export.
+//!
+//! Renders a [`Metrics`] snapshot as the Trace Event Format's JSON array
+//! flavor, loadable in `chrome://tracing` and Perfetto. Each completed
+//! span becomes one complete (`"ph": "X"`) event on the thread that ran
+//! it, so the parallel sweep's per-thread chunk spans show up as one
+//! swim-lane per worker.
+
+use crate::json::Json;
+use crate::recorder::{Metrics, OwnedLabel};
+
+/// Renders `metrics` as Chrome trace-event JSON (the array form).
+///
+/// Thread 0 is the thread that recorded first (named `main`); further
+/// threads are `worker-<n>`. Span labels appear under `args`.
+pub fn chrome_trace(metrics: &Metrics) -> String {
+    let mut events = Vec::new();
+    for tid in 0..metrics.threads {
+        let name = if tid == 0 {
+            "main".to_owned()
+        } else {
+            format!("worker-{tid}")
+        };
+        events.push(Json::obj([
+            ("ph", Json::str("M")),
+            ("pid", Json::Int(1)),
+            ("tid", Json::Int(tid as i64)),
+            ("name", Json::str("thread_name")),
+            ("args", Json::obj([("name", Json::str(name))])),
+        ]));
+    }
+    for span in &metrics.spans {
+        let mut event = vec![
+            ("name".to_owned(), Json::str(span.name)),
+            ("cat".to_owned(), Json::str("rtlb")),
+            ("ph".to_owned(), Json::str("X")),
+            ("pid".to_owned(), Json::Int(1)),
+            ("tid".to_owned(), Json::Int(span.thread as i64)),
+            ("ts".to_owned(), Json::Int(span.start_micros as i64)),
+            ("dur".to_owned(), Json::Int(span.dur_micros as i64)),
+        ];
+        match &span.label {
+            OwnedLabel::None => {}
+            OwnedLabel::Index(i) => event.push((
+                "args".to_owned(),
+                Json::obj([("index", Json::Int(*i as i64))]),
+            )),
+            OwnedLabel::Text(t) => {
+                event.push(("args".to_owned(), Json::obj([("label", Json::str(t))])));
+            }
+        }
+        events.push(Json::Obj(event));
+    }
+    Json::Arr(events).pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use crate::probe::{span, Label, Probe};
+    use crate::recorder::Recorder;
+
+    #[test]
+    fn trace_is_wellformed_and_carries_threads_and_spans() {
+        let r = Recorder::new();
+        {
+            let _a = span(&r, "analyze", Label::None);
+            std::thread::scope(|scope| {
+                for _ in 0..2 {
+                    scope.spawn(|| {
+                        let _w = span(&r, "sweep.worker", Label::None);
+                        let _c = span(&r, "sweep.chunk", Label::Index(0));
+                    });
+                }
+            });
+        }
+        r.add("ignored.by.trace", 1);
+        let trace = chrome_trace(&r.take_metrics());
+        let doc = parse(&trace).expect("trace must be valid JSON");
+        let events = doc.as_arr().unwrap();
+        let metadata = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("M"))
+            .count();
+        assert_eq!(metadata, 3, "main + two workers");
+        let workers: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("sweep.worker"))
+            .collect();
+        assert_eq!(workers.len(), 2);
+        // The two worker spans run on distinct non-main threads.
+        let tids: std::collections::BTreeSet<_> = workers
+            .iter()
+            .map(|e| e.get("tid").unwrap().as_int().unwrap())
+            .collect();
+        assert_eq!(tids.len(), 2);
+        assert!(!tids.contains(&0));
+        // Complete events carry ts/dur and the chunk label lands in args.
+        let chunk = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("sweep.chunk"))
+            .unwrap();
+        assert!(chunk.get("ts").unwrap().as_int().is_some());
+        assert!(chunk.get("dur").unwrap().as_int().is_some());
+        assert_eq!(
+            chunk.get("args").unwrap().get("index").unwrap().as_int(),
+            Some(0)
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! Pipeline observability for the `rtlb` workspace: spans, counters,
+//! run reports, and Chrome trace export — std-only.
+//!
+//! The analysis pipeline in `rtlb-core` reports into the [`Probe`] trait:
+//! spans around each Section 3 step (and each sweep worker thread and
+//! chunk) plus counters for the quantities the ROADMAP's perf trajectory
+//! tracks (candidate pairs offered, slope events processed, merge
+//! decisions). Three consumers exist:
+//!
+//! * [`NullProbe`] — the default; every call is an immediate no-op, so
+//!   uninstrumented analyses pay one virtual call per *stage*, never per
+//!   candidate pair. Results are bit-identical with any probe attached.
+//! * [`Recorder`] — a thread-safe collector; drain it with
+//!   [`Recorder::take_metrics`] and feed the [`Metrics`] snapshot to the
+//!   sinks.
+//! * Sinks — [`RunReport`] renders the human summary table and the
+//!   versioned `rtlb-report-v1` JSON document; [`chrome_trace`] renders a
+//!   `chrome://tracing`-loadable trace with one swim-lane per sweep
+//!   worker thread.
+//!
+//! The crate is deliberately free of non-std dependencies (the build
+//! environment has no registry access; see `vendor/README.md`), so it
+//! carries its own ordered-[`Json`] writer and validating parser.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chrome;
+pub mod json;
+mod probe;
+mod recorder;
+mod report;
+
+pub use chrome::chrome_trace;
+pub use json::Json;
+pub use probe::{span, Label, NullProbe, Probe, Span, SpanId, NULL_PROBE};
+pub use recorder::{Metrics, OwnedLabel, Recorder, SpanRec};
+pub use report::{
+    BoundStat, InstanceStats, PartitionStat, RunReport, StageStat, ThreadStat, WitnessStat,
+    REPORT_SCHEMA,
+};

@@ -1,0 +1,135 @@
+//! The [`Probe`] trait: the observation surface the analysis pipeline
+//! reports into.
+//!
+//! The pipeline never logs, prints, or times anything itself — it calls a
+//! `&dyn Probe` it was handed. The default [`NullProbe`] turns every call
+//! into an immediate no-op return, so uninstrumented runs pay only a
+//! virtual call per *stage* (never per candidate pair; hot loops
+//! accumulate into locals and report once per chunk). A [`Recorder`]
+//! captures spans and counters for the report/trace sinks.
+//!
+//! # Thread-safety contract
+//!
+//! `Probe` requires `Sync`: the sweep fans chunk jobs out across scoped
+//! threads that all share the same probe reference. Implementations must
+//! accept `begin`/`end`/`add` calls from any thread, and `end` may be
+//! called from the same thread that called `begin` only (spans never
+//! migrate threads), which lets implementations attribute a span to the
+//! thread that opened it.
+//!
+//! [`Recorder`]: crate::Recorder
+
+/// Identifier handed out by [`Probe::begin`] and returned to
+/// [`Probe::end`]. `SpanId(0)` is the null id: [`NullProbe`] returns it
+/// and recorders ignore `end(SpanId(0))`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// The id [`NullProbe`] hands out; closing it is a no-op everywhere.
+    pub const NULL: SpanId = SpanId(0);
+}
+
+/// Optional qualifier attached to a span, e.g. which partition a sweep
+/// chunk belongs to. Kept borrowing so that callers never allocate when
+/// the probe is a [`NullProbe`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Label<'a> {
+    /// No qualifier.
+    None,
+    /// A small index (partition number, block number, …).
+    Index(u64),
+    /// A free-form name.
+    Text(&'a str),
+}
+
+/// Span + counter observation surface. See the module docs for the
+/// threading contract.
+pub trait Probe: Sync {
+    /// Opens a span named `name` on the calling thread.
+    fn begin(&self, name: &'static str, label: Label<'_>) -> SpanId;
+
+    /// Closes a span previously opened with [`Probe::begin`] on this
+    /// thread. Closing [`SpanId::NULL`] is a no-op.
+    fn end(&self, id: SpanId);
+
+    /// Adds `delta` to the counter named `counter`.
+    fn add(&self, counter: &'static str, delta: u64);
+}
+
+/// The zero-cost default probe: every method returns immediately.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullProbe;
+
+/// A shared [`NullProbe`] instance for call sites that need a
+/// `&'static dyn Probe`.
+pub static NULL_PROBE: NullProbe = NullProbe;
+
+impl Probe for NullProbe {
+    #[inline]
+    fn begin(&self, _name: &'static str, _label: Label<'_>) -> SpanId {
+        SpanId::NULL
+    }
+
+    #[inline]
+    fn end(&self, _id: SpanId) {}
+
+    #[inline]
+    fn add(&self, _counter: &'static str, _delta: u64) {}
+}
+
+/// RAII guard that closes its span on drop; the idiomatic way to
+/// instrument a scope:
+///
+/// ```
+/// use rtlb_obs::{span, Label, Recorder};
+/// let recorder = Recorder::new();
+/// {
+///     let _s = span(&recorder, "stage.work", Label::None);
+///     // ... do the work ...
+/// } // span closed here
+/// assert_eq!(recorder.take_metrics().span_count("stage.work"), 1);
+/// ```
+pub struct Span<'p> {
+    probe: &'p dyn Probe,
+    id: SpanId,
+}
+
+/// Opens a [`Span`] guard on `probe`.
+pub fn span<'p>(probe: &'p dyn Probe, name: &'static str, label: Label<'_>) -> Span<'p> {
+    Span {
+        id: probe.begin(name, label),
+        probe,
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.probe.end(self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_probe_is_inert() {
+        let p = NullProbe;
+        let id = p.begin("x", Label::Index(3));
+        assert_eq!(id, SpanId::NULL);
+        p.end(id);
+        p.add("c", 7);
+        let _guard = span(&p, "scoped", Label::None);
+    }
+
+    #[test]
+    fn null_probe_is_object_safe_and_sync() {
+        fn takes_dyn(p: &dyn Probe) {
+            p.add("k", 1);
+        }
+        fn assert_sync<T: Sync>(_: &T) {}
+        takes_dyn(&NULL_PROBE);
+        assert_sync(&NULL_PROBE);
+    }
+}

@@ -1,12 +1,10 @@
 //! `rtlb` — command-line front end for the lower-bound analysis.
 //!
+//! Run `rtlb --help` for the full flag reference; in short:
+//!
 //! ```text
 //! rtlb analyze <file> [flags]   run the four-step analysis on a text-format
-//!                               instance; flags:
-//!                                 --sweep=naive|incremental  Θ-sweep strategy
-//!                                 --jobs=N     sweep worker threads (0 = all cores)
-//!                                 --extended   denser candidate-point grid
-//!                                 --no-partition  skip Theorem 5 partitioning
+//!                               instance
 //! rtlb dot <file>               emit Graphviz DOT for the instance
 //! rtlb example                  print the paper's 15-task instance
 //! rtlb schedule <file> N        try the merge-guided list scheduler with N
@@ -19,13 +17,50 @@
 use std::process::ExitCode;
 
 use rtlb::core::{
-    analyze_with, render_analysis, render_dedicated_cost, render_shared_cost, AnalysisOptions,
-    CandidatePolicy, SweepStrategy, SystemModel,
+    analyze_with_probe, build_run_report, render_analysis, render_dedicated_cost,
+    render_shared_cost, AnalysisOptions, CandidatePolicy, SweepStrategy, SystemModel,
 };
 use rtlb::format::{parse, render};
 use rtlb::graph::to_dot;
+use rtlb::obs::{chrome_trace, Recorder};
 use rtlb::sched::{list_schedule, validate_schedule, Capacities};
 use rtlb::workloads::paper_example;
+
+const USAGE: &str = "\
+rtlb — resource lower bounds for real-time task graphs (ICDCS 1995)
+
+usage:
+  rtlb analyze <file> [flags]   run the four-step analysis on a text-format
+                                instance and print windows, partitions,
+                                bounds, and cost bounds
+  rtlb dot <file>               emit Graphviz DOT for the instance
+  rtlb example                  print the paper's 15-task example instance
+  rtlb schedule <file> <N>      try the merge-guided list scheduler with N
+                                units of every demanded resource
+  rtlb help | -h | --help       show this message
+
+analyze flags:
+  --sweep=naive|incremental  Θ-sweep strategy (default: incremental; naive is
+                             the O(P²·N) differential-testing oracle)
+  --jobs=N                   sweep worker threads; 0 = one per core
+                             (default: 1, fully serial)
+  --extended                 denser candidate-point grid (adds the
+                             forced-overlap corners E_i+C_i and L_i−C_i)
+  --no-partition             skip the Theorem 5 partitioning and sweep each
+                             resource flat (ablation mode)
+  --metrics=off|text|json    observability sink (default: off).
+                             text appends a stage/counter summary after the
+                             normal output; json prints only the versioned
+                             rtlb-report-v1 JSON document on stdout
+  --trace-out=FILE           write a Chrome trace-event JSON file (open in
+                             chrome://tracing or https://ui.perfetto.dev)
+
+examples:
+  rtlb example > f.rtlb
+  rtlb analyze f.rtlb
+  rtlb analyze f.rtlb --jobs=0 --metrics=text
+  rtlb analyze f.rtlb --metrics=json --trace-out=trace.json
+";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -34,8 +69,12 @@ fn main() -> ExitCode {
         Some("dot") => with_file(&args, 2, cmd_dot),
         Some("example") => cmd_example(),
         Some("schedule") => with_file(&args, 3, cmd_schedule),
+        Some("help" | "-h" | "--help") => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
         _ => {
-            eprintln!("usage: rtlb <analyze|dot|schedule> <file> [...] | rtlb example");
+            eprint!("{USAGE}");
             return ExitCode::from(2);
         }
     };
@@ -62,53 +101,133 @@ fn with_file(
     run(&parsed, args)
 }
 
+/// Where the run's metrics go.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+enum MetricsMode {
+    /// No recorder attached; the sweep runs through the null probe.
+    #[default]
+    Off,
+    /// Human-readable summary appended after the normal analysis output.
+    Text,
+    /// Only the versioned JSON run report on stdout.
+    Json,
+}
+
+/// Everything `rtlb analyze` accepts after the file argument.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct AnalyzeArgs {
+    options: AnalysisOptions,
+    metrics: MetricsMode,
+    trace_out: Option<String>,
+}
+
 /// Parses `analyze` flags (everything after the file argument).
-fn analyze_options(flags: &[String]) -> Result<AnalysisOptions, String> {
-    let mut options = AnalysisOptions::default();
+fn analyze_options(flags: &[String]) -> Result<AnalyzeArgs, String> {
+    let mut args = AnalyzeArgs::default();
     for flag in flags {
         if let Some(strategy) = flag.strip_prefix("--sweep=") {
-            options.sweep = match strategy {
+            args.options.sweep = match strategy {
                 "naive" => SweepStrategy::Naive,
                 "incremental" => SweepStrategy::Incremental,
                 other => return Err(format!("unknown sweep strategy `{other}`")),
             };
         } else if let Some(jobs) = flag.strip_prefix("--jobs=") {
-            options.parallelism = jobs
+            args.options.parallelism = jobs
                 .parse()
                 .map_err(|_| format!("invalid job count `{jobs}`"))?;
         } else if flag == "--extended" {
-            options.candidates = CandidatePolicy::Extended;
+            args.options.candidates = CandidatePolicy::Extended;
         } else if flag == "--no-partition" {
-            options.partitioning = false;
+            args.options.partitioning = false;
+        } else if let Some(mode) = flag.strip_prefix("--metrics=") {
+            args.metrics = match mode {
+                "off" => MetricsMode::Off,
+                "text" => MetricsMode::Text,
+                "json" => MetricsMode::Json,
+                other => {
+                    return Err(format!(
+                        "unknown metrics mode `{other}` (expected off, text, or json)"
+                    ))
+                }
+            };
+        } else if let Some(path) = flag.strip_prefix("--trace-out=") {
+            if path.is_empty() {
+                return Err("--trace-out needs a file path".to_owned());
+            }
+            args.trace_out = Some(path.to_owned());
         } else {
-            return Err(format!("unknown flag `{flag}`"));
+            return Err(format!("unknown flag `{flag}` (see `rtlb --help`)"));
         }
     }
-    Ok(options)
+    Ok(args)
 }
 
 fn cmd_analyze(parsed: &rtlb::format::ParsedSystem, args: &[String]) -> Result<(), String> {
-    let options = analyze_options(&args[2..])?;
-    let analysis =
-        analyze_with(&parsed.graph, &SystemModel::shared(), options).map_err(|e| e.to_string())?;
-    print!("{}", render_analysis(&parsed.graph, &analysis));
+    let AnalyzeArgs {
+        options,
+        metrics,
+        trace_out,
+    } = analyze_options(&args[2..])?;
+    let recorder = Recorder::new();
+    let quiet = metrics == MetricsMode::Json;
 
+    let analysis = analyze_with_probe(&parsed.graph, &SystemModel::shared(), options, &recorder)
+        .map_err(|e| e.to_string())?;
+    if !quiet {
+        print!("{}", render_analysis(&parsed.graph, &analysis));
+    }
+
+    let mut shared_total = None;
     if let Some(shared) = &parsed.shared_costs {
-        match analysis.shared_cost(shared) {
+        match analysis.shared_cost_probed(shared, &recorder) {
             Ok(cost) => {
-                println!("\n== Step 4: Shared-model cost ==");
-                print!("{}", render_shared_cost(&parsed.graph, &cost));
+                shared_total = Some(cost.total);
+                if !quiet {
+                    println!("\n== Step 4: Shared-model cost ==");
+                    print!("{}", render_shared_cost(&parsed.graph, &cost));
+                }
             }
-            Err(e) => println!("\n(shared cost skipped: {e})"),
+            Err(e) => {
+                if !quiet {
+                    println!("\n(shared cost skipped: {e})");
+                }
+            }
         }
     }
+    let mut dedicated_total = None;
     if let Some(model) = &parsed.node_types {
-        match analysis.dedicated_cost(&parsed.graph, model) {
+        match analysis.dedicated_cost_probed(&parsed.graph, model, &recorder) {
             Ok(cost) => {
-                println!("\n== Step 4: Dedicated-model cost ==");
-                print!("{}", render_dedicated_cost(model, &cost));
+                dedicated_total = Some(cost.total);
+                if !quiet {
+                    println!("\n== Step 4: Dedicated-model cost ==");
+                    print!("{}", render_dedicated_cost(model, &cost));
+                }
             }
-            Err(e) => println!("\n(dedicated cost skipped: {e})"),
+            Err(e) => {
+                if !quiet {
+                    println!("\n(dedicated cost skipped: {e})");
+                }
+            }
+        }
+    }
+
+    if metrics == MetricsMode::Off && trace_out.is_none() {
+        return Ok(());
+    }
+    let snapshot = recorder.take_metrics();
+    if let Some(path) = &trace_out {
+        std::fs::write(path, chrome_trace(&snapshot))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    if metrics != MetricsMode::Off {
+        let mut report = build_run_report(&args[1], &parsed.graph, options, &analysis, &snapshot);
+        report.shared_cost = shared_total;
+        report.dedicated_cost = dedicated_total;
+        match metrics {
+            MetricsMode::Json => println!("{}", report.to_json().pretty()),
+            MetricsMode::Text => print!("\n== Metrics ==\n{}", report.render_text()),
+            MetricsMode::Off => unreachable!(),
         }
     }
     Ok(())
@@ -161,5 +280,99 @@ fn cmd_schedule(parsed: &rtlb::format::ParsedSystem, args: &[String]) -> Result<
             "the greedy scheduler found no schedule at {units} unit(s): {e} \
              (the instance may still be feasible for a smarter scheduler)"
         )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(raw: &[&str]) -> Vec<String> {
+        raw.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn no_flags_gives_defaults() {
+        let args = analyze_options(&[]).unwrap();
+        assert_eq!(args.options, AnalysisOptions::default());
+        assert_eq!(args.metrics, MetricsMode::Off);
+        assert_eq!(args.trace_out, None);
+    }
+
+    #[test]
+    fn all_flags_parse_together() {
+        let args = analyze_options(&flags(&[
+            "--sweep=naive",
+            "--jobs=4",
+            "--extended",
+            "--no-partition",
+            "--metrics=json",
+            "--trace-out=t.json",
+        ]))
+        .unwrap();
+        assert_eq!(args.options.sweep, SweepStrategy::Naive);
+        assert_eq!(args.options.parallelism, 4);
+        assert_eq!(args.options.candidates, CandidatePolicy::Extended);
+        assert!(!args.options.partitioning);
+        assert_eq!(args.metrics, MetricsMode::Json);
+        assert_eq!(args.trace_out.as_deref(), Some("t.json"));
+    }
+
+    #[test]
+    fn metrics_modes_parse() {
+        for (raw, mode) in [
+            ("--metrics=off", MetricsMode::Off),
+            ("--metrics=text", MetricsMode::Text),
+            ("--metrics=json", MetricsMode::Json),
+        ] {
+            assert_eq!(analyze_options(&flags(&[raw])).unwrap().metrics, mode);
+        }
+    }
+
+    #[test]
+    fn unknown_flag_is_rejected() {
+        let err = analyze_options(&flags(&["--bogus"])).unwrap_err();
+        assert!(err.contains("unknown flag"), "{err}");
+        assert!(err.contains("--bogus"), "{err}");
+    }
+
+    #[test]
+    fn bad_job_count_is_rejected() {
+        let err = analyze_options(&flags(&["--jobs=many"])).unwrap_err();
+        assert!(err.contains("invalid job count"), "{err}");
+        let err = analyze_options(&flags(&["--jobs=-1"])).unwrap_err();
+        assert!(err.contains("invalid job count"), "{err}");
+    }
+
+    #[test]
+    fn bad_metrics_mode_is_rejected() {
+        let err = analyze_options(&flags(&["--metrics=xml"])).unwrap_err();
+        assert!(err.contains("unknown metrics mode"), "{err}");
+    }
+
+    #[test]
+    fn bad_sweep_strategy_is_rejected() {
+        let err = analyze_options(&flags(&["--sweep=quadratic"])).unwrap_err();
+        assert!(err.contains("unknown sweep strategy"), "{err}");
+    }
+
+    #[test]
+    fn empty_trace_path_is_rejected() {
+        let err = analyze_options(&flags(&["--trace-out="])).unwrap_err();
+        assert!(err.contains("--trace-out"), "{err}");
+    }
+
+    #[test]
+    fn usage_mentions_every_analyze_flag() {
+        for flag in [
+            "--sweep=",
+            "--jobs=",
+            "--extended",
+            "--no-partition",
+            "--metrics=",
+            "--trace-out=",
+        ] {
+            assert!(USAGE.contains(flag), "usage is missing {flag}");
+        }
     }
 }

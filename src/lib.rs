@@ -23,7 +23,9 @@
 //! * [`baselines`] — Fernandez–Bussell (1973), Al-Mohummed (1990) and
 //!   Jain–Rajaraman (1994) style prior art;
 //! * [`workloads`] — the paper's 15-task example plus synthetic
-//!   generators.
+//!   generators;
+//! * [`obs`] — the observability layer (probe trait, recorder, run
+//!   report, Chrome trace sink).
 //!
 //! # Quickstart
 //!
@@ -62,6 +64,7 @@ pub use rtlb_baselines as baselines;
 pub use rtlb_core as core;
 pub use rtlb_graph as graph;
 pub use rtlb_ilp as ilp;
+pub use rtlb_obs as obs;
 pub use rtlb_sched as sched;
 pub use rtlb_sim as sim;
 pub use rtlb_workloads as workloads;

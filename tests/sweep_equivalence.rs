@@ -10,10 +10,11 @@
 use proptest::prelude::*;
 
 use rtlb::core::{
-    analyze_with, compute_timing, partition_all, sweep_partitions, theta, AnalysisOptions,
-    CandidatePolicy, ResourceBound, SweepStrategy, SystemModel,
+    analyze_with, analyze_with_probe, compute_timing, partition_all, sweep_partitions, theta,
+    AnalysisOptions, CandidatePolicy, ResourceBound, SweepStrategy, SystemModel,
 };
 use rtlb::graph::TaskGraph;
+use rtlb::obs::Recorder;
 use rtlb::workloads::{chain, fork_join, independent_tasks, layered, LayeredConfig};
 
 const POLICIES: [CandidatePolicy; 2] = [CandidatePolicy::EstLct, CandidatePolicy::Extended];
@@ -158,6 +159,50 @@ proptest! {
         let parallel = bounds_with(
             &graph, CandidatePolicy::Extended, SweepStrategy::Incremental, threads, true);
         prop_assert_eq!(serial, parallel);
+    }
+
+    /// Attaching a [`Recorder`] must not perturb any computed result:
+    /// bounds, witnesses, and partition blocks are bit-identical to the
+    /// default null-probe run, at any thread count. And since the probe
+    /// only observes, the naive and incremental strategies must report
+    /// the same `sweep.pairs_offered` count (they examine the same
+    /// candidate pairs by construction).
+    #[test]
+    fn recorder_attached_run_is_bit_identical(
+        seed in 0u64..1_000_000,
+        count in 2usize..40,
+        load in 1u32..6,
+        threads in 0usize..5,
+    ) {
+        let graph = independent_tasks(count, load, seed);
+        let options = |sweep| AnalysisOptions {
+            sweep,
+            parallelism: threads,
+            ..AnalysisOptions::default()
+        };
+        let model = SystemModel::shared();
+
+        let plain = analyze_with(&graph, &model, options(SweepStrategy::Incremental)).ok();
+        prop_assume!(plain.is_some());
+        let plain = plain.unwrap();
+
+        let mut pairs_offered = Vec::new();
+        for sweep in [SweepStrategy::Incremental, SweepStrategy::Naive] {
+            let recorder = Recorder::new();
+            let probed = analyze_with_probe(&graph, &model, options(sweep), &recorder).unwrap();
+            if sweep == SweepStrategy::Incremental {
+                prop_assert_eq!(plain.bounds(), probed.bounds());
+                prop_assert_eq!(plain.partitions(), probed.partitions());
+            }
+            let metrics = recorder.take_metrics();
+            let offered: u64 = probed.bounds().iter().map(|b| b.intervals_examined).sum();
+            prop_assert_eq!(metrics.counter("sweep.pairs_offered"), offered);
+            pairs_offered.push(offered);
+        }
+        prop_assert_eq!(
+            pairs_offered[0], pairs_offered[1],
+            "strategies must offer the same candidate pairs"
+        );
     }
 }
 
