@@ -61,6 +61,21 @@ pub struct Analysis {
 }
 
 impl Analysis {
+    /// Assembles an `Analysis` from separately maintained parts — the
+    /// session's snapshot path, which owns its own timing/partition/bound
+    /// state and refreshes it incrementally.
+    pub(crate) fn from_parts(
+        timing: TimingAnalysis,
+        partitions: Vec<ResourcePartition>,
+        bounds: Vec<ResourceBound>,
+    ) -> Analysis {
+        Analysis {
+            timing,
+            partitions,
+            bounds,
+        }
+    }
+
     /// The EST/LCT analysis (step 1).
     pub fn timing(&self) -> &TimingAnalysis {
         &self.timing

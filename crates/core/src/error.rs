@@ -3,7 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
-use rtlb_graph::{ResourceId, Time};
+use rtlb_graph::{GraphError, ResourceId, Time};
 
 /// Errors surfaced by the lower-bound analysis.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -29,6 +29,9 @@ pub enum AnalysisError {
     /// The branch-and-bound solver exhausted its node budget while solving
     /// the dedicated cost program.
     CostSolverBudget,
+    /// A session delta referenced a task, edge, or resource the graph
+    /// rejected; nothing was applied.
+    InvalidDelta(GraphError),
 }
 
 impl fmt::Display for AnalysisError {
@@ -48,6 +51,7 @@ impl fmt::Display for AnalysisError {
             AnalysisError::CostSolverBudget => {
                 f.write_str("cost-bound solver exceeded its node budget")
             }
+            AnalysisError::InvalidDelta(e) => write!(f, "invalid delta: {e}"),
         }
     }
 }

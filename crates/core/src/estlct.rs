@@ -122,6 +122,27 @@ impl TimingAnalysis {
             }),
         }
     }
+
+    // Crate-private mutators for the incremental session
+    // ([`crate::session::AnalysisSession`]), which recomputes windows and
+    // merge selections task-by-task via [`est_of`] / [`lct_of`] instead of
+    // re-running the full Figure 2/3 passes.
+
+    pub(crate) fn set_est(&mut self, t: TaskId, est: Time) {
+        self.windows[t.index()].est = est;
+    }
+
+    pub(crate) fn set_lct(&mut self, t: TaskId, lct: Time) {
+        self.windows[t.index()].lct = lct;
+    }
+
+    pub(crate) fn set_merged_predecessors(&mut self, t: TaskId, merged: Vec<TaskId>) {
+        self.merged_preds[t.index()] = merged;
+    }
+
+    pub(crate) fn set_merged_successors(&mut self, t: TaskId, merged: Vec<TaskId>) {
+        self.merged_succs[t.index()] = merged;
+    }
 }
 
 /// Outcome of considering one merge candidate.
@@ -316,7 +337,10 @@ fn ect(graph: &TaskGraph, tasks: &[TaskId], est: &[Time]) -> Time {
 }
 
 /// Figure 2: `L_i` and the merged successor set `G_i`.
-fn lct_of(
+///
+/// Pure in `(D_i, succs' L, succs' C, messages, model)` — the incremental
+/// session relies on this to recompute single tasks out of band.
+pub(crate) fn lct_of(
     graph: &TaskGraph,
     model: &SystemModel,
     i: TaskId,
@@ -432,7 +456,11 @@ fn lct_of(
 }
 
 /// Figure 3: `E_i` and the merged predecessor set `M_i`.
-fn est_of(
+///
+/// Pure in `(rel_i, preds' E, preds' C, messages, model)` — the
+/// incremental session relies on this to recompute single tasks out of
+/// band.
+pub(crate) fn est_of(
     graph: &TaskGraph,
     model: &SystemModel,
     i: TaskId,

@@ -1,0 +1,91 @@
+//! Shared scoped-thread execution helper.
+//!
+//! Both the Θ-sweep fan-out ([`crate::sweep::sweep_partitions_probed`])
+//! and the session's dirty-resource re-sweep
+//! ([`crate::session::AnalysisSession`]) distribute independent jobs
+//! across a bounded pool of scoped threads. The helper lives here so
+//! there is exactly one work-stealing loop to reason about: results come
+//! back in job order regardless of which worker ran which job, which is
+//! what makes parallel folds bit-identical to their serial counterparts.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use rtlb_obs::{span, Label, Probe};
+
+/// Resolves the `parallelism` knob: `0` means every available core.
+pub(crate) fn effective_threads(parallelism: usize) -> usize {
+    if parallelism == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        parallelism
+    }
+}
+
+/// Runs `count` independent jobs on up to `threads` scoped threads and
+/// returns their results in job order. Each worker thread (including the
+/// calling thread on the serial path) runs under a `sweep.worker` span so
+/// trace sinks get one swim-lane per worker.
+pub(crate) fn run_jobs<T, F>(probe: &dyn Probe, threads: usize, count: usize, run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = threads.min(count);
+    if workers <= 1 {
+        let _worker = span(probe, "sweep.worker", Label::None);
+        return (0..count).map(run).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut collected: Vec<(usize, T)> = Vec::with_capacity(count);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let _worker = span(probe, "sweep.worker", Label::None);
+                    let mut done = Vec::new();
+                    loop {
+                        let job = next.fetch_add(1, Ordering::Relaxed);
+                        if job >= count {
+                            break done;
+                        }
+                        done.push((job, run(job)));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            collected.extend(handle.join().expect("sweep worker panicked"));
+        }
+    });
+
+    let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
+    for (job, value) in collected {
+        slots[job] = Some(value);
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every job ran exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlb_obs::NULL_PROBE;
+
+    #[test]
+    fn run_jobs_preserves_job_order() {
+        for threads in [1, 2, 5] {
+            let out = run_jobs(&NULL_PROBE, threads, 23, |j| j * j);
+            assert_eq!(out, (0..23).map(|j| j * j).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn effective_threads_resolves_zero_to_cores() {
+        assert!(effective_threads(0) >= 1);
+        assert_eq!(effective_threads(1), 1);
+        assert_eq!(effective_threads(7), 7);
+    }
+}

@@ -16,7 +16,9 @@
 //!    [`dedicated_cost_bound`], Section 7 (the dedicated bound solves an
 //!    integer program with [`rtlb_ilp`]).
 //!
-//! The one-call entry point is [`analyze`].
+//! The one-call entry point is [`analyze`]. For scenario sweeps that
+//! re-analyze many small variants of one instance, [`AnalysisSession`]
+//! applies typed [`Delta`] edits and recomputes only the dirty cone.
 //!
 //! Every bound is *necessary*: a system with fewer units of some resource
 //! than `LB_r` (or cheaper than the cost bound) cannot meet the
@@ -60,12 +62,14 @@ mod bounds;
 mod cost;
 mod error;
 mod estlct;
+mod exec;
 mod merge;
 mod metrics;
 mod model;
 mod overlap;
 mod partition;
 mod report;
+mod session;
 mod sweep;
 
 pub use analysis::{analyze, analyze_with, analyze_with_probe, Analysis, AnalysisOptions};
@@ -89,4 +93,5 @@ pub use report::{
     render_analysis, render_bounds, render_dedicated_cost, render_partitions, render_shared_cost,
     render_timing_table,
 };
+pub use session::{AnalysisSession, ApplyStats, Delta};
 pub use sweep::{sweep_partitions, sweep_partitions_probed, SweepStrategy};

@@ -31,6 +31,16 @@ pub struct PartitionBlock {
     pub finish: Time,
 }
 
+impl PartitionBlock {
+    /// The covering window `(min E, max L)` of the subset, maintained
+    /// incrementally by the Figure 4 scan — a cheap fingerprint for
+    /// deciding whether a cached sweep of this block is still valid
+    /// without rescanning member windows.
+    pub fn window_span(&self) -> (Time, Time) {
+        (self.start, self.finish)
+    }
+}
+
 /// The ordered partition of `ST_r` for one resource.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ResourcePartition {
@@ -90,7 +100,8 @@ pub fn partition_tasks(
     let mut tasks = graph.tasks_demanding(resource);
     tasks.sort_by_key(|&t| (timing.est(t), std::cmp::Reverse(timing.lct(t)), t));
 
-    let mut blocks: Vec<PartitionBlock> = Vec::new();
+    // Worst case (all windows disjoint) is one block per task.
+    let mut blocks: Vec<PartitionBlock> = Vec::with_capacity(tasks.len());
     for t in tasks {
         let est = timing.est(t);
         let lct = timing.lct(t);
@@ -234,6 +245,18 @@ mod tests {
             }
         }
         assert_eq!(seen.len(), g.task_count());
+    }
+
+    #[test]
+    fn window_span_matches_member_extremes() {
+        let (g, p) = graph_with_windows(&[(0, 5), (3, 12), (11, 20)]);
+        let timing = compute_timing(&g, &SystemModel::shared());
+        let part = partition_tasks(&g, &timing, p);
+        assert_eq!(part.blocks.len(), 1);
+        let block = &part.blocks[0];
+        let min_e = block.tasks.iter().map(|&t| timing.est(t)).min().unwrap();
+        let max_l = block.tasks.iter().map(|&t| timing.lct(t)).max().unwrap();
+        assert_eq!(block.window_span(), (min_e, max_l));
     }
 
     #[test]

@@ -1,0 +1,871 @@
+//! Incremental re-analysis for scenario sweeps.
+//!
+//! The paper's intended use is design-space exploration: re-running the
+//! bound analysis while varying computation times, release times,
+//! deadlines, and message sizes. Re-running the whole pipeline per
+//! variant wastes work — an edit to one task can only influence
+//!
+//! * **EST** values in the task's *forward* cone (Figure 3 consumes
+//!   predecessor values),
+//! * **LCT** values in its *backward* cone (Figure 2 consumes successor
+//!   values), and
+//! * sweeps of resources whose member windows or demand sets moved.
+//!
+//! [`AnalysisSession`] holds a fully analyzed instance plus all
+//! intermediate state — per-task windows, merge selections, per-resource
+//! partitions, per-block sweep maxima, per-resource bounds — and accepts
+//! typed [`Delta`] edits. [`AnalysisSession::apply`] then recomputes only
+//! the dirty cone: EST is forward-propagated and LCT backward-propagated
+//! task-by-task with **early cutoff** (a recomputed value equal to the
+//! stored one stops the wave, because [`crate::estlct`]'s per-task
+//! evaluations are pure in their neighbor values), only resources whose
+//! members were touched are re-partitioned, and within them only dirty
+//! blocks are re-swept — clean blocks replay their cached
+//! [`RatioMax`] verbatim. Dirty-block sweeps fan out across the same
+//! scoped-thread pool as the full sweep ([`crate::exec::run_jobs`]).
+//!
+//! The result is **bit-identical** to a from-scratch
+//! [`analyze_with`](crate::analyze_with) on the edited graph — same
+//! bounds, witnesses, interval counts, windows, merge selections, and
+//! partitions — which `tests/session_matches_scratch.rs` enforces with a
+//! differential proptest oracle.
+//!
+//! Failed applies keep their dirt: if an edit makes the instance
+//! infeasible (or unhostable under a dedicated model), the error is
+//! returned and the accumulated dirty sets are retained, so a later
+//! successful apply re-sweeps everything the failed ones touched.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rtlb_graph::{Dur, ExecutionMode, GraphError, ResourceId, TaskGraph, TaskId, Time};
+use rtlb_obs::{span, Label, Probe, NULL_PROBE};
+
+use crate::analysis::{Analysis, AnalysisOptions};
+use crate::bounds::{resource_bound_unpartitioned_with, RatioMax, ResourceBound};
+use crate::error::AnalysisError;
+use crate::estlct::{compute_timing_probed, est_of, lct_of, TimingAnalysis};
+use crate::exec::{effective_threads, run_jobs};
+use crate::model::SystemModel;
+use crate::partition::{partition_tasks, ResourcePartition};
+use crate::sweep::sweep_block_into;
+
+/// One typed edit to an analyzed instance.
+///
+/// Deltas change task and edge *annotations* only; the DAG's shape is
+/// fixed at build time, so the cached topological order stays valid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Delta {
+    /// Change a task's computation time `C_i`.
+    SetComputation {
+        /// The edited task.
+        task: TaskId,
+        /// The new computation time.
+        computation: Dur,
+    },
+    /// Change a task's release time `rel_i`.
+    SetRelease {
+        /// The edited task.
+        task: TaskId,
+        /// The new release time.
+        release: Time,
+    },
+    /// Change a task's deadline `D_i`.
+    SetDeadline {
+        /// The edited task.
+        task: TaskId,
+        /// The new deadline.
+        deadline: Time,
+    },
+    /// Change a task's execution mode.
+    SetMode {
+        /// The edited task.
+        task: TaskId,
+        /// The new mode.
+        mode: ExecutionMode,
+    },
+    /// Change the message time of an existing edge `from -> to`.
+    SetMessage {
+        /// Source of the edge.
+        from: TaskId,
+        /// Destination of the edge.
+        to: TaskId,
+        /// The new message time.
+        message: Dur,
+    },
+    /// Add a resource to a task's demand set `R_i`.
+    AddDemand {
+        /// The edited task.
+        task: TaskId,
+        /// The resource to demand.
+        resource: ResourceId,
+    },
+    /// Remove a resource from a task's demand set `R_i`.
+    RemoveDemand {
+        /// The edited task.
+        task: TaskId,
+        /// The resource to release.
+        resource: ResourceId,
+    },
+}
+
+/// What one successful [`AnalysisSession::apply`] actually recomputed —
+/// the incremental engine's savings report.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ApplyStats {
+    /// Tasks whose EST was re-evaluated (dirty forward cone).
+    pub tasks_recomputed_est: u64,
+    /// Tasks whose LCT was re-evaluated (dirty backward cone).
+    pub tasks_recomputed_lct: u64,
+    /// Resources re-partitioned and re-folded.
+    pub resources_dirty: u64,
+    /// Partition blocks actually re-swept.
+    pub blocks_resweeped: u64,
+    /// Partition blocks whose cached sweep maxima were replayed.
+    pub blocks_reused: u64,
+}
+
+impl ApplyStats {
+    /// Total per-task timing re-evaluations (EST plus LCT).
+    pub fn tasks_recomputed(&self) -> u64 {
+        self.tasks_recomputed_est + self.tasks_recomputed_lct
+    }
+}
+
+/// An old block's identity and cached maximum, keyed by leading task
+/// during re-partitioning: (member list, window span, sweep maximum).
+type CachedBlock = (Vec<TaskId>, (Time, Time), RatioMax);
+
+/// Cached sweep state for one resource: its partition, one folded
+/// [`RatioMax`] per block (empty when partitioning is off), and the
+/// resulting bound.
+#[derive(Clone, Debug)]
+struct ResourceCache {
+    resource: ResourceId,
+    partition: ResourcePartition,
+    block_maxima: Vec<RatioMax>,
+    bound: ResourceBound,
+}
+
+impl ResourceCache {
+    /// Folds the per-block maxima into the resource bound, in block order
+    /// — bit-identical to the serial whole-partition sweep because
+    /// [`RatioMax::merge`] preserves serial offer order.
+    fn fold_bound(&mut self) {
+        let mut total = RatioMax::default();
+        for max in &self.block_maxima {
+            total.merge(*max);
+        }
+        self.bound = total.into_bound(self.resource);
+    }
+}
+
+/// A fully analyzed instance that accepts [`Delta`] edits and recomputes
+/// only the dirty cone on [`apply`](AnalysisSession::apply).
+///
+/// # Example
+///
+/// ```
+/// use rtlb_core::{AnalysisOptions, AnalysisSession, Delta, SystemModel};
+/// use rtlb_graph::{Catalog, Dur, TaskGraphBuilder, TaskSpec, Time};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut catalog = Catalog::new();
+/// let p = catalog.processor("P");
+/// let mut b = TaskGraphBuilder::new(catalog);
+/// for name in ["a", "b", "c"] {
+///     b.add_task(TaskSpec::new(name, Dur::new(4), p).deadline(Time::new(6)))?;
+/// }
+/// let graph = b.build()?;
+/// let a = graph.task_id("a").unwrap();
+///
+/// let mut session =
+///     AnalysisSession::new(graph, SystemModel::shared(), AnalysisOptions::default())?;
+/// assert_eq!(session.units_required(p), 2); // 12 ticks of work in 6
+///
+/// // Shrinking one task's computation time re-analyzes incrementally.
+/// session.apply(&[Delta::SetComputation { task: a, computation: Dur::new(1) }])?;
+/// assert_eq!(session.units_required(p), 2); // 9 ticks in 6 still needs 2
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct AnalysisSession {
+    graph: TaskGraph,
+    model: SystemModel,
+    options: AnalysisOptions,
+    timing: TimingAnalysis,
+    /// Per-resource sweep caches, in resource-id order over
+    /// `graph.resources_used()`.
+    caches: Vec<ResourceCache>,
+    /// Tasks whose EST must be re-evaluated on the next apply.
+    pending_est: BTreeSet<TaskId>,
+    /// Tasks whose LCT must be re-evaluated on the next apply.
+    pending_lct: BTreeSet<TaskId>,
+    /// Tasks whose sweep-relevant state (window, `C_i`, mode) changed
+    /// since the last successful sweep refresh.
+    pending_touched: BTreeSet<TaskId>,
+    /// The subset of `pending_touched` whose *window* actually moved —
+    /// only these can change a resource's partition structure.
+    pending_window: BTreeSet<TaskId>,
+    /// Resources whose demand sets changed since the last successful
+    /// sweep refresh.
+    pending_demand: BTreeSet<ResourceId>,
+}
+
+impl AnalysisSession {
+    /// Analyzes `graph` from scratch and captures every intermediate
+    /// result for later incremental updates. Takes ownership of the graph;
+    /// all subsequent edits go through [`apply`](AnalysisSession::apply).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`crate::analyze_with`]: [`AnalysisError::UnhostableTask`]
+    /// or [`AnalysisError::Infeasible`].
+    pub fn new(
+        graph: TaskGraph,
+        model: SystemModel,
+        options: AnalysisOptions,
+    ) -> Result<AnalysisSession, AnalysisError> {
+        AnalysisSession::new_probed(graph, model, options, &NULL_PROBE)
+    }
+
+    /// [`AnalysisSession::new`] reporting the initial full analysis into
+    /// `probe` (same spans and counters as
+    /// [`crate::analyze_with_probe`]'s timing stages, plus the sweep
+    /// counters of the per-block pass).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AnalysisSession::new`].
+    pub fn new_probed(
+        graph: TaskGraph,
+        model: SystemModel,
+        options: AnalysisOptions,
+        probe: &dyn Probe,
+    ) -> Result<AnalysisSession, AnalysisError> {
+        let _run = span(probe, "session.analyze", Label::None);
+        model.validate(&graph)?;
+        let timing = compute_timing_probed(&graph, &model, probe);
+        timing.check_feasible(&graph)?;
+        let mut session = AnalysisSession {
+            graph,
+            model,
+            options,
+            timing,
+            caches: Vec::new(),
+            pending_est: BTreeSet::new(),
+            pending_lct: BTreeSet::new(),
+            pending_touched: BTreeSet::new(),
+            pending_window: BTreeSet::new(),
+            pending_demand: BTreeSet::new(),
+        };
+        session.caches = session.build_caches(probe);
+        Ok(session)
+    }
+
+    /// Builds the per-resource sweep caches from the current timing, one
+    /// block-sweep job per block, fanned out over the thread pool.
+    fn build_caches(&self, probe: &dyn Probe) -> Vec<ResourceCache> {
+        let resources: Vec<ResourceId> = self.graph.resources_used().into_iter().collect();
+        if !self.options.partitioning {
+            return resources
+                .into_iter()
+                .map(|r| {
+                    let bound = resource_bound_unpartitioned_with(
+                        &self.graph,
+                        &self.timing,
+                        r,
+                        self.options.candidates,
+                    );
+                    probe.add("sweep.pairs_offered", bound.intervals_examined);
+                    ResourceCache {
+                        resource: r,
+                        partition: ResourcePartition {
+                            resource: r,
+                            blocks: Vec::new(),
+                        },
+                        block_maxima: Vec::new(),
+                        bound,
+                    }
+                })
+                .collect();
+        }
+
+        let partitions: Vec<ResourcePartition> = resources
+            .iter()
+            .map(|&r| partition_tasks(&self.graph, &self.timing, r))
+            .collect();
+        let jobs: Vec<(usize, usize)> = partitions
+            .iter()
+            .enumerate()
+            .flat_map(|(pi, p)| (0..p.blocks.len()).map(move |bi| (pi, bi)))
+            .collect();
+        let maxima = run_jobs(
+            probe,
+            effective_threads(self.options.parallelism),
+            jobs.len(),
+            |j| {
+                let (pi, bi) = jobs[j];
+                let mut max = RatioMax::default();
+                let events = sweep_block_into(
+                    &self.graph,
+                    &self.timing,
+                    &partitions[pi].blocks[bi],
+                    self.options.candidates,
+                    self.options.sweep,
+                    &mut max,
+                );
+                probe.add("sweep.events_processed", events);
+                probe.add("sweep.pairs_offered", max.intervals());
+                max
+            },
+        );
+
+        let mut block_maxima: Vec<Vec<RatioMax>> = partitions
+            .iter()
+            .map(|p| Vec::with_capacity(p.blocks.len()))
+            .collect();
+        for (j, max) in maxima.into_iter().enumerate() {
+            block_maxima[jobs[j].0].push(max);
+        }
+        partitions
+            .into_iter()
+            .zip(block_maxima)
+            .map(|(partition, block_maxima)| {
+                let mut cache = ResourceCache {
+                    resource: partition.resource,
+                    partition,
+                    block_maxima,
+                    bound: RatioMax::default().into_bound(ResourceId::from_index(0)),
+                };
+                cache.fold_bound();
+                cache
+            })
+            .collect()
+    }
+
+    /// The instance as currently edited.
+    pub fn graph(&self) -> &TaskGraph {
+        &self.graph
+    }
+
+    /// The system model the session analyzes against.
+    pub fn model(&self) -> &SystemModel {
+        &self.model
+    }
+
+    /// The analysis options fixed at session creation.
+    pub fn options(&self) -> AnalysisOptions {
+        self.options
+    }
+
+    /// The current EST/LCT analysis.
+    pub fn timing(&self) -> &TimingAnalysis {
+        &self.timing
+    }
+
+    /// The current resource bounds, in resource-id order.
+    pub fn bounds(&self) -> Vec<ResourceBound> {
+        self.caches.iter().map(|c| c.bound).collect()
+    }
+
+    /// The bound for one resource, if the application demands it.
+    pub fn bound_for(&self, r: ResourceId) -> Option<ResourceBound> {
+        self.caches
+            .iter()
+            .find(|c| c.resource == r)
+            .map(|c| c.bound)
+    }
+
+    /// `LB_r` as a plain number (0 for undemanded resources).
+    pub fn units_required(&self, r: ResourceId) -> u32 {
+        self.bound_for(r).map_or(0, |b| b.bound)
+    }
+
+    /// Whether a failed apply left dirt that the next successful apply
+    /// will have to consume. While true, the sweep state reflects the
+    /// last *successfully analyzed* instance, not the current graph.
+    pub fn has_pending_edits(&self) -> bool {
+        !(self.pending_est.is_empty()
+            && self.pending_lct.is_empty()
+            && self.pending_touched.is_empty()
+            && self.pending_demand.is_empty())
+    }
+
+    /// Snapshots the session as a standalone [`Analysis`] — bit-identical
+    /// to what [`crate::analyze_with`] would produce for the current
+    /// graph, model, and options (provided no failed apply left pending
+    /// edits, see [`has_pending_edits`](AnalysisSession::has_pending_edits)).
+    pub fn to_analysis(&self) -> Analysis {
+        let partitions = if self.options.partitioning {
+            self.caches.iter().map(|c| c.partition.clone()).collect()
+        } else {
+            Vec::new()
+        };
+        Analysis::from_parts(
+            self.timing.clone(),
+            partitions,
+            self.caches.iter().map(|c| c.bound).collect(),
+        )
+    }
+
+    /// Applies a batch of edits, recomputing only what they can reach.
+    ///
+    /// The batch is atomic on the graph: every delta is validated before
+    /// any is applied, so an [`AnalysisError::InvalidDelta`] leaves the
+    /// session untouched. Analysis errors surface after the graph was
+    /// edited — the dirty sets are retained and consumed by the next
+    /// successful apply.
+    ///
+    /// # Errors
+    ///
+    /// * [`AnalysisError::InvalidDelta`] if a delta references an unknown
+    ///   task or edge, or demands a non-resource (nothing is applied).
+    /// * [`AnalysisError::UnhostableTask`] if the edited instance cannot
+    ///   be hosted by a dedicated model.
+    /// * [`AnalysisError::Infeasible`] if the edited windows cannot
+    ///   contain their computations.
+    pub fn apply(&mut self, deltas: &[Delta]) -> Result<ApplyStats, AnalysisError> {
+        self.apply_probed(deltas, &NULL_PROBE)
+    }
+
+    /// [`apply`](AnalysisSession::apply) reporting into `probe`:
+    /// `session.apply` / `session.timing` / `session.sweep` spans and the
+    /// `session.tasks_recomputed`, `session.resources_dirty`,
+    /// `session.blocks_resweeped`, `session.blocks_reused` counters
+    /// (plus the usual `sweep.*` counters for re-swept blocks).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`apply`](AnalysisSession::apply).
+    pub fn apply_probed(
+        &mut self,
+        deltas: &[Delta],
+        probe: &dyn Probe,
+    ) -> Result<ApplyStats, AnalysisError> {
+        let _apply = span(probe, "session.apply", Label::None);
+
+        for delta in deltas {
+            self.validate_delta(delta)
+                .map_err(AnalysisError::InvalidDelta)?;
+        }
+        for delta in deltas {
+            self.ingest(delta);
+        }
+
+        // Timing recomputation assumes every task is hostable (merge
+        // seeds would panic otherwise), so bail first, keeping the dirt.
+        self.model.validate(&self.graph)?;
+
+        let mut stats = ApplyStats::default();
+        {
+            let _timing = span(probe, "session.timing", Label::None);
+            let est_seed = std::mem::take(&mut self.pending_est);
+            let lct_seed = std::mem::take(&mut self.pending_lct);
+            stats.tasks_recomputed_est = self.propagate_est(&est_seed);
+            stats.tasks_recomputed_lct = self.propagate_lct(&lct_seed);
+        }
+        probe.add("session.tasks_recomputed", stats.tasks_recomputed());
+
+        // The sweep requires feasible windows (E + C <= L); window edits
+        // stay in `pending_touched` for the next successful apply.
+        self.timing.check_feasible(&self.graph)?;
+
+        {
+            let _sweep = span(probe, "session.sweep", Label::None);
+            let touched = std::mem::take(&mut self.pending_touched);
+            let window_moved = std::mem::take(&mut self.pending_window);
+            let demand = std::mem::take(&mut self.pending_demand);
+            self.refresh_bounds(&touched, &window_moved, &demand, &mut stats, probe);
+        }
+        probe.add("session.resources_dirty", stats.resources_dirty);
+        probe.add("session.blocks_resweeped", stats.blocks_resweeped);
+        probe.add("session.blocks_reused", stats.blocks_reused);
+        Ok(stats)
+    }
+
+    /// Read-only validation of one delta against the current graph.
+    fn validate_delta(&self, delta: &Delta) -> Result<(), GraphError> {
+        let check_task = |t: TaskId| {
+            if t.index() < self.graph.task_count() {
+                Ok(())
+            } else {
+                Err(GraphError::UnknownTask(format!("{t}")))
+            }
+        };
+        match *delta {
+            Delta::SetComputation { task, .. }
+            | Delta::SetRelease { task, .. }
+            | Delta::SetDeadline { task, .. }
+            | Delta::SetMode { task, .. }
+            | Delta::RemoveDemand { task, .. } => check_task(task),
+            Delta::SetMessage { from, to, .. } => {
+                check_task(from)?;
+                check_task(to)?;
+                if self.graph.message(from, to).is_some() {
+                    Ok(())
+                } else {
+                    Err(GraphError::UnknownEdge {
+                        from: self.graph.task(from).name().to_owned(),
+                        to: self.graph.task(to).name().to_owned(),
+                    })
+                }
+            }
+            Delta::AddDemand { task, resource } => {
+                check_task(task)?;
+                let catalog = self.graph.catalog();
+                if catalog.contains(resource) && !catalog.is_processor(resource) {
+                    Ok(())
+                } else {
+                    Err(GraphError::BadTaskTyping {
+                        task: self.graph.task(task).name().to_owned(),
+                        detail: format!("id {resource} is not a plain resource in the catalog"),
+                    })
+                }
+            }
+        }
+    }
+
+    /// Applies one pre-validated delta to the graph and seeds the dirty
+    /// sets with exactly what the edit can influence:
+    ///
+    /// * `C_i` feeds successors' EST (`emr = E + C + m`) and
+    ///   predecessors' LCT (`lms = L - C - m`), plus the task's own Ψ;
+    /// * `rel_i` / `D_i` feed only the task's own EST / LCT evaluation;
+    /// * the mode feeds only the task's own Ψ;
+    /// * a message `m_{a,b}` feeds `b`'s EST and `a`'s LCT;
+    /// * a demand edit dirties the resource's member set, and — because
+    ///   dedicated-model mergeability inspects resource sets — the task's
+    ///   own window plus both immediate neighborhoods (harmless
+    ///   over-seeding under a shared model; cutoff absorbs it).
+    fn ingest(&mut self, delta: &Delta) {
+        match *delta {
+            Delta::SetComputation { task, computation } => {
+                self.graph
+                    .set_computation(task, computation)
+                    .expect("delta validated");
+                for e in self.graph.successors(task) {
+                    self.pending_est.insert(e.other);
+                }
+                for e in self.graph.predecessors(task) {
+                    self.pending_lct.insert(e.other);
+                }
+                self.pending_touched.insert(task);
+            }
+            Delta::SetRelease { task, release } => {
+                self.graph
+                    .set_release(task, release)
+                    .expect("delta validated");
+                self.pending_est.insert(task);
+            }
+            Delta::SetDeadline { task, deadline } => {
+                self.graph
+                    .set_deadline(task, deadline)
+                    .expect("delta validated");
+                self.pending_lct.insert(task);
+            }
+            Delta::SetMode { task, mode } => {
+                self.graph.set_mode(task, mode).expect("delta validated");
+                self.pending_touched.insert(task);
+            }
+            Delta::SetMessage { from, to, message } => {
+                self.graph
+                    .set_message(from, to, message)
+                    .expect("delta validated");
+                self.pending_est.insert(to);
+                self.pending_lct.insert(from);
+            }
+            Delta::AddDemand { task, resource } | Delta::RemoveDemand { task, resource } => {
+                let changed = match *delta {
+                    Delta::AddDemand { .. } => self
+                        .graph
+                        .add_resource_demand(task, resource)
+                        .expect("delta validated"),
+                    _ => self
+                        .graph
+                        .remove_resource_demand(task, resource)
+                        .expect("delta validated"),
+                };
+                if changed {
+                    self.pending_demand.insert(resource);
+                    self.pending_est.insert(task);
+                    self.pending_lct.insert(task);
+                    for e in self.graph.successors(task) {
+                        self.pending_est.insert(e.other);
+                    }
+                    for e in self.graph.predecessors(task) {
+                        self.pending_lct.insert(e.other);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Forward EST wave over the stored topological order: recompute
+    /// seeded tasks, propagate to successors only when the value moved.
+    /// Merge selections are re-stored even on a value tie (the selected
+    /// set can change while the value doesn't; downstream evaluations
+    /// depend only on values, so the cutoff stays sound).
+    fn propagate_est(&mut self, seeds: &BTreeSet<TaskId>) -> u64 {
+        if seeds.is_empty() {
+            return 0;
+        }
+        let n = self.graph.task_count();
+        let mut dirty = vec![false; n];
+        for &s in seeds {
+            dirty[s.index()] = true;
+        }
+        let mut est: Vec<Time> = (0..n)
+            .map(|i| self.timing.est(TaskId::from_index(i)))
+            .collect();
+        let mut recomputed = 0u64;
+        for &i in self.graph.topological_order() {
+            if !dirty[i.index()] {
+                continue;
+            }
+            recomputed += 1;
+            let (value, merged, _) = est_of(&self.graph, &self.model, i, &est);
+            if value != est[i.index()] {
+                est[i.index()] = value;
+                self.pending_touched.insert(i);
+                self.pending_window.insert(i);
+                for e in self.graph.successors(i) {
+                    dirty[e.other.index()] = true;
+                }
+            }
+            self.timing.set_est(i, value);
+            self.timing.set_merged_predecessors(i, merged);
+        }
+        recomputed
+    }
+
+    /// Backward LCT wave over the reverse topological order; mirror image
+    /// of [`propagate_est`](AnalysisSession::propagate_est).
+    fn propagate_lct(&mut self, seeds: &BTreeSet<TaskId>) -> u64 {
+        if seeds.is_empty() {
+            return 0;
+        }
+        let n = self.graph.task_count();
+        let mut dirty = vec![false; n];
+        for &s in seeds {
+            dirty[s.index()] = true;
+        }
+        let mut lct: Vec<Time> = (0..n)
+            .map(|i| self.timing.lct(TaskId::from_index(i)))
+            .collect();
+        let mut recomputed = 0u64;
+        for i in self.graph.reverse_topological_order() {
+            if !dirty[i.index()] {
+                continue;
+            }
+            recomputed += 1;
+            let (value, merged, _) = lct_of(&self.graph, &self.model, i, &lct);
+            if value != lct[i.index()] {
+                lct[i.index()] = value;
+                self.pending_touched.insert(i);
+                self.pending_window.insert(i);
+                for e in self.graph.predecessors(i) {
+                    dirty[e.other.index()] = true;
+                }
+            }
+            self.timing.set_lct(i, value);
+            self.timing.set_merged_successors(i, merged);
+        }
+        recomputed
+    }
+
+    /// Re-partitions and re-sweeps dirty resources only, replaying cached
+    /// block maxima for blocks whose members and windows are unchanged.
+    fn refresh_bounds(
+        &mut self,
+        touched: &BTreeSet<TaskId>,
+        window_moved: &BTreeSet<TaskId>,
+        demand_dirty: &BTreeSet<ResourceId>,
+        stats: &mut ApplyStats,
+        probe: &dyn Probe,
+    ) {
+        // A resource is dirty when its demand set changed or any current
+        // demander's sweep-relevant state moved.
+        let mut dirty: BTreeSet<ResourceId> = demand_dirty.clone();
+        for &t in touched {
+            dirty.extend(self.graph.task(t).demands());
+        }
+        if dirty.is_empty() {
+            return;
+        }
+
+        let resources: Vec<ResourceId> = self.graph.resources_used().into_iter().collect();
+        let mut old: BTreeMap<ResourceId, ResourceCache> = std::mem::take(&mut self.caches)
+            .into_iter()
+            .map(|c| (c.resource, c))
+            .collect();
+
+        let mut caches: Vec<ResourceCache> = Vec::with_capacity(resources.len());
+        let mut rebuilt: Vec<usize> = Vec::new();
+        // (cache index, block index) of every block that must be swept.
+        let mut jobs: Vec<(usize, usize)> = Vec::new();
+
+        for r in resources {
+            match old.remove(&r) {
+                Some(cache) if !dirty.contains(&r) => caches.push(cache),
+                previous => {
+                    stats.resources_dirty += 1;
+                    let ci = caches.len();
+                    rebuilt.push(ci);
+                    if self.options.partitioning {
+                        // Figure 4's partition depends only on the member
+                        // set and each member's window, so when neither
+                        // changed the cached structure is already correct
+                        // and only blocks holding a touched member need a
+                        // fresh sweep.
+                        let structural = previous.is_none()
+                            || demand_dirty.contains(&r)
+                            || window_moved
+                                .iter()
+                                .any(|&t| self.graph.task(t).demands().any(|d| d == r));
+                        let (cache, pending) = if structural {
+                            self.plan_rebuild(r, previous, touched, stats)
+                        } else {
+                            Self::plan_reuse(previous.expect("previous checked"), touched, stats)
+                        };
+                        jobs.extend(pending.into_iter().map(|bi| (ci, bi)));
+                        caches.push(cache);
+                    } else {
+                        jobs.push((ci, 0));
+                        caches.push(ResourceCache {
+                            resource: r,
+                            partition: ResourcePartition {
+                                resource: r,
+                                blocks: Vec::new(),
+                            },
+                            block_maxima: Vec::new(),
+                            bound: RatioMax::default().into_bound(r),
+                        });
+                    }
+                }
+            }
+        }
+
+        let threads = effective_threads(self.options.parallelism);
+        if self.options.partitioning {
+            let results = run_jobs(probe, threads, jobs.len(), |j| {
+                let (ci, bi) = jobs[j];
+                let cache = &caches[ci];
+                let _chunk = span(probe, "sweep.chunk", Label::Index(ci as u64));
+                let mut max = RatioMax::default();
+                let events = sweep_block_into(
+                    &self.graph,
+                    &self.timing,
+                    &cache.partition.blocks[bi],
+                    self.options.candidates,
+                    self.options.sweep,
+                    &mut max,
+                );
+                probe.add("sweep.events_processed", events);
+                probe.add("sweep.pairs_offered", max.intervals());
+                max
+            });
+            for (j, max) in results.into_iter().enumerate() {
+                let (ci, bi) = jobs[j];
+                caches[ci].block_maxima[bi] = max;
+            }
+            for ci in rebuilt {
+                caches[ci].fold_bound();
+            }
+        } else {
+            let results = run_jobs(probe, threads, jobs.len(), |j| {
+                let r = caches[jobs[j].0].resource;
+                let bound = resource_bound_unpartitioned_with(
+                    &self.graph,
+                    &self.timing,
+                    r,
+                    self.options.candidates,
+                );
+                probe.add("sweep.pairs_offered", bound.intervals_examined);
+                bound
+            });
+            for (j, bound) in results.into_iter().enumerate() {
+                caches[jobs[j].0].bound = bound;
+            }
+        }
+        self.caches = caches;
+    }
+
+    /// Re-partitions one dirty resource and decides block-by-block
+    /// whether the cached sweep can be replayed, returning the new cache
+    /// (dirty maxima zeroed) plus the block indices that must be swept.
+    ///
+    /// A block is clean when an old block with the same leading task
+    /// carries the identical member list, the same covering
+    /// [`PartitionBlock::window_span`], and none of its members were
+    /// touched — blocks partition `ST_r`, so the leading task is a
+    /// unique, stable key.
+    ///
+    /// [`PartitionBlock::window_span`]: crate::PartitionBlock::window_span
+    /// Keeps a dirty resource's cached partition in place — valid only
+    /// when the demand set is unchanged and no member window moved —
+    /// zeroing the maxima of blocks that hold a touched member and
+    /// returning their indices for re-sweeping.
+    fn plan_reuse(
+        mut cache: ResourceCache,
+        touched: &BTreeSet<TaskId>,
+        stats: &mut ApplyStats,
+    ) -> (ResourceCache, Vec<usize>) {
+        let mut pending_jobs = Vec::new();
+        for (bi, block) in cache.partition.blocks.iter().enumerate() {
+            if block.tasks.iter().any(|t| touched.contains(t)) {
+                cache.block_maxima[bi] = RatioMax::default();
+                pending_jobs.push(bi);
+                stats.blocks_resweeped += 1;
+            } else {
+                stats.blocks_reused += 1;
+            }
+        }
+        (cache, pending_jobs)
+    }
+
+    fn plan_rebuild(
+        &self,
+        r: ResourceId,
+        previous: Option<ResourceCache>,
+        touched: &BTreeSet<TaskId>,
+        stats: &mut ApplyStats,
+    ) -> (ResourceCache, Vec<usize>) {
+        let partition = partition_tasks(&self.graph, &self.timing, r);
+        let mut old_blocks: BTreeMap<TaskId, CachedBlock> = BTreeMap::new();
+        if let Some(prev) = previous {
+            for (block, max) in prev.partition.blocks.into_iter().zip(prev.block_maxima) {
+                let span = block.window_span();
+                old_blocks.insert(block.tasks[0], (block.tasks, span, max));
+            }
+        }
+
+        let mut block_maxima = Vec::with_capacity(partition.blocks.len());
+        let mut pending_jobs = Vec::new();
+        for (bi, block) in partition.blocks.iter().enumerate() {
+            let reusable = old_blocks
+                .get(&block.tasks[0])
+                .is_some_and(|(tasks, span, _)| {
+                    tasks == &block.tasks
+                        && *span == block.window_span()
+                        && block.tasks.iter().all(|t| !touched.contains(t))
+                });
+            if reusable {
+                block_maxima.push(old_blocks[&block.tasks[0]].2);
+                stats.blocks_reused += 1;
+            } else {
+                block_maxima.push(RatioMax::default());
+                pending_jobs.push(bi);
+                stats.blocks_resweeped += 1;
+            }
+        }
+        (
+            ResourceCache {
+                resource: r,
+                partition,
+                block_maxima,
+                bound: RatioMax::default().into_bound(r),
+            },
+            pending_jobs,
+        )
+    }
+}

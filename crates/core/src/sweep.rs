@@ -43,7 +43,6 @@
 //! count.
 
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 use rtlb_graph::{Dur, ExecutionMode, TaskGraph, TaskId, Time};
 use rtlb_obs::{span, Label, Probe, NULL_PROBE};
@@ -51,7 +50,8 @@ use serde::{Deserialize, Serialize};
 
 use crate::bounds::{candidate_points, CandidatePolicy, RatioMax, ResourceBound};
 use crate::estlct::{TaskWindow, TimingAnalysis};
-use crate::partition::ResourcePartition;
+use crate::exec::{effective_threads, run_jobs};
+use crate::partition::{PartitionBlock, ResourcePartition};
 
 /// How the Equation 6.3 interval sweep evaluates `Θ`.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -199,6 +199,34 @@ fn sweep_span(
     }
 }
 
+/// Sweeps one partition block into `max` with the chosen strategy,
+/// returning the number of slope events processed (zero for the naive
+/// strategy). This is the unit of work the session's dirty-block
+/// re-sweep caches and replays.
+pub(crate) fn sweep_block_into(
+    graph: &TaskGraph,
+    timing: &TimingAnalysis,
+    block: &PartitionBlock,
+    policy: CandidatePolicy,
+    strategy: SweepStrategy,
+    max: &mut RatioMax,
+) -> u64 {
+    let mut events_processed = 0u64;
+    let points = candidate_points(graph, timing, &block.tasks, policy);
+    let t1s = 0..points.len().saturating_sub(1);
+    sweep_span(
+        graph,
+        timing,
+        &block.tasks,
+        &points,
+        t1s,
+        strategy,
+        max,
+        &mut events_processed,
+    );
+    events_processed
+}
+
 /// Sweeps every block of one partition sequentially (Theorem 5), with the
 /// chosen strategy.
 pub(crate) fn sweep_partition_into(
@@ -209,20 +237,8 @@ pub(crate) fn sweep_partition_into(
     strategy: SweepStrategy,
     max: &mut RatioMax,
 ) {
-    let mut events_processed = 0u64;
     for block in &partition.blocks {
-        let points = candidate_points(graph, timing, &block.tasks, policy);
-        let t1s = 0..points.len().saturating_sub(1);
-        sweep_span(
-            graph,
-            timing,
-            &block.tasks,
-            &points,
-            t1s,
-            strategy,
-            max,
-            &mut events_processed,
-        );
+        sweep_block_into(graph, timing, block, policy, strategy, max);
     }
 }
 
@@ -340,63 +356,6 @@ pub fn sweep_partitions_probed(
         .collect()
 }
 
-/// Resolves the `parallelism` knob: `0` means every available core.
-fn effective_threads(parallelism: usize) -> usize {
-    if parallelism == 0 {
-        std::thread::available_parallelism().map_or(1, |n| n.get())
-    } else {
-        parallelism
-    }
-}
-
-/// Runs `count` independent jobs on up to `threads` scoped threads and
-/// returns their results in job order. Each worker thread (including the
-/// calling thread on the serial path) runs under a `sweep.worker` span so
-/// trace sinks get one swim-lane per worker.
-fn run_jobs<T, F>(probe: &dyn Probe, threads: usize, count: usize, run: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    let workers = threads.min(count);
-    if workers <= 1 {
-        let _worker = span(probe, "sweep.worker", Label::None);
-        return (0..count).map(run).collect();
-    }
-
-    let next = AtomicUsize::new(0);
-    let mut collected: Vec<(usize, T)> = Vec::with_capacity(count);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let _worker = span(probe, "sweep.worker", Label::None);
-                    let mut done = Vec::new();
-                    loop {
-                        let job = next.fetch_add(1, Ordering::Relaxed);
-                        if job >= count {
-                            break done;
-                        }
-                        done.push((job, run(job)));
-                    }
-                })
-            })
-            .collect();
-        for handle in handles {
-            collected.extend(handle.join().expect("sweep worker panicked"));
-        }
-    });
-
-    let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
-    for (job, value) in collected {
-        slots[job] = Some(value);
-    }
-    slots
-        .into_iter()
-        .map(|slot| slot.expect("every job ran exactly once"))
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -510,14 +469,6 @@ mod tests {
                 threads,
             );
             assert_eq!(serial, par, "threads = {threads}");
-        }
-    }
-
-    #[test]
-    fn run_jobs_preserves_job_order() {
-        for threads in [1, 2, 5] {
-            let out = run_jobs(&NULL_PROBE, threads, 23, |j| j * j);
-            assert_eq!(out, (0..23).map(|j| j * j).collect::<Vec<_>>());
         }
     }
 

@@ -31,6 +31,13 @@ pub enum GraphError {
         /// Name of the edge's destination task.
         to: String,
     },
+    /// An edit referenced a precedence edge that does not exist.
+    UnknownEdge {
+        /// Name of the edge's source task.
+        from: String,
+        /// Name of the edge's destination task.
+        to: String,
+    },
     /// The precedence relation contains a cycle; the field names one task
     /// on it.
     Cycle(String),
@@ -70,6 +77,9 @@ impl fmt::Display for GraphError {
             }
             GraphError::DuplicateEdge { from, to } => {
                 write!(f, "duplicate edge `{from}` -> `{to}`")
+            }
+            GraphError::UnknownEdge { from, to } => {
+                write!(f, "no edge `{from}` -> `{to}`")
             }
             GraphError::Cycle(name) => {
                 write!(f, "precedence relation has a cycle through task `{name}`")

@@ -7,7 +7,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::catalog::{Catalog, ResourceId, ResourceKind};
 use crate::error::GraphError;
-use crate::task::{Task, TaskSpec};
+use crate::task::{ExecutionMode, Task, TaskSpec};
 use crate::time::{Dur, Time};
 
 /// Identifier of a task inside one [`TaskGraph`].
@@ -296,7 +296,11 @@ fn topological_sort(
 /// A validated application: tasks, precedence edges with message times, and
 /// the catalog of processor/resource types, with a cached topological order.
 ///
-/// Instances are immutable; construct them with [`TaskGraphBuilder`].
+/// Construct instances with [`TaskGraphBuilder`]. Built graphs support
+/// *annotation* edits — changing a task's timing parameters, an edge's
+/// message time, or a resource demand — but not *shape* edits: tasks and
+/// edges can be neither added nor removed, so the cached topological order
+/// stays valid across all edits.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct TaskGraph {
     catalog: Catalog,
@@ -445,6 +449,159 @@ impl TaskGraph {
             .map(|t| t.release())
             .min()
             .expect("graphs are non-empty by construction")
+    }
+
+    fn checked_mut(&mut self, id: TaskId) -> Result<&mut Task, GraphError> {
+        self.tasks
+            .get_mut(id.index())
+            .ok_or_else(|| GraphError::UnknownTask(format!("{id}")))
+    }
+
+    /// Sets the computation time `C_i` of task `id`.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::UnknownTask`] if `id` did not come from this graph.
+    pub fn set_computation(&mut self, id: TaskId, computation: Dur) -> Result<(), GraphError> {
+        self.checked_mut(id)?.set_computation(computation);
+        Ok(())
+    }
+
+    /// Sets the release time `rel_i` of task `id`.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::UnknownTask`] if `id` did not come from this graph.
+    pub fn set_release(&mut self, id: TaskId, release: Time) -> Result<(), GraphError> {
+        self.checked_mut(id)?.set_release(release);
+        Ok(())
+    }
+
+    /// Sets the deadline `D_i` of task `id`.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::UnknownTask`] if `id` did not come from this graph.
+    pub fn set_deadline(&mut self, id: TaskId, deadline: Time) -> Result<(), GraphError> {
+        self.checked_mut(id)?.set_deadline(deadline);
+        Ok(())
+    }
+
+    /// Sets the execution mode of task `id`.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::UnknownTask`] if `id` did not come from this graph.
+    pub fn set_mode(&mut self, id: TaskId, mode: ExecutionMode) -> Result<(), GraphError> {
+        self.checked_mut(id)?.set_mode(mode);
+        Ok(())
+    }
+
+    /// Sets the message time of the existing edge `from -> to`, updating
+    /// both adjacency views.
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::UnknownTask`] if either endpoint is foreign.
+    /// * [`GraphError::UnknownEdge`] if the edge does not exist (edges
+    ///   cannot be created after [`TaskGraphBuilder::build`]).
+    pub fn set_message(
+        &mut self,
+        from: TaskId,
+        to: TaskId,
+        message: Dur,
+    ) -> Result<(), GraphError> {
+        for id in [from, to] {
+            if id.index() >= self.tasks.len() {
+                return Err(GraphError::UnknownTask(format!("{id}")));
+            }
+        }
+        let fwd = self.succs[from.index()]
+            .iter_mut()
+            .find(|e| e.other == to)
+            .ok_or_else(|| GraphError::UnknownEdge {
+                from: self.tasks[from.index()].name().to_owned(),
+                to: self.tasks[to.index()].name().to_owned(),
+            })?;
+        fwd.message = message;
+        let back = self.preds[to.index()]
+            .iter_mut()
+            .find(|e| e.other == from)
+            .expect("succs and preds mirror the same edge set");
+        back.message = message;
+        Ok(())
+    }
+
+    /// Adds resource `r` to task `id`'s demand set `R_i`. Returns whether
+    /// the set changed (`false` if the demand was already present).
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::UnknownTask`] if `id` did not come from this graph.
+    /// * [`GraphError::BadTaskTyping`] if `r` is not a plain resource in
+    ///   the catalog (processor demands are fixed by `φ_i`).
+    pub fn add_resource_demand(&mut self, id: TaskId, r: ResourceId) -> Result<bool, GraphError> {
+        if !self.catalog.contains(r) || self.catalog.kind(r) != ResourceKind::Resource {
+            let task = self.checked_mut(id)?.name().to_owned();
+            return Err(GraphError::BadTaskTyping {
+                task,
+                detail: format!("id {r} is not a plain resource in the catalog"),
+            });
+        }
+        Ok(self.checked_mut(id)?.add_resource(r))
+    }
+
+    /// Removes resource `r` from task `id`'s demand set `R_i`. Returns
+    /// whether the set changed (`false` if the demand was absent; the
+    /// processor demand `φ_i` is not removable).
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::UnknownTask`] if `id` did not come from this graph.
+    pub fn remove_resource_demand(
+        &mut self,
+        id: TaskId,
+        r: ResourceId,
+    ) -> Result<bool, GraphError> {
+        Ok(self.checked_mut(id)?.remove_resource(r))
+    }
+
+    /// The forward cone of `id`: every task reachable from it along
+    /// precedence edges, **excluding** `id` itself, in ascending id order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this graph.
+    pub fn descendants(&self, id: TaskId) -> Vec<TaskId> {
+        self.cone(id, &self.succs)
+    }
+
+    /// The backward cone of `id`: every task that can reach it along
+    /// precedence edges, **excluding** `id` itself, in ascending id order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this graph.
+    pub fn ancestors(&self, id: TaskId) -> Vec<TaskId> {
+        self.cone(id, &self.preds)
+    }
+
+    fn cone(&self, id: TaskId, adjacency: &[Vec<Edge>]) -> Vec<TaskId> {
+        let mut seen = vec![false; self.tasks.len()];
+        seen[id.index()] = true;
+        let mut stack: Vec<TaskId> = adjacency[id.index()].iter().map(|e| e.other).collect();
+        while let Some(next) = stack.pop() {
+            if !seen[next.index()] {
+                seen[next.index()] = true;
+                stack.extend(adjacency[next.index()].iter().map(|e| e.other));
+            }
+        }
+        seen[id.index()] = false;
+        seen.iter()
+            .enumerate()
+            .filter(|(_, &s)| s)
+            .map(|(i, _)| TaskId::from_index(i))
+            .collect()
     }
 }
 
@@ -618,6 +775,75 @@ mod tests {
         assert_eq!(g.total_computation(), Dur::new(14));
         assert_eq!(g.latest_deadline(), Time::new(50));
         assert_eq!(g.earliest_release(), Time::ZERO);
+    }
+
+    #[test]
+    fn annotation_edits_update_views() {
+        let mut g = diamond();
+        let a = g.task_id("a").unwrap();
+        let l = g.task_id("l").unwrap();
+
+        g.set_computation(a, Dur::new(9)).unwrap();
+        g.set_release(a, Time::new(3)).unwrap();
+        g.set_deadline(a, Time::new(45)).unwrap();
+        g.set_mode(a, ExecutionMode::Preemptive).unwrap();
+        assert_eq!(g.task(a).computation(), Dur::new(9));
+        assert_eq!(g.task(a).release(), Time::new(3));
+        assert_eq!(g.task(a).deadline(), Time::new(45));
+        assert!(g.task(a).is_preemptive());
+
+        // Message edits update both adjacency views.
+        g.set_message(a, l, Dur::new(7)).unwrap();
+        assert_eq!(g.message(a, l), Some(Dur::new(7)));
+        let back = g.predecessors(l).iter().find(|e| e.other == a).unwrap();
+        assert_eq!(back.message, Dur::new(7));
+        assert!(matches!(
+            g.set_message(l, a, Dur::ZERO),
+            Err(GraphError::UnknownEdge { .. })
+        ));
+        assert!(matches!(
+            g.set_computation(TaskId::from_index(99), Dur::ZERO),
+            Err(GraphError::UnknownTask(_))
+        ));
+    }
+
+    #[test]
+    fn demand_edits_validate_against_catalog() {
+        let mut g = diamond();
+        let l = g.task_id("l").unwrap();
+        let r = g.catalog().lookup("r").unwrap();
+        let p = g.catalog().lookup("P").unwrap();
+
+        assert!(g.add_resource_demand(l, r).unwrap());
+        assert!(!g.add_resource_demand(l, r).unwrap(), "already present");
+        assert!(g.tasks_demanding(r).contains(&l));
+        assert!(g.remove_resource_demand(l, r).unwrap());
+        assert!(!g.remove_resource_demand(l, r).unwrap(), "already absent");
+
+        // Processor types cannot be demanded as plain resources, and the
+        // processor demand cannot be removed.
+        assert!(matches!(
+            g.add_resource_demand(l, p),
+            Err(GraphError::BadTaskTyping { .. })
+        ));
+        assert!(!g.remove_resource_demand(l, p).unwrap());
+        assert!(g.task(l).demands_resource(p));
+    }
+
+    #[test]
+    fn cones_exclude_self_and_follow_reachability() {
+        let g = diamond();
+        let a = g.task_id("a").unwrap();
+        let l = g.task_id("l").unwrap();
+        let rr = g.task_id("r").unwrap();
+        let d = g.task_id("d").unwrap();
+
+        assert_eq!(g.descendants(a), vec![l, rr, d]);
+        assert_eq!(g.descendants(l), vec![d]);
+        assert_eq!(g.descendants(d), Vec::<TaskId>::new());
+        assert_eq!(g.ancestors(d), vec![a, l, rr]);
+        assert_eq!(g.ancestors(rr), vec![a]);
+        assert_eq!(g.ancestors(a), Vec::<TaskId>::new());
     }
 
     #[test]

@@ -199,6 +199,34 @@ impl Task {
     pub fn demands_resource(&self, r: ResourceId) -> bool {
         self.processor == r || self.resources.contains(&r)
     }
+
+    // Mutators are crate-private: edits go through the validating
+    // [`TaskGraph`](crate::TaskGraph) methods so the graph's invariants
+    // (typing, dense ids, cached topological order) stay intact.
+
+    pub(crate) fn set_computation(&mut self, computation: Dur) {
+        self.computation = computation;
+    }
+
+    pub(crate) fn set_release(&mut self, release: Time) {
+        self.release = release;
+    }
+
+    pub(crate) fn set_deadline(&mut self, deadline: Time) {
+        self.deadline = deadline;
+    }
+
+    pub(crate) fn set_mode(&mut self, mode: ExecutionMode) {
+        self.mode = mode;
+    }
+
+    pub(crate) fn add_resource(&mut self, resource: ResourceId) -> bool {
+        self.resources.insert(resource)
+    }
+
+    pub(crate) fn remove_resource(&mut self, resource: ResourceId) -> bool {
+        self.resources.remove(&resource)
+    }
 }
 
 #[cfg(test)]

@@ -210,6 +210,47 @@ pub fn independent_tasks(count: usize, load: u32, seed: u64) -> TaskGraph {
     b.build().expect("independent tasks are trivially acyclic")
 }
 
+/// Generates `frames * per_frame` independent tasks in time-disjoint
+/// periodic frames of 12 ticks: every task of frame `f` is released and
+/// due inside `[12f, 12f + 11]`, so each frame partitions into its own
+/// block(s) on every resource — the structure of periodic real-time
+/// workloads and the best case for Figure 4 partitioning and for
+/// incremental re-analysis (an edit dirties only its frame's blocks).
+///
+/// Deadlines always leave the window at least as long as the computation
+/// time, so *shrinking* a `C_i` can never make the instance infeasible.
+pub fn framed_tasks(frames: usize, per_frame: usize, seed: u64) -> TaskGraph {
+    assert!(frames > 0 && per_frame > 0, "need a non-empty frame grid");
+    const FRAME: i64 = 12;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut catalog = Catalog::new();
+    let p = catalog.processor("P0");
+    let r = catalog.resource("r0");
+    let mut b = TaskGraphBuilder::new(catalog);
+
+    for f in 0..frames as i64 {
+        for i in 0..per_frame {
+            let c = rng.random_range(1..=4);
+            let jitter = rng.random_range(0..=2);
+            let rel = f * FRAME + jitter;
+            // Keep the deadline strictly inside the frame: the next
+            // frame's earliest release is then >= this frame's max LCT.
+            let slack = rng.random_range(0..=(FRAME - 1 - jitter - c));
+            let mut spec = TaskSpec::new(format!("t{f}_{i}"), Dur::new(c), p)
+                .release(Time::new(rel))
+                .deadline(Time::new(rel + c + slack));
+            if rng.random_range(0..100) < 40 {
+                spec = spec.resource(r);
+            }
+            if rng.random_range(0..100) < 30 {
+                spec = spec.preemptive();
+            }
+            b.add_task(spec).expect("unique names");
+        }
+    }
+    b.build().expect("framed tasks are trivially acyclic")
+}
+
 /// Generates a linear chain of `length` tasks alternating between two
 /// processor types, with message time `message` on each hop — the
 /// worst case for the merge tradeoff.
@@ -309,6 +350,19 @@ mod tests {
         let g = independent_tasks(40, 4, 11);
         assert_eq!(g.task_count(), 40);
         assert_eq!(g.edge_count(), 0);
+        analyze(&g, &SystemModel::shared()).unwrap();
+    }
+
+    #[test]
+    fn framed_tasks_stay_inside_their_frames() {
+        let g = framed_tasks(10, 4, 5);
+        assert_eq!(g.task_count(), 40);
+        assert_eq!(g.edge_count(), 0);
+        for (_, t) in g.tasks() {
+            let frame = t.release().ticks() / 12;
+            assert!(t.deadline().ticks() < (frame + 1) * 12, "{}", t.name());
+            assert!(t.deadline() >= t.release());
+        }
         analyze(&g, &SystemModel::shared()).unwrap();
     }
 

@@ -21,7 +21,7 @@ mod paper_example;
 mod periodic;
 mod radar;
 
-pub use generators::{chain, fork_join, independent_tasks, layered, LayeredConfig};
+pub use generators::{chain, fork_join, framed_tasks, independent_tasks, layered, LayeredConfig};
 pub use paper_example::{paper_example, PaperExample};
 pub use periodic::{hyperperiod, unroll, utilization, Stage, Transaction};
 pub use radar::{radar_scenario, RadarScenario};

@@ -17,12 +17,14 @@
 use std::process::ExitCode;
 
 use rtlb::core::{
-    analyze_with_probe, build_run_report, render_analysis, render_dedicated_cost,
-    render_shared_cost, AnalysisOptions, CandidatePolicy, SweepStrategy, SystemModel,
+    analyze_with, analyze_with_probe, build_run_report, render_analysis, render_dedicated_cost,
+    render_shared_cost, AnalysisOptions, AnalysisSession, CandidatePolicy, SweepStrategy,
+    SystemModel,
 };
 use rtlb::format::{parse, render};
 use rtlb::graph::to_dot;
-use rtlb::obs::{chrome_trace, Recorder};
+use rtlb::obs::{chrome_trace, Json, Recorder};
+use rtlb::scenario::{parse_scenarios, resolve};
 use rtlb::sched::{list_schedule, validate_schedule, Capacities};
 use rtlb::workloads::paper_example;
 
@@ -37,6 +39,9 @@ usage:
   rtlb example                  print the paper's 15-task example instance
   rtlb schedule <file> <N>      try the merge-guided list scheduler with N
                                 units of every demanded resource
+  rtlb sweep-scenarios <file>   apply a scenario file's edit batches to one
+                                incremental analysis session, reporting the
+                                bounds and re-analysis work per scenario
   rtlb help | -h | --help       show this message
 
 analyze flags:
@@ -55,11 +60,19 @@ analyze flags:
   --trace-out=FILE           write a Chrome trace-event JSON file (open in
                              chrome://tracing or https://ui.perfetto.dev)
 
+sweep-scenarios flags (plus --sweep=, --jobs=, --extended, --no-partition):
+  --check                    re-analyze every scenario from scratch and fail
+                             unless the incremental bounds, witnesses, and
+                             interval counts are bit-identical (CI oracle)
+  --json                     print only a versioned rtlb-scenarios-v1 JSON
+                             report on stdout
+
 examples:
   rtlb example > f.rtlb
   rtlb analyze f.rtlb
   rtlb analyze f.rtlb --jobs=0 --metrics=text
   rtlb analyze f.rtlb --metrics=json --trace-out=trace.json
+  rtlb sweep-scenarios examples/scenarios/sensor_sweep.rtlbs --check --json
 ";
 
 fn main() -> ExitCode {
@@ -69,6 +82,7 @@ fn main() -> ExitCode {
         Some("dot") => with_file(&args, 2, cmd_dot),
         Some("example") => cmd_example(),
         Some("schedule") => with_file(&args, 3, cmd_schedule),
+        Some("sweep-scenarios") => cmd_sweep_scenarios(&args),
         Some("help" | "-h" | "--help") => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -233,6 +247,178 @@ fn cmd_analyze(parsed: &rtlb::format::ParsedSystem, args: &[String]) -> Result<(
     Ok(())
 }
 
+/// Everything `rtlb sweep-scenarios` accepts after the file argument.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct ScenarioArgs {
+    options: AnalysisOptions,
+    check: bool,
+    json: bool,
+}
+
+/// Parses `sweep-scenarios` flags (everything after the file argument).
+fn scenario_options(flags: &[String]) -> Result<ScenarioArgs, String> {
+    let mut args = ScenarioArgs::default();
+    for flag in flags {
+        if let Some(strategy) = flag.strip_prefix("--sweep=") {
+            args.options.sweep = match strategy {
+                "naive" => SweepStrategy::Naive,
+                "incremental" => SweepStrategy::Incremental,
+                other => return Err(format!("unknown sweep strategy `{other}`")),
+            };
+        } else if let Some(jobs) = flag.strip_prefix("--jobs=") {
+            args.options.parallelism = jobs
+                .parse()
+                .map_err(|_| format!("invalid job count `{jobs}`"))?;
+        } else if flag == "--extended" {
+            args.options.candidates = CandidatePolicy::Extended;
+        } else if flag == "--no-partition" {
+            args.options.partitioning = false;
+        } else if flag == "--check" {
+            args.check = true;
+        } else if flag == "--json" {
+            args.json = true;
+        } else {
+            return Err(format!("unknown flag `{flag}` (see `rtlb --help`)"));
+        }
+    }
+    Ok(args)
+}
+
+fn cmd_sweep_scenarios(args: &[String]) -> Result<(), String> {
+    if args.len() < 2 {
+        return Err("`sweep-scenarios` needs a scenario file argument".to_owned());
+    }
+    let path = &args[1];
+    let opts = scenario_options(&args[2..])?;
+    let input = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let file = parse_scenarios(&input).map_err(|e| format!("{path}: {e}"))?;
+
+    // The base path is relative to the scenario file's directory.
+    let base_path = std::path::Path::new(path)
+        .parent()
+        .unwrap_or_else(|| std::path::Path::new("."))
+        .join(&file.base);
+    let base_input = std::fs::read_to_string(&base_path)
+        .map_err(|e| format!("cannot read base {}: {e}", base_path.display()))?;
+    let parsed = parse(&base_input).map_err(|e| format!("{}: {e}", base_path.display()))?;
+
+    let model = SystemModel::shared();
+    let mut session = AnalysisSession::new(parsed.graph, model.clone(), opts.options)
+        .map_err(|e| format!("base instance: {e}"))?;
+
+    if !opts.json {
+        println!("base `{}`: {} scenario(s)", file.base, file.scenarios.len());
+        println!(
+            "{:<24} {:>10} {:>10} {:>8} {:>8}  bounds",
+            "scenario", "recomputed", "resweeped", "reused", "micros"
+        );
+    }
+    let mut rows: Vec<Json> = Vec::new();
+    for scenario in &file.scenarios {
+        let deltas =
+            resolve(scenario, session.graph()).map_err(|e| format!("scenario file: {e}"))?;
+        let recorder = Recorder::new();
+        let outcome = session.apply_probed(&deltas, &recorder);
+        let metrics = recorder.take_metrics();
+        let micros = metrics.total_micros("session.apply");
+        match outcome {
+            Ok(stats) => {
+                if opts.check {
+                    let scratch = analyze_with(session.graph(), &model, opts.options)
+                        .map_err(|e| format!("scenario `{}`: oracle failed: {e}", scenario.name))?;
+                    if scratch.bounds() != session.bounds() || scratch.timing() != session.timing()
+                    {
+                        return Err(format!(
+                            "scenario `{}`: incremental result diverged from the \
+                             from-scratch oracle",
+                            scenario.name
+                        ));
+                    }
+                }
+                let bounds: Vec<Json> = session
+                    .bounds()
+                    .iter()
+                    .map(|b| {
+                        Json::obj([
+                            (
+                                "resource",
+                                Json::str(session.graph().catalog().name(b.resource)),
+                            ),
+                            ("lb", Json::Int(i64::from(b.bound))),
+                            ("intervals_examined", Json::Int(b.intervals_examined as i64)),
+                        ])
+                    })
+                    .collect();
+                if !opts.json {
+                    let summary: Vec<String> = session
+                        .bounds()
+                        .iter()
+                        .map(|b| {
+                            format!("{}={}", session.graph().catalog().name(b.resource), b.bound)
+                        })
+                        .collect();
+                    println!(
+                        "{:<24} {:>10} {:>10} {:>8} {:>8}  {}",
+                        scenario.name,
+                        stats.tasks_recomputed(),
+                        stats.blocks_resweeped,
+                        stats.blocks_reused,
+                        micros,
+                        summary.join(" ")
+                    );
+                }
+                rows.push(Json::obj([
+                    ("name", Json::str(scenario.name.as_str())),
+                    ("deltas", Json::Int(deltas.len() as i64)),
+                    (
+                        "tasks_recomputed",
+                        Json::Int(stats.tasks_recomputed() as i64),
+                    ),
+                    ("blocks_resweeped", Json::Int(stats.blocks_resweeped as i64)),
+                    ("blocks_reused", Json::Int(stats.blocks_reused as i64)),
+                    ("resources_dirty", Json::Int(stats.resources_dirty as i64)),
+                    ("apply_micros", Json::Int(micros as i64)),
+                    ("bounds", Json::Arr(bounds)),
+                ]));
+            }
+            Err(e) => {
+                // An infeasible or unhostable scenario is reported, not
+                // fatal: the session keeps the dirt and the next apply
+                // recovers.
+                if opts.check {
+                    let scratch = analyze_with(session.graph(), &model, opts.options);
+                    if scratch.is_ok() {
+                        return Err(format!(
+                            "scenario `{}`: session rejected ({e}) what the \
+                             from-scratch oracle accepts",
+                            scenario.name
+                        ));
+                    }
+                }
+                if !opts.json {
+                    println!("{:<24} error: {e}", scenario.name);
+                }
+                rows.push(Json::obj([
+                    ("name", Json::str(scenario.name.as_str())),
+                    ("deltas", Json::Int(deltas.len() as i64)),
+                    ("error", Json::str(e.to_string())),
+                ]));
+            }
+        }
+    }
+    if opts.json {
+        let doc = Json::obj([
+            ("schema", Json::str("rtlb-scenarios-v1")),
+            ("file", Json::str(path.as_str())),
+            ("base", Json::str(file.base.as_str())),
+            ("checked", Json::Bool(opts.check)),
+            ("scenarios", Json::Arr(rows)),
+        ]);
+        println!("{}", doc.pretty());
+    }
+    Ok(())
+}
+
 fn cmd_dot(parsed: &rtlb::format::ParsedSystem, _args: &[String]) -> Result<(), String> {
     print!("{}", to_dot(&parsed.graph));
     Ok(())
@@ -374,5 +560,41 @@ mod tests {
         ] {
             assert!(USAGE.contains(flag), "usage is missing {flag}");
         }
+    }
+
+    #[test]
+    fn usage_mentions_scenario_sweeps() {
+        for needle in ["sweep-scenarios", "--check", "--json"] {
+            assert!(USAGE.contains(needle), "usage is missing {needle}");
+        }
+    }
+
+    #[test]
+    fn scenario_flags_parse_together() {
+        let args = scenario_options(&flags(&[
+            "--sweep=naive",
+            "--jobs=2",
+            "--extended",
+            "--no-partition",
+            "--check",
+            "--json",
+        ]))
+        .unwrap();
+        assert_eq!(args.options.sweep, SweepStrategy::Naive);
+        assert_eq!(args.options.parallelism, 2);
+        assert_eq!(args.options.candidates, CandidatePolicy::Extended);
+        assert!(!args.options.partitioning);
+        assert!(args.check);
+        assert!(args.json);
+    }
+
+    #[test]
+    fn scenario_flags_default_off() {
+        let args = scenario_options(&[]).unwrap();
+        assert_eq!(args.options, AnalysisOptions::default());
+        assert!(!args.check);
+        assert!(!args.json);
+        let err = scenario_options(&flags(&["--metrics=text"])).unwrap_err();
+        assert!(err.contains("unknown flag"), "{err}");
     }
 }

@@ -75,7 +75,7 @@ fn graph_err(line: usize, e: GraphError) -> ParseError {
 }
 
 /// Splits `key=value` fields and bare flags out of a token list.
-fn fields<'a>(
+pub(crate) fn fields<'a>(
     tokens: &'a [&'a str],
     line: usize,
 ) -> Result<(BTreeMap<&'a str, &'a str>, Vec<&'a str>), ParseError> {
@@ -94,7 +94,7 @@ fn fields<'a>(
     Ok((map, flags))
 }
 
-fn parse_i64(s: &str, line: usize, what: &str) -> Result<i64, ParseError> {
+pub(crate) fn parse_i64(s: &str, line: usize, what: &str) -> Result<i64, ParseError> {
     s.parse()
         .map_err(|_| err(line, format!("invalid {what} `{s}`")))
 }

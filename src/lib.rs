@@ -59,6 +59,7 @@
 #![warn(missing_docs)]
 
 pub mod format;
+pub mod scenario;
 
 pub use rtlb_baselines as baselines;
 pub use rtlb_core as core;
