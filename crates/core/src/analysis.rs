@@ -5,13 +5,14 @@ use serde::{Deserialize, Serialize};
 
 use rtlb_graph::{ResourceId, TaskGraph};
 
-use crate::bounds::{resource_bound_unpartitioned_with, CandidatePolicy, ResourceBound};
+use crate::bounds::{resource_bound_unpartitioned_ctl, CandidatePolicy, ResourceBound};
+use crate::cancel::CancelToken;
 use crate::cost::{dedicated_cost_bound, shared_cost_bound, DedicatedCostBound, SharedCostBound};
 use crate::error::AnalysisError;
-use crate::estlct::{compute_timing_probed, TimingAnalysis};
+use crate::estlct::{compute_timing_ctl, TimingAnalysis};
 use crate::model::SystemModel;
 use crate::partition::{partition_all, ResourcePartition};
-use crate::sweep::{sweep_partitions_probed, SweepStrategy};
+use crate::sweep::{sweep_partitions_ctl, SweepStrategy};
 
 /// Tuning knobs for [`analyze_with`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -218,16 +219,85 @@ pub fn analyze_with_probe(
     options: AnalysisOptions,
     probe: &dyn Probe,
 ) -> Result<Analysis, AnalysisError> {
+    analyze_ctl(graph, model, options, probe, &CancelToken::none())
+}
+
+/// Largest magnitude any input quantity may have for the pipeline's
+/// fixed-width arithmetic to stay exact: `Time::MAX` (`i64::MAX / 4`).
+///
+/// With every release and deadline in `[-M, M]` and the total computation
+/// plus message volume at most `M`, every intermediate the pipeline forms
+/// (`emr`/`lms` boundaries, `ect`/`lst` packings, sweep ramp positions,
+/// `Θ` accumulations) stays within `±3M < i64::MAX` — no add or subtract
+/// can wrap, in release or debug builds.
+const MAGNITUDE_LIMIT: i64 = i64::MAX / 4;
+
+/// Rejects instances whose raw magnitudes could overflow the pipeline's
+/// `i64` arithmetic. Sums are accumulated in `i128`, so the check itself
+/// cannot wrap.
+fn check_magnitudes(graph: &TaskGraph) -> Result<(), AnalysisError> {
+    let limit = i128::from(MAGNITUDE_LIMIT);
+    let mut volume: i128 = 0;
+    for (t, task) in graph.tasks() {
+        let release = i128::from(task.release().ticks());
+        let deadline = i128::from(task.deadline().ticks());
+        if release.abs() > limit || deadline.abs() > limit {
+            return Err(AnalysisError::BoundOverflow {
+                detail: format!(
+                    "task `{}` has release {release} or deadline {deadline} beyond \
+                     the representable range +/-{MAGNITUDE_LIMIT}",
+                    task.name()
+                ),
+            });
+        }
+        volume += i128::from(task.computation().ticks());
+        for e in graph.successors(t) {
+            volume += i128::from(e.message.ticks());
+        }
+        if volume > limit {
+            return Err(AnalysisError::BoundOverflow {
+                detail: format!(
+                    "total computation + message volume {volume} exceeds \
+                     {MAGNITUDE_LIMIT}; windows this wide cannot be analyzed exactly"
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// [`analyze_with_probe`] polling `ctl` at every pipeline checkpoint:
+/// once per task in the timing passes, once per `t1` column in the
+/// sweeps. This is the batch driver's per-instance entry point.
+///
+/// Also rejects instances whose magnitudes could overflow the `i64`
+/// arithmetic (see [`AnalysisError::BoundOverflow`]) before any
+/// computation starts, so the pipeline proper never panics on extreme
+/// inputs even in debug builds.
+///
+/// # Errors
+///
+/// Same as [`analyze`], plus [`AnalysisError::BoundOverflow`] for
+/// extreme-magnitude instances and [`AnalysisError::Deadline`] when
+/// `ctl` trips.
+pub fn analyze_ctl(
+    graph: &TaskGraph,
+    model: &SystemModel,
+    options: AnalysisOptions,
+    probe: &dyn Probe,
+    ctl: &CancelToken,
+) -> Result<Analysis, AnalysisError> {
     let _run = span(probe, "analyze", Label::None);
 
     {
         let _step = span(probe, "analyze.validate", Label::None);
         model.validate(graph)?;
+        check_magnitudes(graph)?;
     }
 
     let timing = {
         let _step = span(probe, "analyze.timing", Label::None);
-        compute_timing_probed(graph, model, probe)
+        compute_timing_ctl(graph, model, probe, ctl)?
     };
 
     {
@@ -249,7 +319,7 @@ pub fn analyze_with_probe(
             "partition.tasks",
             partitions.iter().map(|p| p.task_count() as u64).sum(),
         );
-        let bounds = sweep_partitions_probed(
+        let bounds = sweep_partitions_ctl(
             graph,
             &timing,
             &partitions,
@@ -257,15 +327,16 @@ pub fn analyze_with_probe(
             options.sweep,
             options.parallelism,
             probe,
-        );
+            ctl,
+        )?;
         (partitions, bounds)
     } else {
         let _step = span(probe, "analyze.sweep", Label::None);
         let bounds: Vec<ResourceBound> = graph
             .resources_used()
             .into_iter()
-            .map(|r| resource_bound_unpartitioned_with(graph, &timing, r, options.candidates))
-            .collect();
+            .map(|r| resource_bound_unpartitioned_ctl(graph, &timing, r, options.candidates, ctl))
+            .collect::<Result<_, _>>()?;
         probe.add(
             "sweep.pairs_offered",
             bounds.iter().map(|b| b.intervals_examined).sum(),
@@ -346,6 +417,45 @@ mod tests {
         assert!(matches!(
             analyze(&g, &model),
             Err(AnalysisError::UnhostableTask(_))
+        ));
+    }
+
+    #[test]
+    fn extreme_magnitudes_error_instead_of_overflowing() {
+        // Total computation volume past i64::MAX/4 trips the guard before
+        // any arithmetic can wrap.
+        let mut c = Catalog::new();
+        let p = c.processor("P");
+        let mut b = TaskGraphBuilder::new(c);
+        for i in 0..3 {
+            b.add_task(
+                TaskSpec::new(format!("t{i}"), Dur::new(i64::MAX / 8), p)
+                    .deadline(Time::new(i64::MAX / 4)),
+            )
+            .unwrap();
+        }
+        let g = b.build().unwrap();
+        assert!(matches!(
+            analyze(&g, &SystemModel::shared()),
+            Err(AnalysisError::BoundOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn tripped_token_cancels_the_pipeline() {
+        use rtlb_obs::NULL_PROBE;
+        let (g, _) = three_tight_tasks();
+        let ctl = CancelToken::new();
+        ctl.cancel();
+        assert!(matches!(
+            analyze_ctl(
+                &g,
+                &SystemModel::shared(),
+                AnalysisOptions::default(),
+                &NULL_PROBE,
+                &ctl
+            ),
+            Err(AnalysisError::Deadline)
         ));
     }
 

@@ -36,6 +36,8 @@ pub enum CandidatePolicy {
     Extended,
 }
 
+use crate::cancel::CancelToken;
+use crate::error::AnalysisError;
 use crate::estlct::TimingAnalysis;
 use crate::overlap::task_overlap;
 use crate::partition::{partition_tasks, ResourcePartition};
@@ -134,23 +136,31 @@ impl RatioMax {
         }
     }
 
-    pub(crate) fn into_bound(self, resource: ResourceId) -> ResourceBound {
+    pub(crate) fn into_bound(self, resource: ResourceId) -> Result<ResourceBound, AnalysisError> {
         match self.best {
-            None => ResourceBound {
+            None => Ok(ResourceBound {
                 resource,
                 bound: 0,
                 witness: None,
                 intervals_examined: self.intervals,
-            },
+            }),
             Some((num, den, witness)) => {
                 // ⌈num/den⌉ with num ≥ 0, den > 0.
                 let bound = num.div_euclid(den) + i64::from(num.rem_euclid(den) != 0);
-                ResourceBound {
+                let bound =
+                    u32::try_from(bound.max(0)).map_err(|_| AnalysisError::BoundOverflow {
+                        detail: format!(
+                            "LB = ⌈{num}/{den}⌉ = {bound} exceeds u32::MAX on the witness \
+                             interval [{}, {}]",
+                            witness.t1, witness.t2
+                        ),
+                    })?;
+                Ok(ResourceBound {
                     resource,
-                    bound: u32::try_from(bound.max(0)).expect("bound fits u32"),
+                    bound,
                     witness: Some(witness),
                     intervals_examined: self.intervals,
-                }
+                })
             }
         }
     }
@@ -183,12 +193,22 @@ pub(crate) fn candidate_points(
 /// Computes `LB_r` for the resource covered by `partition`, sweeping
 /// candidate intervals inside each block independently (Theorem 5).
 ///
+/// # Errors
+///
+/// [`AnalysisError::BoundOverflow`] if the ceiling `⌈Θ/(t2−t1)⌉` exceeds
+/// `u32::MAX`. Unreachable on feasible timing (each task contributes at
+/// most `t2 − t1` ticks to `Θ`, so `LB_r` is at most the task count),
+/// but reachable through unchecked, infeasible windows via the naive
+/// strategy. The default incremental strategy's ramp decomposition
+/// requires feasible windows, so it reports an infeasible swept task as
+/// [`AnalysisError::Infeasible`] up front instead.
+///
 /// # Example
 ///
 /// ```
 /// use rtlb_core::{compute_timing, partition_tasks, resource_bound, SystemModel};
 /// use rtlb_graph::{Catalog, Dur, TaskGraphBuilder, TaskSpec, Time};
-/// # fn main() -> Result<(), rtlb_graph::GraphError> {
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let mut catalog = Catalog::new();
 /// let p = catalog.processor("P");
 /// let mut b = TaskGraphBuilder::new(catalog);
@@ -199,7 +219,7 @@ pub(crate) fn candidate_points(
 /// }
 /// let g = b.build()?;
 /// let timing = compute_timing(&g, &SystemModel::shared());
-/// let bound = resource_bound(&g, &timing, &partition_tasks(&g, &timing, p));
+/// let bound = resource_bound(&g, &timing, &partition_tasks(&g, &timing, p))?;
 /// assert_eq!(bound.bound, 2);
 /// # Ok(())
 /// # }
@@ -208,59 +228,101 @@ pub fn resource_bound(
     graph: &TaskGraph,
     timing: &TimingAnalysis,
     partition: &ResourcePartition,
-) -> ResourceBound {
+) -> Result<ResourceBound, AnalysisError> {
     resource_bound_with(graph, timing, partition, CandidatePolicy::EstLct)
 }
 
 /// [`resource_bound`] with an explicit candidate-point policy.
+///
+/// # Errors
+///
+/// Same as [`resource_bound`].
 pub fn resource_bound_with(
     graph: &TaskGraph,
     timing: &TimingAnalysis,
     partition: &ResourcePartition,
     policy: CandidatePolicy,
-) -> ResourceBound {
+) -> Result<ResourceBound, AnalysisError> {
     resource_bound_sweep(graph, timing, partition, policy, SweepStrategy::default())
 }
 
 /// [`resource_bound`] with explicit candidate-point policy *and* sweep
 /// strategy. Both strategies produce bit-identical results; the naive
 /// one is the differential-testing oracle.
+///
+/// # Errors
+///
+/// Same as [`resource_bound`].
 pub fn resource_bound_sweep(
     graph: &TaskGraph,
     timing: &TimingAnalysis,
     partition: &ResourcePartition,
     policy: CandidatePolicy,
     strategy: SweepStrategy,
-) -> ResourceBound {
+) -> Result<ResourceBound, AnalysisError> {
     let mut max = RatioMax::default();
-    sweep_partition_into(graph, timing, partition, policy, strategy, &mut max);
+    sweep_partition_into(
+        graph,
+        timing,
+        partition,
+        policy,
+        strategy,
+        &mut max,
+        &CancelToken::none(),
+    )?;
     max.into_bound(partition.resource)
 }
 
 /// [`resource_bound`] without Theorem 5: one sweep over the candidate
 /// points of *all* tasks demanding the resource. Produces the same bound
 /// (Theorem 5) at a higher interval count; kept for the ablation study.
+///
+/// # Errors
+///
+/// Same as [`resource_bound`].
 pub fn resource_bound_unpartitioned(
     graph: &TaskGraph,
     timing: &TimingAnalysis,
     resource: ResourceId,
-) -> ResourceBound {
+) -> Result<ResourceBound, AnalysisError> {
     resource_bound_unpartitioned_with(graph, timing, resource, CandidatePolicy::EstLct)
 }
 
 /// [`resource_bound_unpartitioned`] with an explicit candidate-point
 /// policy. Always uses the naive `Θ` recomputation, making it a second,
 /// structurally different oracle for the incremental sweep.
+///
+/// # Errors
+///
+/// Same as [`resource_bound`].
 pub fn resource_bound_unpartitioned_with(
     graph: &TaskGraph,
     timing: &TimingAnalysis,
     resource: ResourceId,
     policy: CandidatePolicy,
-) -> ResourceBound {
+) -> Result<ResourceBound, AnalysisError> {
+    resource_bound_unpartitioned_ctl(graph, timing, resource, policy, &CancelToken::none())
+}
+
+/// [`resource_bound_unpartitioned_with`] polling `ctl` once per sweep
+/// column — the interruption checkpoint for the ablation path.
+///
+/// # Errors
+///
+/// [`AnalysisError::BoundOverflow`] as in [`resource_bound`], or
+/// [`AnalysisError::Deadline`] when `ctl` trips.
+pub fn resource_bound_unpartitioned_ctl(
+    graph: &TaskGraph,
+    timing: &TimingAnalysis,
+    resource: ResourceId,
+    policy: CandidatePolicy,
+    ctl: &CancelToken,
+) -> Result<ResourceBound, AnalysisError> {
     let tasks = graph.tasks_demanding(resource);
     let mut max = RatioMax::default();
     let points = candidate_points(graph, timing, &tasks, policy);
     for (li, &t1) in points.iter().enumerate() {
+        ctl.check()?;
         for &t2 in &points[li + 1..] {
             let demand = theta(graph, timing, &tasks, t1, t2);
             max.offer(demand, t1, t2);
@@ -271,7 +333,14 @@ pub fn resource_bound_unpartitioned_with(
 
 /// Computes `LB_r` for every demanded resource, partitioning each with
 /// Figure 4 first. Results are in resource-id order.
-pub fn lower_bounds(graph: &TaskGraph, timing: &TimingAnalysis) -> Vec<ResourceBound> {
+///
+/// # Errors
+///
+/// Same as [`resource_bound`].
+pub fn lower_bounds(
+    graph: &TaskGraph,
+    timing: &TimingAnalysis,
+) -> Result<Vec<ResourceBound>, AnalysisError> {
     graph
         .resources_used()
         .into_iter()
@@ -305,7 +374,7 @@ mod tests {
 
     fn bound_of(g: &TaskGraph, r: ResourceId) -> ResourceBound {
         let timing = compute_timing(g, &SystemModel::shared());
-        resource_bound(g, &timing, &partition_tasks(g, &timing, r))
+        resource_bound(g, &timing, &partition_tasks(g, &timing, r)).unwrap()
     }
 
     #[test]
@@ -359,8 +428,8 @@ mod tests {
         let timing = compute_timing(&g, &SystemModel::shared());
         let part = partition_tasks(&g, &timing, p);
         assert!(part.blocks.len() >= 2, "fixture should partition");
-        let with = resource_bound(&g, &timing, &part);
-        let without = resource_bound_unpartitioned(&g, &timing, p);
+        let with = resource_bound(&g, &timing, &part).unwrap();
+        let without = resource_bound_unpartitioned(&g, &timing, p).unwrap();
         assert_eq!(with.bound, without.bound);
         // Partitioning examines no more intervals than the flat sweep.
         assert!(with.intervals_examined <= without.intervals_examined);
@@ -376,7 +445,7 @@ mod tests {
         b.add_task(TaskSpec::new("a", Dur::new(1), p)).unwrap();
         let g = b.build().unwrap();
         let timing = compute_timing(&g, &SystemModel::shared());
-        let bound = resource_bound(&g, &timing, &partition_tasks(&g, &timing, unused));
+        let bound = resource_bound(&g, &timing, &partition_tasks(&g, &timing, unused)).unwrap();
         assert_eq!(bound.bound, 0);
         assert!(bound.witness.is_none());
         assert_eq!(bound.intervals_examined, 0);
@@ -387,7 +456,7 @@ mod tests {
         let (g, p) = graph_of(&[(0, 4, 4, false), (0, 4, 4, false), (2, 9, 3, false)]);
         let timing = compute_timing(&g, &SystemModel::shared());
         let part = partition_tasks(&g, &timing, p);
-        let b = resource_bound(&g, &timing, &part);
+        let b = resource_bound(&g, &timing, &part).unwrap();
         let w = b.witness.unwrap();
         let recomputed = theta(&g, &timing, &g.tasks_demanding(p), w.t1, w.t2);
         assert_eq!(recomputed, w.demand);
@@ -411,7 +480,7 @@ mod tests {
             .unwrap();
         let g = b.build().unwrap();
         let timing = compute_timing(&g, &SystemModel::shared());
-        let bounds = lower_bounds(&g, &timing);
+        let bounds = lower_bounds(&g, &timing).unwrap();
         assert_eq!(bounds.len(), 3);
         let of = |id: ResourceId| bounds.iter().find(|b| b.resource == id).unwrap().bound;
         assert_eq!(of(p1), 1);
@@ -429,8 +498,8 @@ mod tests {
             let (g, p) = graph_of(&windows);
             let timing = compute_timing(&g, &SystemModel::shared());
             let part = partition_tasks(&g, &timing, p);
-            let std = resource_bound(&g, &timing, &part);
-            let ext = resource_bound_with(&g, &timing, &part, CandidatePolicy::Extended);
+            let std = resource_bound(&g, &timing, &part).unwrap();
+            let ext = resource_bound_with(&g, &timing, &part, CandidatePolicy::Extended).unwrap();
             assert!(ext.bound >= std.bound);
             assert!(ext.intervals_examined >= std.intervals_examined);
         }
@@ -454,8 +523,8 @@ mod tests {
         let (g, p) = graph_of(&[(0, 11, 10, false), (1, 12, 10, false), (5, 7, 2, false)]);
         let timing = compute_timing(&g, &SystemModel::shared());
         let part = partition_tasks(&g, &timing, p);
-        let std = resource_bound(&g, &timing, &part);
-        let ext = resource_bound_with(&g, &timing, &part, CandidatePolicy::Extended);
+        let std = resource_bound(&g, &timing, &part).unwrap();
+        let ext = resource_bound_with(&g, &timing, &part, CandidatePolicy::Extended).unwrap();
         assert!(ext.bound >= std.bound);
         // Both remain valid: total work 22 in a span of 12 → at least 2.
         assert!(std.bound >= 2);

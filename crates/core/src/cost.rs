@@ -36,8 +36,9 @@ pub struct SharedCostBound {
 ///
 /// # Errors
 ///
-/// [`AnalysisError::MissingCost`] if some resource with a positive lower
-/// bound has no `CostR` assigned.
+/// * [`AnalysisError::MissingCost`] if some resource with a positive
+///   lower bound has no `CostR` assigned.
+/// * [`AnalysisError::BoundOverflow`] if the weighted sum escapes `i64`.
 pub fn shared_cost_bound(
     model: &SharedModel,
     bounds: &[ResourceBound],
@@ -51,7 +52,15 @@ pub fn shared_cost_bound(
         let cost = model
             .cost(b.resource)
             .ok_or(AnalysisError::MissingCost(b.resource))?;
-        total += cost * i64::from(b.bound);
+        total = cost
+            .checked_mul(i64::from(b.bound))
+            .and_then(|term| total.checked_add(term))
+            .ok_or_else(|| AnalysisError::BoundOverflow {
+                detail: format!(
+                    "shared cost total overflowed i64 at {} (cost {cost} x bound {})",
+                    b.resource, b.bound
+                ),
+            })?;
         breakdown.push((b.resource, b.bound, cost));
     }
     Ok(SharedCostBound { total, breakdown })
@@ -170,23 +179,49 @@ pub fn dedicated_cost_bound(
         Err(_) => return Err(AnalysisError::CostSolverBudget),
     };
 
-    let node_counts = model
-        .ids()
-        .filter_map(|n| {
-            let v = solution.value(vars[n.index()]);
-            debug_assert!(v.is_integer() && !v.is_negative());
-            let count = v.numer() as u64;
-            (count > 0).then_some((n, count))
-        })
-        .collect();
-    let total = solution.objective;
-    debug_assert!(total.is_integer());
+    let mut node_counts = Vec::new();
+    for n in model.ids() {
+        let v = solution.value(vars[n.index()]);
+        let count = integral_u64(v, model.node_type(n).name())?;
+        if count > 0 {
+            node_counts.push((n, count));
+        }
+    }
+    let total = integral_i64(solution.objective, "objective")?;
 
     Ok(DedicatedCostBound {
-        total: total.numer() as i64,
+        total,
         lp_relaxation: lp,
         node_counts,
         coverage_shadow_prices,
+    })
+}
+
+/// Checked read-back of a solver value the cost program guarantees to be
+/// a non-negative integer. A rational or negative value is a solver
+/// defect, surfaced as [`AnalysisError::CostNotIntegral`] instead of a
+/// silent truncation.
+fn integral_u64(v: Rational, what: &str) -> Result<u64, AnalysisError> {
+    if !v.is_integer() || v.is_negative() {
+        return Err(AnalysisError::CostNotIntegral {
+            detail: format!("{what} = {v}"),
+        });
+    }
+    u64::try_from(v.numer()).map_err(|_| AnalysisError::BoundOverflow {
+        detail: format!("{what} = {v} exceeds u64"),
+    })
+}
+
+/// [`integral_u64`] for signed totals (the objective under non-negative
+/// node costs is non-negative, but the check does not rely on it).
+fn integral_i64(v: Rational, what: &str) -> Result<i64, AnalysisError> {
+    if !v.is_integer() {
+        return Err(AnalysisError::CostNotIntegral {
+            detail: format!("{what} = {v}"),
+        });
+    }
+    i64::try_from(v.numer()).map_err(|_| AnalysisError::BoundOverflow {
+        detail: format!("{what} = {v} exceeds i64"),
     })
 }
 
@@ -350,6 +385,38 @@ mod tests {
         ));
     }
 
+    /// A half-unit or negative solver value is reported as
+    /// `CostNotIntegral`, never truncated into a bogus count.
+    #[test]
+    fn non_integral_solver_values_are_rejected() {
+        assert_eq!(integral_u64(Rational::from(3), "x1"), Ok(3));
+        assert!(matches!(
+            integral_u64(Rational::new(1, 2), "x2"),
+            Err(AnalysisError::CostNotIntegral { detail }) if detail.contains("x2")
+        ));
+        assert!(matches!(
+            integral_u64(Rational::from(-1), "x3"),
+            Err(AnalysisError::CostNotIntegral { .. })
+        ));
+        assert_eq!(integral_i64(Rational::from(-7), "objective"), Ok(-7));
+        assert!(matches!(
+            integral_i64(Rational::new(7, 3), "objective"),
+            Err(AnalysisError::CostNotIntegral { .. })
+        ));
+    }
+
+    /// The shared-model weighted sum refuses to wrap around.
+    #[test]
+    fn shared_cost_overflow_is_an_error() {
+        let mut c = Catalog::new();
+        let p1 = c.processor("P1");
+        let model = SharedModel::new().with_cost(p1, i64::MAX / 2);
+        assert!(matches!(
+            shared_cost_bound(&model, &[bound(p1, 3)]),
+            Err(AnalysisError::BoundOverflow { .. })
+        ));
+    }
+
     #[test]
     fn end_to_end_cost_from_real_bounds() {
         // Full pipeline: graph -> timing -> bounds -> both cost models.
@@ -362,7 +429,7 @@ mod tests {
         }
         let g = b.build().unwrap();
         let timing = compute_timing(&g, &SystemModel::shared());
-        let bounds = lower_bounds(&g, &timing);
+        let bounds = lower_bounds(&g, &timing).unwrap();
 
         let shared = SharedModel::new().with_cost(p, 7);
         assert_eq!(shared_cost_bound(&shared, &bounds).unwrap().total, 21);

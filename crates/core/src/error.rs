@@ -32,6 +32,24 @@ pub enum AnalysisError {
     /// A session delta referenced a task, edge, or resource the graph
     /// rejected; nothing was applied.
     InvalidDelta(GraphError),
+    /// A bound or an intermediate quantity escaped its representable
+    /// range: the Equation 6.3 ceiling `⌈Θ/(t2−t1)⌉` exceeded `u32::MAX`,
+    /// a cost total overflowed `i64`, or the instance's magnitudes are so
+    /// large the pipeline cannot evaluate them exactly.
+    BoundOverflow {
+        /// What overflowed, with the offending values.
+        detail: String,
+    },
+    /// The LP/ILP solver reported a value that is not the non-negative
+    /// integer the cost program guarantees — a solver defect surfaced as
+    /// an error instead of a silent truncation.
+    CostNotIntegral {
+        /// The variable or total that failed the integrality check.
+        detail: String,
+    },
+    /// The analysis was cancelled or ran past its deadline (cooperative
+    /// cancellation via [`crate::CancelToken`]).
+    Deadline,
 }
 
 impl fmt::Display for AnalysisError {
@@ -52,6 +70,15 @@ impl fmt::Display for AnalysisError {
                 f.write_str("cost-bound solver exceeded its node budget")
             }
             AnalysisError::InvalidDelta(e) => write!(f, "invalid delta: {e}"),
+            AnalysisError::BoundOverflow { detail } => {
+                write!(f, "bound overflow: {detail}")
+            }
+            AnalysisError::CostNotIntegral { detail } => {
+                write!(f, "cost solver returned a non-integral value: {detail}")
+            }
+            AnalysisError::Deadline => {
+                f.write_str("analysis was cancelled or exceeded its deadline")
+            }
         }
     }
 }
@@ -77,6 +104,19 @@ mod tests {
         assert!(AnalysisError::MissingCost(ResourceId::from_index(3))
             .to_string()
             .contains("r#3"));
+    }
+
+    #[test]
+    fn new_variants_display_their_payloads() {
+        let e = AnalysisError::BoundOverflow {
+            detail: "demand 99 over length 1".into(),
+        };
+        assert!(e.to_string().contains("demand 99"));
+        let e = AnalysisError::CostNotIntegral {
+            detail: "x3 = 1/2".into(),
+        };
+        assert!(e.to_string().contains("x3 = 1/2"));
+        assert!(AnalysisError::Deadline.to_string().contains("deadline"));
     }
 
     #[test]

@@ -39,6 +39,7 @@ use rtlb_graph::{TaskGraph, TaskId, Time};
 use rtlb_obs::{span, Label, Probe, NULL_PROBE};
 use serde::{Deserialize, Serialize};
 
+use crate::cancel::CancelToken;
 use crate::error::AnalysisError;
 use crate::merge::MergeSet;
 use crate::model::SystemModel;
@@ -223,7 +224,13 @@ pub struct TimingTrace {
 /// # }
 /// ```
 pub fn compute_timing(graph: &TaskGraph, model: &SystemModel) -> TimingAnalysis {
-    compute_timing_inner(graph, model, None, &NULL_PROBE)
+    uncancellable(compute_timing_inner(
+        graph,
+        model,
+        None,
+        &NULL_PROBE,
+        &CancelToken::none(),
+    ))
 }
 
 /// Like [`compute_timing`], additionally recording every merge decision.
@@ -232,7 +239,13 @@ pub fn compute_timing_traced(
     model: &SystemModel,
 ) -> (TimingAnalysis, TimingTrace) {
     let mut trace = TimingTrace::default();
-    let analysis = compute_timing_inner(graph, model, Some(&mut trace), &NULL_PROBE);
+    let analysis = uncancellable(compute_timing_inner(
+        graph,
+        model,
+        Some(&mut trace),
+        &NULL_PROBE,
+        &CancelToken::none(),
+    ));
     (analysis, trace)
 }
 
@@ -246,7 +259,37 @@ pub fn compute_timing_probed(
     model: &SystemModel,
     probe: &dyn Probe,
 ) -> TimingAnalysis {
-    compute_timing_inner(graph, model, None, probe)
+    uncancellable(compute_timing_inner(
+        graph,
+        model,
+        None,
+        probe,
+        &CancelToken::none(),
+    ))
+}
+
+/// [`compute_timing_probed`] polling `ctl` once per task in each of the
+/// two Figure 2/3 passes.
+///
+/// # Errors
+///
+/// [`AnalysisError::Deadline`] when `ctl` trips; the partially computed
+/// windows are discarded.
+pub fn compute_timing_ctl(
+    graph: &TaskGraph,
+    model: &SystemModel,
+    probe: &dyn Probe,
+    ctl: &CancelToken,
+) -> Result<TimingAnalysis, AnalysisError> {
+    compute_timing_inner(graph, model, None, probe, ctl)
+}
+
+/// Unwraps a timing result produced under the never-tripping token.
+fn uncancellable(result: Result<TimingAnalysis, AnalysisError>) -> TimingAnalysis {
+    match result {
+        Ok(timing) => timing,
+        Err(_) => unreachable!("uncancellable timing computation cannot fail"),
+    }
 }
 
 fn compute_timing_inner(
@@ -254,7 +297,8 @@ fn compute_timing_inner(
     model: &SystemModel,
     mut trace: Option<&mut TimingTrace>,
     probe: &dyn Probe,
-) -> TimingAnalysis {
+    ctl: &CancelToken,
+) -> Result<TimingAnalysis, AnalysisError> {
     let n = graph.task_count();
     let mut lct = vec![Time::ZERO; n];
     let mut est = vec![Time::ZERO; n];
@@ -266,6 +310,7 @@ fn compute_timing_inner(
     {
         let _pass = span(probe, "timing.lct_pass", Label::None);
         for i in graph.reverse_topological_order() {
+            ctl.check()?;
             let (value, merged, task_trace) = lct_of(graph, model, i, &lct);
             candidates += task_trace.steps.len() as u64;
             accepted += merged.len() as u64;
@@ -281,6 +326,7 @@ fn compute_timing_inner(
     {
         let _pass = span(probe, "timing.est_pass", Label::None);
         for &i in graph.topological_order() {
+            ctl.check()?;
             let (value, merged, task_trace) = est_of(graph, model, i, &est);
             candidates += task_trace.steps.len() as u64;
             accepted += merged.len() as u64;
@@ -299,11 +345,11 @@ fn compute_timing_inner(
         .zip(lct)
         .map(|(est, lct)| TaskWindow { est, lct })
         .collect();
-    TimingAnalysis {
+    Ok(TimingAnalysis {
         windows,
         merged_preds,
         merged_succs,
-    }
+    })
 }
 
 /// The latest start time of a sequential single-processor schedule of
@@ -786,6 +832,32 @@ mod tests {
         let z_trace = trace.est.iter().find(|tr| tr.task == z).unwrap();
         assert_eq!(z_trace.base, Time::new(8));
         assert_eq!(z_trace.final_value, Time::new(3));
+    }
+
+    /// A tripped token interrupts the timing passes; a live one is
+    /// invisible (bit-identical windows).
+    #[test]
+    fn cancel_token_threads_through_timing() {
+        use rtlb_obs::NULL_PROBE;
+        let mut c = Catalog::new();
+        let p = c.processor("P");
+        let mut b = TaskGraphBuilder::new(c);
+        b.default_deadline(Time::new(30));
+        let a = b.add_task(TaskSpec::new("a", Dur::new(3), p)).unwrap();
+        let z = b.add_task(TaskSpec::new("z", Dur::new(4), p)).unwrap();
+        b.add_edge(a, z, Dur::new(5)).unwrap();
+        let g = b.build().unwrap();
+
+        let live = CancelToken::new();
+        let timing = compute_timing_ctl(&g, &shared(), &NULL_PROBE, &live).unwrap();
+        assert_eq!(timing, compute_timing(&g, &shared()));
+
+        let tripped = CancelToken::new();
+        tripped.cancel();
+        assert_eq!(
+            compute_timing_ctl(&g, &shared(), &NULL_PROBE, &tripped),
+            Err(AnalysisError::Deadline)
+        );
     }
 
     /// lst/ect micro-checks straight from the paper's definitions.

@@ -3,17 +3,27 @@
 //! Both the Θ-sweep fan-out ([`crate::sweep::sweep_partitions_probed`])
 //! and the session's dirty-resource re-sweep
 //! ([`crate::session::AnalysisSession`]) distribute independent jobs
-//! across a bounded pool of scoped threads. The helper lives here so
-//! there is exactly one work-stealing loop to reason about: results come
-//! back in job order regardless of which worker ran which job, which is
-//! what makes parallel folds bit-identical to their serial counterparts.
+//! across a bounded pool of scoped threads, and batch drivers reuse the
+//! same pool to fan out whole instances. The helper lives here so there
+//! is exactly one work-stealing loop to reason about: results come back
+//! in job order regardless of which worker ran which job, which is what
+//! makes parallel folds bit-identical to their serial counterparts.
+//!
+//! A panicking job does **not** abort the process or poison its
+//! siblings: every worker is joined first, the surviving results are
+//! discarded, and only then is the first panic payload re-raised on the
+//! calling thread (in worker-spawn order, for determinism). Callers that
+//! must survive a panicking job wrap the job body in
+//! `std::panic::catch_unwind` and turn the payload into a value — that
+//! is exactly what the `rtlb batch` driver does.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use rtlb_obs::{span, Label, Probe};
 
-/// Resolves the `parallelism` knob: `0` means every available core.
-pub(crate) fn effective_threads(parallelism: usize) -> usize {
+/// Resolves a `parallelism` knob: `0` means one thread per available
+/// core, any other value is taken literally.
+pub fn effective_threads(parallelism: usize) -> usize {
     if parallelism == 0 {
         std::thread::available_parallelism().map_or(1, |n| n.get())
     } else {
@@ -25,7 +35,14 @@ pub(crate) fn effective_threads(parallelism: usize) -> usize {
 /// returns their results in job order. Each worker thread (including the
 /// calling thread on the serial path) runs under a `sweep.worker` span so
 /// trace sinks get one swim-lane per worker.
-pub(crate) fn run_jobs<T, F>(probe: &dyn Probe, threads: usize, count: usize, run: F) -> Vec<T>
+///
+/// # Panics
+///
+/// If a job panics, all workers are first joined (their completed jobs
+/// are discarded), then the first panic payload — in worker-spawn order —
+/// is resumed on the calling thread. Jobs that must not unwind across
+/// the pool should catch their own panics and return them as values.
+pub fn run_jobs<T, F>(probe: &dyn Probe, threads: usize, count: usize, run: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
@@ -54,8 +71,22 @@ where
                 })
             })
             .collect();
+        // Join every worker before propagating any panic: a bad job must
+        // not strand its siblings mid-flight or tear down their results
+        // while they still run.
+        let mut first_panic = None;
         for handle in handles {
-            collected.extend(handle.join().expect("sweep worker panicked"));
+            match handle.join() {
+                Ok(done) => collected.extend(done),
+                Err(payload) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(payload);
+                    }
+                }
+            }
+        }
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
         }
     });
 
@@ -87,5 +118,31 @@ mod tests {
         assert!(effective_threads(0) >= 1);
         assert_eq!(effective_threads(1), 1);
         assert_eq!(effective_threads(7), 7);
+    }
+
+    /// One panicking job must not abort the process; the panic surfaces
+    /// on the caller only after every sibling worker has been joined.
+    #[test]
+    fn panicking_job_propagates_after_join() {
+        use std::sync::atomic::AtomicUsize;
+        let completed = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_jobs(&NULL_PROBE, 4, 32, |j| {
+                if j == 3 {
+                    panic!("job 3 exploded");
+                }
+                completed.fetch_add(1, Ordering::Relaxed);
+                j
+            })
+        }));
+        let payload = result.expect_err("the panic must propagate");
+        let message = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or_default()
+            .to_owned();
+        assert!(message.contains("job 3 exploded"), "{message}");
+        // Sibling workers drained the queue rather than being stranded.
+        assert!(completed.load(Ordering::Relaxed) >= 28);
     }
 }

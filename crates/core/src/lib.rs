@@ -59,6 +59,7 @@
 
 mod analysis;
 mod bounds;
+mod cancel;
 mod cost;
 mod error;
 mod estlct;
@@ -72,18 +73,22 @@ mod report;
 mod session;
 mod sweep;
 
-pub use analysis::{analyze, analyze_with, analyze_with_probe, Analysis, AnalysisOptions};
+pub use analysis::{
+    analyze, analyze_ctl, analyze_with, analyze_with_probe, Analysis, AnalysisOptions,
+};
 pub use bounds::{
     lower_bounds, resource_bound, resource_bound_sweep, resource_bound_unpartitioned,
-    resource_bound_unpartitioned_with, resource_bound_with, theta, CandidatePolicy,
-    IntervalWitness, ResourceBound,
+    resource_bound_unpartitioned_ctl, resource_bound_unpartitioned_with, resource_bound_with,
+    theta, CandidatePolicy, IntervalWitness, ResourceBound,
 };
+pub use cancel::{CancelToken, DEADLINE_STRIDE};
 pub use cost::{dedicated_cost_bound, shared_cost_bound, DedicatedCostBound, SharedCostBound};
 pub use error::AnalysisError;
 pub use estlct::{
-    compute_timing, compute_timing_probed, compute_timing_traced, MergeDecision, MergeStep,
-    TaskTrace, TaskWindow, TimingAnalysis, TimingTrace,
+    compute_timing, compute_timing_ctl, compute_timing_probed, compute_timing_traced,
+    MergeDecision, MergeStep, TaskTrace, TaskWindow, TimingAnalysis, TimingTrace,
 };
+pub use exec::{effective_threads, run_jobs};
 pub use merge::{mergeable, MergeSet};
 pub use metrics::{build_run_report, options_as_json};
 pub use model::{DedicatedModel, NodeType, NodeTypeId, SharedModel, SystemModel};
@@ -94,4 +99,4 @@ pub use report::{
     render_timing_table,
 };
 pub use session::{AnalysisSession, ApplyStats, Delta};
-pub use sweep::{sweep_partitions, sweep_partitions_probed, SweepStrategy};
+pub use sweep::{sweep_partitions, sweep_partitions_ctl, sweep_partitions_probed, SweepStrategy};

@@ -41,13 +41,25 @@ use rtlb_graph::{Dur, ExecutionMode, GraphError, ResourceId, TaskGraph, TaskId, 
 use rtlb_obs::{span, Label, Probe, NULL_PROBE};
 
 use crate::analysis::{Analysis, AnalysisOptions};
-use crate::bounds::{resource_bound_unpartitioned_with, RatioMax, ResourceBound};
+use crate::bounds::{resource_bound_unpartitioned_ctl, RatioMax, ResourceBound};
+use crate::cancel::CancelToken;
 use crate::error::AnalysisError;
-use crate::estlct::{compute_timing_probed, est_of, lct_of, TimingAnalysis};
+use crate::estlct::{compute_timing_ctl, est_of, lct_of, TimingAnalysis};
 use crate::exec::{effective_threads, run_jobs};
 use crate::model::SystemModel;
 use crate::partition::{partition_tasks, ResourcePartition};
 use crate::sweep::sweep_block_into;
+
+/// The zero bound of an unswept resource — the placeholder a cache holds
+/// until its maxima are folded.
+fn empty_bound(resource: ResourceId) -> ResourceBound {
+    ResourceBound {
+        resource,
+        bound: 0,
+        witness: None,
+        intervals_examined: 0,
+    }
+}
 
 /// One typed edit to an analyzed instance.
 ///
@@ -150,12 +162,13 @@ impl ResourceCache {
     /// Folds the per-block maxima into the resource bound, in block order
     /// — bit-identical to the serial whole-partition sweep because
     /// [`RatioMax::merge`] preserves serial offer order.
-    fn fold_bound(&mut self) {
+    fn fold_bound(&mut self) -> Result<(), AnalysisError> {
         let mut total = RatioMax::default();
         for max in &self.block_maxima {
             total.merge(*max);
         }
-        self.bound = total.into_bound(self.resource);
+        self.bound = total.into_bound(self.resource)?;
+        Ok(())
     }
 }
 
@@ -242,9 +255,27 @@ impl AnalysisSession {
         options: AnalysisOptions,
         probe: &dyn Probe,
     ) -> Result<AnalysisSession, AnalysisError> {
+        AnalysisSession::new_ctl(graph, model, options, probe, &CancelToken::none())
+    }
+
+    /// [`AnalysisSession::new_probed`] polling `ctl` at the same
+    /// checkpoints as [`crate::analyze_ctl`] — the batch driver's
+    /// session-based entry point.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AnalysisSession::new`], plus [`AnalysisError::Deadline`]
+    /// when `ctl` trips.
+    pub fn new_ctl(
+        graph: TaskGraph,
+        model: SystemModel,
+        options: AnalysisOptions,
+        probe: &dyn Probe,
+        ctl: &CancelToken,
+    ) -> Result<AnalysisSession, AnalysisError> {
         let _run = span(probe, "session.analyze", Label::None);
         model.validate(&graph)?;
-        let timing = compute_timing_probed(&graph, &model, probe);
+        let timing = compute_timing_ctl(&graph, &model, probe, ctl)?;
         timing.check_feasible(&graph)?;
         let mut session = AnalysisSession {
             graph,
@@ -258,34 +289,48 @@ impl AnalysisSession {
             pending_window: BTreeSet::new(),
             pending_demand: BTreeSet::new(),
         };
-        session.caches = session.build_caches(probe);
+        session.caches = session.build_caches(probe, ctl)?;
         Ok(session)
     }
 
     /// Builds the per-resource sweep caches from the current timing, one
     /// block-sweep job per block, fanned out over the thread pool.
-    fn build_caches(&self, probe: &dyn Probe) -> Vec<ResourceCache> {
+    fn build_caches(
+        &self,
+        probe: &dyn Probe,
+        ctl: &CancelToken,
+    ) -> Result<Vec<ResourceCache>, AnalysisError> {
         let resources: Vec<ResourceId> = self.graph.resources_used().into_iter().collect();
         if !self.options.partitioning {
-            return resources
-                .into_iter()
-                .map(|r| {
-                    let bound = resource_bound_unpartitioned_with(
+            let bounds = run_jobs(
+                probe,
+                effective_threads(self.options.parallelism),
+                resources.len(),
+                |j| {
+                    let bound = resource_bound_unpartitioned_ctl(
                         &self.graph,
                         &self.timing,
-                        r,
+                        resources[j],
                         self.options.candidates,
-                    );
+                        ctl,
+                    )?;
                     probe.add("sweep.pairs_offered", bound.intervals_examined);
-                    ResourceCache {
+                    Ok(bound)
+                },
+            );
+            return resources
+                .iter()
+                .zip(bounds)
+                .map(|(&r, bound)| {
+                    Ok(ResourceCache {
                         resource: r,
                         partition: ResourcePartition {
                             resource: r,
                             blocks: Vec::new(),
                         },
                         block_maxima: Vec::new(),
-                        bound,
-                    }
+                        bound: bound?,
+                    })
                 })
                 .collect();
         }
@@ -313,10 +358,11 @@ impl AnalysisSession {
                     self.options.candidates,
                     self.options.sweep,
                     &mut max,
-                );
+                    ctl,
+                )?;
                 probe.add("sweep.events_processed", events);
                 probe.add("sweep.pairs_offered", max.intervals());
-                max
+                Ok(max)
             },
         );
 
@@ -325,7 +371,7 @@ impl AnalysisSession {
             .map(|p| Vec::with_capacity(p.blocks.len()))
             .collect();
         for (j, max) in maxima.into_iter().enumerate() {
-            block_maxima[jobs[j].0].push(max);
+            block_maxima[jobs[j].0].push(max?);
         }
         partitions
             .into_iter()
@@ -333,12 +379,12 @@ impl AnalysisSession {
             .map(|(partition, block_maxima)| {
                 let mut cache = ResourceCache {
                     resource: partition.resource,
+                    bound: empty_bound(partition.resource),
                     partition,
                     block_maxima,
-                    bound: RatioMax::default().into_bound(ResourceId::from_index(0)),
                 };
-                cache.fold_bound();
-                cache
+                cache.fold_bound()?;
+                Ok(cache)
             })
             .collect()
     }
@@ -442,6 +488,25 @@ impl AnalysisSession {
         deltas: &[Delta],
         probe: &dyn Probe,
     ) -> Result<ApplyStats, AnalysisError> {
+        self.apply_ctl(deltas, probe, &CancelToken::none())
+    }
+
+    /// [`apply_probed`](AnalysisSession::apply_probed) polling `ctl`
+    /// between pipeline stages and once per `t1` column inside re-swept
+    /// blocks. A cancelled apply behaves exactly like an infeasible one:
+    /// the error is returned, the dirty sets are retained, and the sweep
+    /// caches still reflect the last successfully analyzed instance.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`apply`](AnalysisSession::apply), plus
+    /// [`AnalysisError::Deadline`] when `ctl` trips.
+    pub fn apply_ctl(
+        &mut self,
+        deltas: &[Delta],
+        probe: &dyn Probe,
+        ctl: &CancelToken,
+    ) -> Result<ApplyStats, AnalysisError> {
         let _apply = span(probe, "session.apply", Label::None);
 
         for delta in deltas {
@@ -455,6 +520,9 @@ impl AnalysisSession {
         // Timing recomputation assumes every task is hostable (merge
         // seeds would panic otherwise), so bail first, keeping the dirt.
         self.model.validate(&self.graph)?;
+        // Cheapest cancellation point: the EST/LCT seed sets are still
+        // intact, so a cancelled apply here loses nothing.
+        ctl.check()?;
 
         let mut stats = ApplyStats::default();
         {
@@ -475,7 +543,16 @@ impl AnalysisSession {
             let touched = std::mem::take(&mut self.pending_touched);
             let window_moved = std::mem::take(&mut self.pending_window);
             let demand = std::mem::take(&mut self.pending_demand);
-            self.refresh_bounds(&touched, &window_moved, &demand, &mut stats, probe);
+            if let Err(e) =
+                self.refresh_bounds(&touched, &window_moved, &demand, &mut stats, probe, ctl)
+            {
+                // Nothing was committed; put the dirt back so the next
+                // successful apply re-sweeps everything this one touched.
+                self.pending_touched.extend(touched);
+                self.pending_window.extend(window_moved);
+                self.pending_demand.extend(demand);
+                return Err(e);
+            }
         }
         probe.add("session.resources_dirty", stats.resources_dirty);
         probe.add("session.blocks_resweeped", stats.blocks_resweeped);
@@ -675,6 +752,11 @@ impl AnalysisSession {
 
     /// Re-partitions and re-sweeps dirty resources only, replaying cached
     /// block maxima for blocks whose members and windows are unchanged.
+    ///
+    /// The refresh is plan → execute → commit: `self.caches` is read but
+    /// not written until every sweep job has succeeded, so an error (a
+    /// tripped token, an overflowing bound) leaves the previous caches —
+    /// and therefore the session's reported bounds — fully intact.
     fn refresh_bounds(
         &mut self,
         touched: &BTreeSet<TaskId>,
@@ -682,7 +764,8 @@ impl AnalysisSession {
         demand_dirty: &BTreeSet<ResourceId>,
         stats: &mut ApplyStats,
         probe: &dyn Probe,
-    ) {
+        ctl: &CancelToken,
+    ) -> Result<(), AnalysisError> {
         // A resource is dirty when its demand set changed or any current
         // demander's sweep-relevant state moved.
         let mut dirty: BTreeSet<ResourceId> = demand_dirty.clone();
@@ -690,13 +773,14 @@ impl AnalysisSession {
             dirty.extend(self.graph.task(t).demands());
         }
         if dirty.is_empty() {
-            return;
+            return Ok(());
         }
 
         let resources: Vec<ResourceId> = self.graph.resources_used().into_iter().collect();
-        let mut old: BTreeMap<ResourceId, ResourceCache> = std::mem::take(&mut self.caches)
-            .into_iter()
-            .map(|c| (c.resource, c))
+        let mut old: BTreeMap<ResourceId, ResourceCache> = self
+            .caches
+            .iter()
+            .map(|c| (c.resource, c.clone()))
             .collect();
 
         let mut caches: Vec<ResourceCache> = Vec::with_capacity(resources.len());
@@ -738,7 +822,7 @@ impl AnalysisSession {
                                 blocks: Vec::new(),
                             },
                             block_maxima: Vec::new(),
-                            bound: RatioMax::default().into_bound(r),
+                            bound: empty_bound(r),
                         });
                     }
                 }
@@ -759,35 +843,38 @@ impl AnalysisSession {
                     self.options.candidates,
                     self.options.sweep,
                     &mut max,
-                );
+                    ctl,
+                )?;
                 probe.add("sweep.events_processed", events);
                 probe.add("sweep.pairs_offered", max.intervals());
-                max
+                Ok(max)
             });
             for (j, max) in results.into_iter().enumerate() {
                 let (ci, bi) = jobs[j];
-                caches[ci].block_maxima[bi] = max;
+                caches[ci].block_maxima[bi] = max?;
             }
             for ci in rebuilt {
-                caches[ci].fold_bound();
+                caches[ci].fold_bound()?;
             }
         } else {
             let results = run_jobs(probe, threads, jobs.len(), |j| {
                 let r = caches[jobs[j].0].resource;
-                let bound = resource_bound_unpartitioned_with(
+                let bound = resource_bound_unpartitioned_ctl(
                     &self.graph,
                     &self.timing,
                     r,
                     self.options.candidates,
-                );
+                    ctl,
+                )?;
                 probe.add("sweep.pairs_offered", bound.intervals_examined);
-                bound
+                Ok(bound)
             });
             for (j, bound) in results.into_iter().enumerate() {
-                caches[jobs[j].0].bound = bound;
+                caches[jobs[j].0].bound = bound?;
             }
         }
         self.caches = caches;
+        Ok(())
     }
 
     /// Re-partitions one dirty resource and decides block-by-block
@@ -863,7 +950,7 @@ impl AnalysisSession {
                 resource: r,
                 partition,
                 block_maxima,
-                bound: RatioMax::default().into_bound(r),
+                bound: empty_bound(r),
             },
             pending_jobs,
         )

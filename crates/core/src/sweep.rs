@@ -49,6 +49,8 @@ use rtlb_obs::{span, Label, Probe, NULL_PROBE};
 use serde::{Deserialize, Serialize};
 
 use crate::bounds::{candidate_points, CandidatePolicy, RatioMax, ResourceBound};
+use crate::cancel::CancelToken;
+use crate::error::AnalysisError;
 use crate::estlct::{TaskWindow, TimingAnalysis};
 use crate::exec::{effective_threads, run_jobs};
 use crate::partition::{PartitionBlock, ResourcePartition};
@@ -169,7 +171,16 @@ fn incremental_t1_sweep(
     *events_processed += next_event as u64;
 }
 
-/// Sweeps the candidate-`t1` index range `span` of one block into `max`.
+/// Sweeps the candidate-`t1` index range `span` of one block into `max`,
+/// polling `ctl` once per `t1` column (the interruption checkpoint — a
+/// column is the unit of work between checks, so cancellation latency is
+/// one column, not one whole block).
+///
+/// The incremental strategy's ramp decomposition is only defined on
+/// feasible windows (`E + C ≤ L`); an infeasible swept task surfaces as
+/// [`AnalysisError::Infeasible`] here instead of a wrong answer or a
+/// debug assertion. The naive oracle recomputes `Θ` directly and stays
+/// defined either way.
 #[allow(clippy::too_many_arguments)]
 fn sweep_span(
     graph: &TaskGraph,
@@ -180,9 +191,24 @@ fn sweep_span(
     strategy: SweepStrategy,
     max: &mut RatioMax,
     events_processed: &mut u64,
-) {
+    ctl: &CancelToken,
+) -> Result<(), AnalysisError> {
+    if strategy == SweepStrategy::Incremental {
+        for &t in tasks {
+            let w = timing.window(t);
+            let c = graph.task(t).computation();
+            if i128::from(w.est.ticks()) + i128::from(c.ticks()) > i128::from(w.lct.ticks()) {
+                return Err(AnalysisError::Infeasible {
+                    task: graph.task(t).name().to_owned(),
+                    est: w.est,
+                    lct: w.lct,
+                });
+            }
+        }
+    }
     let mut events = Vec::with_capacity(tasks.len() * 2);
     for li in span {
+        ctl.check()?;
         match strategy {
             SweepStrategy::Naive => naive_t1_sweep(graph, timing, tasks, points, li, max),
             SweepStrategy::Incremental => incremental_t1_sweep(
@@ -197,6 +223,7 @@ fn sweep_span(
             ),
         }
     }
+    Ok(())
 }
 
 /// Sweeps one partition block into `max` with the chosen strategy,
@@ -210,7 +237,8 @@ pub(crate) fn sweep_block_into(
     policy: CandidatePolicy,
     strategy: SweepStrategy,
     max: &mut RatioMax,
-) -> u64 {
+    ctl: &CancelToken,
+) -> Result<u64, AnalysisError> {
     let mut events_processed = 0u64;
     let points = candidate_points(graph, timing, &block.tasks, policy);
     let t1s = 0..points.len().saturating_sub(1);
@@ -223,8 +251,9 @@ pub(crate) fn sweep_block_into(
         strategy,
         max,
         &mut events_processed,
-    );
-    events_processed
+        ctl,
+    )?;
+    Ok(events_processed)
 }
 
 /// Sweeps every block of one partition sequentially (Theorem 5), with the
@@ -236,10 +265,12 @@ pub(crate) fn sweep_partition_into(
     policy: CandidatePolicy,
     strategy: SweepStrategy,
     max: &mut RatioMax,
-) {
+    ctl: &CancelToken,
+) -> Result<(), AnalysisError> {
     for block in &partition.blocks {
-        sweep_block_into(graph, timing, block, policy, strategy, max);
+        sweep_block_into(graph, timing, block, policy, strategy, max, ctl)?;
     }
+    Ok(())
 }
 
 /// Computes `LB_r` for every partition, fanning the per-block sweeps out
@@ -248,6 +279,11 @@ pub(crate) fn sweep_partition_into(
 /// for load balance. Results are bit-identical to the serial sweep for
 /// any thread count: chunk maxima are merged in deterministic order with
 /// the same first-wins tie-break the serial scan applies.
+///
+/// # Errors
+///
+/// [`AnalysisError::BoundOverflow`] if some bound's ceiling exceeds
+/// `u32::MAX` (unreachable on feasible timing).
 pub fn sweep_partitions(
     graph: &TaskGraph,
     timing: &TimingAnalysis,
@@ -255,7 +291,7 @@ pub fn sweep_partitions(
     policy: CandidatePolicy,
     strategy: SweepStrategy,
     parallelism: usize,
-) -> Vec<ResourceBound> {
+) -> Result<Vec<ResourceBound>, AnalysisError> {
     sweep_partitions_probed(
         graph,
         timing,
@@ -274,6 +310,10 @@ pub fn sweep_partitions(
 /// `sweep.events_processed` counters. Instrumentation is observational
 /// only — bounds, witnesses, and tie-breaks are bit-identical to the
 /// unprobed sweep (enforced by `tests/sweep_equivalence.rs`).
+///
+/// # Errors
+///
+/// Same as [`sweep_partitions`].
 #[allow(clippy::too_many_arguments)]
 pub fn sweep_partitions_probed(
     graph: &TaskGraph,
@@ -283,7 +323,39 @@ pub fn sweep_partitions_probed(
     strategy: SweepStrategy,
     parallelism: usize,
     probe: &dyn Probe,
-) -> Vec<ResourceBound> {
+) -> Result<Vec<ResourceBound>, AnalysisError> {
+    sweep_partitions_ctl(
+        graph,
+        timing,
+        partitions,
+        policy,
+        strategy,
+        parallelism,
+        probe,
+        &CancelToken::none(),
+    )
+}
+
+/// [`sweep_partitions_probed`] polling `ctl` once per `t1` column in
+/// every worker. Workers that observe a tripped token stop at their next
+/// column boundary; the first error in job order is returned and all
+/// partial maxima are discarded.
+///
+/// # Errors
+///
+/// [`AnalysisError::BoundOverflow`] as in [`sweep_partitions`], or
+/// [`AnalysisError::Deadline`] when `ctl` trips.
+#[allow(clippy::too_many_arguments)]
+pub fn sweep_partitions_ctl(
+    graph: &TaskGraph,
+    timing: &TimingAnalysis,
+    partitions: &[ResourcePartition],
+    policy: CandidatePolicy,
+    strategy: SweepStrategy,
+    parallelism: usize,
+    probe: &dyn Probe,
+    ctl: &CancelToken,
+) -> Result<Vec<ResourceBound>, AnalysisError> {
     let _sweep = span(probe, "analyze.sweep", Label::None);
     let threads = effective_threads(parallelism);
 
@@ -337,17 +409,19 @@ pub fn sweep_partitions_probed(
             strategy,
             &mut max,
             &mut events_processed,
-        );
+            ctl,
+        )?;
         probe.add("sweep.pairs_offered", max.intervals());
         probe.add("sweep.events_processed", events_processed);
-        max
+        Ok(max)
     });
 
     // Fold chunk maxima back per partition, preserving job order so ties
-    // resolve exactly as in the serial sweep.
+    // resolve exactly as in the serial sweep. The first error in job
+    // order wins, matching what the serial sweep would have hit first.
     let mut folded = vec![RatioMax::default(); partitions.len()];
-    for (j, (bi, _)) in jobs.iter().enumerate() {
-        folded[blocks[*bi].0].merge(chunk_maxima[j]);
+    for ((bi, _), max) in jobs.iter().zip(chunk_maxima) {
+        folded[blocks[*bi].0].merge(max?);
     }
     folded
         .into_iter()
@@ -433,7 +507,8 @@ mod tests {
         let timing = compute_timing(&g, &SystemModel::shared());
         let partitions = partition_all(&g, &timing);
         for policy in [CandidatePolicy::EstLct, CandidatePolicy::Extended] {
-            let naive = sweep_partitions(&g, &timing, &partitions, policy, SweepStrategy::Naive, 1);
+            let naive = sweep_partitions(&g, &timing, &partitions, policy, SweepStrategy::Naive, 1)
+                .unwrap();
             let inc = sweep_partitions(
                 &g,
                 &timing,
@@ -441,7 +516,8 @@ mod tests {
                 policy,
                 SweepStrategy::Incremental,
                 1,
-            );
+            )
+            .unwrap();
             assert_eq!(naive, inc, "policy {policy:?}");
         }
     }
@@ -458,7 +534,8 @@ mod tests {
             CandidatePolicy::Extended,
             SweepStrategy::Incremental,
             1,
-        );
+        )
+        .unwrap();
         for threads in [0, 2, 3, 8] {
             let par = sweep_partitions(
                 &g,
@@ -467,7 +544,8 @@ mod tests {
                 CandidatePolicy::Extended,
                 SweepStrategy::Incremental,
                 threads,
-            );
+            )
+            .unwrap();
             assert_eq!(serial, par, "threads = {threads}");
         }
     }
@@ -487,7 +565,8 @@ mod tests {
             CandidatePolicy::EstLct,
             SweepStrategy::Incremental,
             1,
-        );
+        )
+        .unwrap();
 
         let mut pairs = Vec::new();
         for strategy in [SweepStrategy::Incremental, SweepStrategy::Naive] {
@@ -500,7 +579,8 @@ mod tests {
                 strategy,
                 1,
                 &recorder,
-            );
+            )
+            .unwrap();
             assert_eq!(plain, probed, "{strategy:?} must be bit-identical");
             let metrics = recorder.take_metrics();
             let offered: u64 = plain.iter().map(|b| b.intervals_examined).sum();
@@ -533,7 +613,8 @@ mod tests {
             CandidatePolicy::Extended,
             SweepStrategy::Incremental,
             1,
-        );
+        )
+        .unwrap();
         let recorder = Recorder::new();
         let par = sweep_partitions_probed(
             &g,
@@ -543,7 +624,8 @@ mod tests {
             SweepStrategy::Incremental,
             3,
             &recorder,
-        );
+        )
+        .unwrap();
         assert_eq!(serial, par);
         let metrics = recorder.take_metrics();
         let workers = metrics.span_count("sweep.worker");
@@ -555,5 +637,30 @@ mod tests {
             metrics.counter("sweep.jobs"),
             metrics.span_count("sweep.chunk")
         );
+    }
+
+    /// A tripped token surfaces as `Deadline` from the very first column,
+    /// serial and parallel alike — no partial bounds escape.
+    #[test]
+    fn tripped_token_stops_the_sweep() {
+        let (g, _) = fixture();
+        let timing = compute_timing(&g, &SystemModel::shared());
+        let partitions = partition_all(&g, &timing);
+        let ctl = CancelToken::new();
+        ctl.cancel();
+        for threads in [1, 3] {
+            let err = sweep_partitions_ctl(
+                &g,
+                &timing,
+                &partitions,
+                CandidatePolicy::EstLct,
+                SweepStrategy::Incremental,
+                threads,
+                &NULL_PROBE,
+                &ctl,
+            )
+            .unwrap_err();
+            assert_eq!(err, AnalysisError::Deadline);
+        }
     }
 }

@@ -1,0 +1,508 @@
+//! Fault-isolated batch analysis over many `.rtlb` instances.
+//!
+//! `rtlb batch <dir|manifest>` analyzes every instance concurrently on
+//! the shared [`run_jobs`] pool and classifies each into exactly one
+//! [`OutcomeKind`] instead of letting a single bad file take down the
+//! whole run:
+//!
+//! * a file that cannot be read or parsed is `parse-error`;
+//! * an instance whose constraints are unsatisfiable is `infeasible`;
+//! * an instance whose magnitudes escape the pipeline's exact arithmetic
+//!   (or that trips a solver defect) is `overflow`;
+//! * an instance that runs past the per-instance deadline is `timeout`
+//!   (cooperative cancellation via [`CancelToken`]);
+//! * an instance whose analysis panics is `panicked` — the panic is
+//!   caught at the job boundary with [`std::panic::catch_unwind`], so
+//!   sibling instances and the pool itself keep running.
+//!
+//! Healthy instances produce bounds **bit-identical** to `rtlb analyze`
+//! on the same file with the same options: the batch driver calls the
+//! same [`analyze_ctl`] pipeline, serially per instance whenever the
+//! batch itself fans out (so there is exactly one level of parallelism).
+//!
+//! The report renders as an aligned text table or as a versioned
+//! `rtlb-batch-v1` JSON document (see [`BatchReport::to_json`]), and the
+//! exit-code policy is explicit: any outcome other than `ok` fails the
+//! batch unless listed in [`BatchOptions::tolerate`].
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use rtlb_core::{
+    analyze_ctl, effective_threads, run_jobs, AnalysisError, AnalysisOptions, CancelToken,
+    ResourceBound, SystemModel,
+};
+use rtlb_obs::{Json, NULL_PROBE};
+
+use crate::format;
+
+/// Schema tag emitted by [`BatchReport::to_json`].
+pub const BATCH_SCHEMA: &str = "rtlb-batch-v1";
+
+/// Everything the batch driver accepts besides the target path.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BatchOptions {
+    /// Per-instance analysis knobs (sweep strategy, candidate policy,
+    /// partitioning). The per-instance `parallelism` is forced to 1
+    /// whenever the batch itself runs on more than one worker.
+    pub analysis: AnalysisOptions,
+    /// Batch worker threads; `0` means one per core.
+    pub jobs: usize,
+    /// Per-instance deadline in milliseconds; `None` disables the
+    /// deadline, `Some(0)` is an already-expired deadline (every
+    /// instance reports `timeout` — useful for testing the policy).
+    pub timeout_ms: Option<u64>,
+    /// Outcomes that do **not** fail the batch exit code. `ok` is always
+    /// tolerated; listing it here is harmless.
+    pub tolerate: Vec<OutcomeKind>,
+}
+
+/// Classified result of analyzing one instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OutcomeKind {
+    /// The analysis completed; bounds are reported.
+    Ok,
+    /// The file could not be read or did not parse.
+    ParseError,
+    /// The constraints are unsatisfiable (or a task is unhostable).
+    Infeasible,
+    /// A bound or intermediate quantity escaped its representable range,
+    /// or a solver reported a defective value.
+    Overflow,
+    /// The per-instance deadline expired before the analysis finished.
+    Timeout,
+    /// The analysis panicked; the payload is in the outcome detail.
+    Panicked,
+}
+
+/// Every kind, in report order.
+pub const OUTCOME_KINDS: [OutcomeKind; 6] = [
+    OutcomeKind::Ok,
+    OutcomeKind::ParseError,
+    OutcomeKind::Infeasible,
+    OutcomeKind::Overflow,
+    OutcomeKind::Timeout,
+    OutcomeKind::Panicked,
+];
+
+impl OutcomeKind {
+    /// The stable label used in reports and `--tolerate=` lists.
+    pub fn label(self) -> &'static str {
+        match self {
+            OutcomeKind::Ok => "ok",
+            OutcomeKind::ParseError => "parse-error",
+            OutcomeKind::Infeasible => "infeasible",
+            OutcomeKind::Overflow => "overflow",
+            OutcomeKind::Timeout => "timeout",
+            OutcomeKind::Panicked => "panicked",
+        }
+    }
+
+    /// Parses a [`label`](OutcomeKind::label) back into a kind.
+    pub fn from_label(label: &str) -> Option<OutcomeKind> {
+        OUTCOME_KINDS.into_iter().find(|k| k.label() == label)
+    }
+}
+
+/// One row of the batch report: what happened to one instance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InstanceOutcome {
+    /// The instance file, as resolved from the directory or manifest.
+    pub path: PathBuf,
+    /// The classified outcome.
+    pub kind: OutcomeKind,
+    /// Human-readable failure detail (`None` for `ok`).
+    pub detail: Option<String>,
+    /// Wall-clock time spent on this instance, in microseconds.
+    pub micros: u64,
+    /// Resource bounds by name, bit-identical to `rtlb analyze` on the
+    /// same file and options. Empty unless the outcome is `ok`.
+    pub bounds: Vec<(String, ResourceBound)>,
+}
+
+/// The aggregate result of one batch run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BatchReport {
+    /// The directory or manifest the batch was launched on.
+    pub root: String,
+    /// One outcome per instance, in discovery order.
+    pub instances: Vec<InstanceOutcome>,
+    /// Wall-clock time for the whole batch, in microseconds.
+    pub total_micros: u64,
+}
+
+impl BatchReport {
+    /// Number of instances with the given outcome.
+    pub fn count(&self, kind: OutcomeKind) -> usize {
+        self.instances.iter().filter(|i| i.kind == kind).count()
+    }
+
+    /// Number of instances whose outcome fails the batch: not `ok` and
+    /// not in `tolerate`. The CLI exits non-zero iff this is non-zero.
+    pub fn violations(&self, tolerate: &[OutcomeKind]) -> usize {
+        self.instances
+            .iter()
+            .filter(|i| i.kind != OutcomeKind::Ok && !tolerate.contains(&i.kind))
+            .count()
+    }
+
+    /// The versioned `rtlb-batch-v1` JSON document.
+    pub fn to_json(&self) -> Json {
+        let instances: Vec<Json> = self
+            .instances
+            .iter()
+            .map(|i| {
+                let mut fields = vec![
+                    ("path", Json::str(i.path.display().to_string())),
+                    ("outcome", Json::str(i.kind.label())),
+                    ("micros", Json::Int(int(i.micros))),
+                ];
+                if let Some(detail) = &i.detail {
+                    fields.push(("detail", Json::str(detail.as_str())));
+                }
+                if i.kind == OutcomeKind::Ok {
+                    let bounds: Vec<Json> = i
+                        .bounds
+                        .iter()
+                        .map(|(name, b)| {
+                            let witness = match &b.witness {
+                                None => Json::Null,
+                                Some(w) => Json::obj([
+                                    ("t1", Json::Int(w.t1.ticks())),
+                                    ("t2", Json::Int(w.t2.ticks())),
+                                    ("demand", Json::Int(w.demand.ticks())),
+                                ]),
+                            };
+                            Json::obj([
+                                ("resource", Json::str(name.as_str())),
+                                ("lb", Json::Int(i64::from(b.bound))),
+                                ("intervals_examined", Json::Int(int(b.intervals_examined))),
+                                ("witness", witness),
+                            ])
+                        })
+                        .collect();
+                    fields.push(("bounds", Json::Arr(bounds)));
+                }
+                Json::obj(fields)
+            })
+            .collect();
+        let counts: Vec<(&str, Json)> = OUTCOME_KINDS
+            .into_iter()
+            .map(|k| (k.label(), Json::Int(self.count(k) as i64)))
+            .collect();
+        Json::obj([
+            ("schema", Json::str(BATCH_SCHEMA)),
+            ("root", Json::str(self.root.as_str())),
+            ("total", Json::Int(self.instances.len() as i64)),
+            ("counts", Json::obj(counts)),
+            ("total_micros", Json::Int(int(self.total_micros))),
+            ("instances", Json::Arr(instances)),
+        ])
+    }
+
+    /// Human-readable table: one line per instance plus a totals line.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let width = self
+            .instances
+            .iter()
+            .map(|i| i.path.display().to_string().len())
+            .max()
+            .unwrap_or(8)
+            .max(8);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<width$} {:<11} {:>9}  detail / bounds",
+            "instance", "outcome", "micros"
+        );
+        for i in &self.instances {
+            let tail = match i.kind {
+                OutcomeKind::Ok => i
+                    .bounds
+                    .iter()
+                    .map(|(name, b)| format!("{name}={}", b.bound))
+                    .collect::<Vec<_>>()
+                    .join(" "),
+                _ => i.detail.clone().unwrap_or_default(),
+            };
+            let _ = writeln!(
+                out,
+                "{:<width$} {:<11} {:>9}  {}",
+                i.path.display(),
+                i.kind.label(),
+                i.micros,
+                tail
+            );
+        }
+        let counts: Vec<String> = OUTCOME_KINDS
+            .into_iter()
+            .map(|k| format!("{} {}", self.count(k), k.label()))
+            .collect();
+        let _ = writeln!(
+            out,
+            "{} instance(s) in {} us: {}",
+            self.instances.len(),
+            self.total_micros,
+            counts.join(", ")
+        );
+        out
+    }
+}
+
+/// Analyzes every instance under `target` (a directory scanned for
+/// `*.rtlb` files, or a manifest file listing one instance path per
+/// line, `#` comments allowed, relative to the manifest's directory).
+///
+/// Instances are fanned out on the shared scoped-thread pool; every
+/// failure mode — unreadable file, parse error, infeasibility, numeric
+/// overflow, deadline, even a panic inside the analysis — is isolated
+/// to its instance and reported as a structured [`InstanceOutcome`].
+/// The process-level contract: `run_batch` itself never panics because
+/// of an instance.
+///
+/// # Errors
+///
+/// Only driver-level problems are errors: the target does not exist,
+/// the manifest cannot be read, or no instances were found. Per-instance
+/// failures are outcomes, not errors.
+pub fn run_batch(target: &Path, options: &BatchOptions) -> Result<BatchReport, String> {
+    let inputs = collect_instances(target)?;
+    if inputs.is_empty() {
+        return Err(format!("no .rtlb instances under {}", target.display()));
+    }
+
+    // One level of parallelism: when the batch fans out, each instance
+    // runs its sweep serially; a single-worker batch lets the instance
+    // use its own configured pool.
+    let workers = effective_threads(options.jobs).min(inputs.len());
+    let mut per_instance = options.analysis;
+    if workers > 1 {
+        per_instance.parallelism = 1;
+    }
+    let timeout = options.timeout_ms.map(Duration::from_millis);
+
+    let started = Instant::now();
+    let instances = run_jobs(&NULL_PROBE, workers, inputs.len(), |job| {
+        let path = &inputs[job];
+        let instance_start = Instant::now();
+        // The job boundary is the fault-isolation line: a panic anywhere
+        // in read/parse/analyze becomes a `panicked` outcome for this
+        // instance only.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            analyze_instance(path, per_instance, timeout)
+        }));
+        let micros = u64::try_from(instance_start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let (kind, detail, bounds) = match result {
+            Ok(outcome) => outcome,
+            Err(payload) => (
+                OutcomeKind::Panicked,
+                Some(panic_message(payload.as_ref())),
+                Vec::new(),
+            ),
+        };
+        InstanceOutcome {
+            path: path.clone(),
+            kind,
+            detail,
+            micros,
+            bounds,
+        }
+    });
+    Ok(BatchReport {
+        root: target.display().to_string(),
+        instances,
+        total_micros: u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
+    })
+}
+
+/// Reads, parses, and analyzes one instance; never panics on bad input
+/// (panics that do escape are caught by the caller's job boundary).
+fn analyze_instance(
+    path: &Path,
+    options: AnalysisOptions,
+    timeout: Option<Duration>,
+) -> (OutcomeKind, Option<String>, Vec<(String, ResourceBound)>) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            return (
+                OutcomeKind::ParseError,
+                Some(format!("cannot read: {e}")),
+                Vec::new(),
+            )
+        }
+    };
+    let parsed = match format::parse(&text) {
+        Ok(parsed) => parsed,
+        Err(e) => return (OutcomeKind::ParseError, Some(e.to_string()), Vec::new()),
+    };
+    let ctl = match timeout {
+        Some(limit) => CancelToken::with_timeout(limit),
+        None => CancelToken::none(),
+    };
+    match analyze_ctl(
+        &parsed.graph,
+        &SystemModel::shared(),
+        options,
+        &NULL_PROBE,
+        &ctl,
+    ) {
+        Ok(analysis) => {
+            let bounds = analysis
+                .bounds()
+                .iter()
+                .map(|b| (parsed.graph.catalog().name(b.resource).to_owned(), *b))
+                .collect();
+            (OutcomeKind::Ok, None, bounds)
+        }
+        Err(e) => (classify(&e), Some(e.to_string()), Vec::new()),
+    }
+}
+
+/// Maps a pipeline error to its outcome class. `Deadline` is a timeout;
+/// unsatisfiable constraints are `infeasible`; every numeric or solver
+/// defect (overflowed bound, non-integral cost) is `overflow`.
+fn classify(e: &AnalysisError) -> OutcomeKind {
+    match e {
+        AnalysisError::Deadline => OutcomeKind::Timeout,
+        AnalysisError::Infeasible { .. } | AnalysisError::UnhostableTask(_) => {
+            OutcomeKind::Infeasible
+        }
+        _ => OutcomeKind::Overflow,
+    }
+}
+
+/// Extracts a printable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "(non-string panic payload)".to_owned()
+    }
+}
+
+/// Resolves the batch target into an ordered instance list.
+fn collect_instances(target: &Path) -> Result<Vec<PathBuf>, String> {
+    let meta = std::fs::metadata(target)
+        .map_err(|e| format!("cannot access {}: {e}", target.display()))?;
+    if meta.is_dir() {
+        let mut found = Vec::new();
+        let entries = std::fs::read_dir(target)
+            .map_err(|e| format!("cannot list {}: {e}", target.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("cannot list {}: {e}", target.display()))?;
+            let path = entry.path();
+            if path.extension().is_some_and(|ext| ext == "rtlb") {
+                found.push(path);
+            }
+        }
+        found.sort();
+        Ok(found)
+    } else {
+        let text = std::fs::read_to_string(target)
+            .map_err(|e| format!("cannot read manifest {}: {e}", target.display()))?;
+        let base = target.parent().unwrap_or_else(|| Path::new("."));
+        Ok(text
+            .lines()
+            .map(str::trim)
+            .filter(|line| !line.is_empty() && !line.starts_with('#'))
+            .map(|line| base.join(line))
+            .collect())
+    }
+}
+
+/// Clamping u64→i64 for JSON (counts and microseconds never overflow
+/// i64 in practice; saturate rather than wrap if one ever does).
+fn int(v: u64) -> i64 {
+    i64::try_from(v).unwrap_or(i64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        for kind in OUTCOME_KINDS {
+            assert_eq!(OutcomeKind::from_label(kind.label()), Some(kind));
+        }
+        assert_eq!(OutcomeKind::from_label("exploded"), None);
+    }
+
+    #[test]
+    fn classification_covers_the_contract() {
+        assert_eq!(classify(&AnalysisError::Deadline), OutcomeKind::Timeout);
+        assert_eq!(
+            classify(&AnalysisError::UnhostableTask("t".into())),
+            OutcomeKind::Infeasible
+        );
+        assert_eq!(
+            classify(&AnalysisError::BoundOverflow { detail: "x".into() }),
+            OutcomeKind::Overflow
+        );
+        assert_eq!(
+            classify(&AnalysisError::CostNotIntegral { detail: "x".into() }),
+            OutcomeKind::Overflow
+        );
+    }
+
+    #[test]
+    fn violations_respect_the_tolerate_list() {
+        let outcome = |kind| InstanceOutcome {
+            path: PathBuf::from("x.rtlb"),
+            kind,
+            detail: None,
+            micros: 0,
+            bounds: Vec::new(),
+        };
+        let report = BatchReport {
+            root: "x".into(),
+            instances: vec![
+                outcome(OutcomeKind::Ok),
+                outcome(OutcomeKind::Infeasible),
+                outcome(OutcomeKind::Panicked),
+            ],
+            total_micros: 0,
+        };
+        assert_eq!(report.violations(&[]), 2);
+        assert_eq!(report.violations(&[OutcomeKind::Infeasible]), 1);
+        assert_eq!(
+            report.violations(&[OutcomeKind::Infeasible, OutcomeKind::Panicked]),
+            0
+        );
+        assert_eq!(report.count(OutcomeKind::Ok), 1);
+    }
+
+    #[test]
+    fn json_report_is_versioned_and_counted() {
+        let report = BatchReport {
+            root: "dir".into(),
+            instances: vec![InstanceOutcome {
+                path: PathBuf::from("a.rtlb"),
+                kind: OutcomeKind::ParseError,
+                detail: Some("line 3: bad".into()),
+                micros: 12,
+                bounds: Vec::new(),
+            }],
+            total_micros: 34,
+        };
+        let doc = report.to_json();
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some(BATCH_SCHEMA));
+        let counts = doc.get("counts").unwrap();
+        assert_eq!(counts.get("parse-error").and_then(Json::as_int), Some(1));
+        assert_eq!(counts.get("ok").and_then(Json::as_int), Some(0));
+        let rows = doc.get("instances").and_then(Json::as_arr).unwrap();
+        assert_eq!(
+            rows[0].get("outcome").and_then(Json::as_str),
+            Some("parse-error")
+        );
+        assert!(
+            rows[0].get("bounds").is_none(),
+            "failed rows carry no bounds"
+        );
+    }
+}

@@ -16,6 +16,7 @@
 
 use std::process::ExitCode;
 
+use rtlb::batch::{run_batch, BatchOptions, OutcomeKind};
 use rtlb::core::{
     analyze_with, analyze_with_probe, build_run_report, render_analysis, render_dedicated_cost,
     render_shared_cost, AnalysisOptions, AnalysisSession, CandidatePolicy, SweepStrategy,
@@ -42,6 +43,10 @@ usage:
   rtlb sweep-scenarios <file>   apply a scenario file's edit batches to one
                                 incremental analysis session, reporting the
                                 bounds and re-analysis work per scenario
+  rtlb batch <dir|manifest>     analyze every .rtlb instance in a directory
+                                (or listed one-per-line in a manifest file),
+                                isolating parse errors, infeasibility,
+                                overflows, timeouts, and panics per instance
   rtlb help | -h | --help       show this message
 
 analyze flags:
@@ -67,12 +72,27 @@ sweep-scenarios flags (plus --sweep=, --jobs=, --extended, --no-partition):
   --json                     print only a versioned rtlb-scenarios-v1 JSON
                              report on stdout
 
+batch flags (plus --sweep=, --extended, --no-partition):
+  --jobs=N                   batch worker threads, one instance per job;
+                             0 = one per core (default: 0). With more than
+                             one worker each instance sweeps serially
+  --timeout-ms=N             per-instance analysis deadline in milliseconds;
+                             an expired instance reports `timeout` and the
+                             rest of the batch continues (default: none)
+  --tolerate=LIST            comma-separated outcomes that do not fail the
+                             exit code, e.g. --tolerate=infeasible,timeout
+                             (outcomes: ok parse-error infeasible overflow
+                             timeout panicked; exit 1 if any untolerated)
+  --json                     print only a versioned rtlb-batch-v1 JSON
+                             report on stdout
+
 examples:
   rtlb example > f.rtlb
   rtlb analyze f.rtlb
   rtlb analyze f.rtlb --jobs=0 --metrics=text
   rtlb analyze f.rtlb --metrics=json --trace-out=trace.json
   rtlb sweep-scenarios examples/scenarios/sensor_sweep.rtlbs --check --json
+  rtlb batch examples/batch --tolerate=infeasible --json
 ";
 
 fn main() -> ExitCode {
@@ -83,6 +103,17 @@ fn main() -> ExitCode {
         Some("example") => cmd_example(),
         Some("schedule") => with_file(&args, 3, cmd_schedule),
         Some("sweep-scenarios") => cmd_sweep_scenarios(&args),
+        // `batch` owns its exit code: per-instance failures are report
+        // rows plus a non-zero exit, not a driver error.
+        Some("batch") => {
+            return match cmd_batch(&args) {
+                Ok(code) => code,
+                Err(message) => {
+                    eprintln!("rtlb: {message}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         Some("help" | "-h" | "--help") => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -419,6 +450,71 @@ fn cmd_sweep_scenarios(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Everything `rtlb batch` accepts after the target argument.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct BatchArgs {
+    options: BatchOptions,
+    json: bool,
+}
+
+/// Parses `batch` flags (everything after the directory/manifest).
+fn batch_options(flags: &[String]) -> Result<BatchArgs, String> {
+    let mut args = BatchArgs::default();
+    for flag in flags {
+        if let Some(strategy) = flag.strip_prefix("--sweep=") {
+            args.options.analysis.sweep = match strategy {
+                "naive" => SweepStrategy::Naive,
+                "incremental" => SweepStrategy::Incremental,
+                other => return Err(format!("unknown sweep strategy `{other}`")),
+            };
+        } else if let Some(jobs) = flag.strip_prefix("--jobs=") {
+            args.options.jobs = jobs
+                .parse()
+                .map_err(|_| format!("invalid job count `{jobs}`"))?;
+        } else if flag == "--extended" {
+            args.options.analysis.candidates = CandidatePolicy::Extended;
+        } else if flag == "--no-partition" {
+            args.options.analysis.partitioning = false;
+        } else if let Some(ms) = flag.strip_prefix("--timeout-ms=") {
+            args.options.timeout_ms =
+                Some(ms.parse().map_err(|_| format!("invalid timeout `{ms}`"))?);
+        } else if let Some(list) = flag.strip_prefix("--tolerate=") {
+            for label in list.split(',').filter(|l| !l.is_empty()) {
+                let kind = OutcomeKind::from_label(label).ok_or_else(|| {
+                    format!(
+                        "unknown outcome `{label}` in --tolerate (expected ok, \
+                         parse-error, infeasible, overflow, timeout, or panicked)"
+                    )
+                })?;
+                args.options.tolerate.push(kind);
+            }
+        } else if flag == "--json" {
+            args.json = true;
+        } else {
+            return Err(format!("unknown flag `{flag}` (see `rtlb --help`)"));
+        }
+    }
+    Ok(args)
+}
+
+fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
+    if args.len() < 2 {
+        return Err("`batch` needs a directory or manifest argument".to_owned());
+    }
+    let BatchArgs { options, json } = batch_options(&args[2..])?;
+    let report = run_batch(std::path::Path::new(&args[1]), &options)?;
+    if json {
+        println!("{}", report.to_json().pretty());
+    } else {
+        print!("{}", report.render_text());
+    }
+    Ok(if report.violations(&options.tolerate) == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
 fn cmd_dot(parsed: &rtlb::format::ParsedSystem, _args: &[String]) -> Result<(), String> {
     print!("{}", to_dot(&parsed.graph));
     Ok(())
@@ -586,6 +682,59 @@ mod tests {
         assert!(!args.options.partitioning);
         assert!(args.check);
         assert!(args.json);
+    }
+
+    #[test]
+    fn batch_flags_parse_together() {
+        let args = batch_options(&flags(&[
+            "--sweep=naive",
+            "--jobs=8",
+            "--extended",
+            "--no-partition",
+            "--timeout-ms=250",
+            "--tolerate=infeasible,timeout",
+            "--json",
+        ]))
+        .unwrap();
+        assert_eq!(args.options.analysis.sweep, SweepStrategy::Naive);
+        assert_eq!(args.options.analysis.candidates, CandidatePolicy::Extended);
+        assert!(!args.options.analysis.partitioning);
+        assert_eq!(args.options.jobs, 8);
+        assert_eq!(args.options.timeout_ms, Some(250));
+        assert_eq!(
+            args.options.tolerate,
+            vec![OutcomeKind::Infeasible, OutcomeKind::Timeout]
+        );
+        assert!(args.json);
+    }
+
+    #[test]
+    fn batch_flags_default_off() {
+        let args = batch_options(&[]).unwrap();
+        assert_eq!(args.options, BatchOptions::default());
+        assert!(!args.json);
+    }
+
+    #[test]
+    fn batch_rejects_bad_tolerate_and_timeout() {
+        let err = batch_options(&flags(&["--tolerate=exploded"])).unwrap_err();
+        assert!(err.contains("unknown outcome"), "{err}");
+        let err = batch_options(&flags(&["--timeout-ms=soon"])).unwrap_err();
+        assert!(err.contains("invalid timeout"), "{err}");
+        let err = batch_options(&flags(&["--metrics=text"])).unwrap_err();
+        assert!(err.contains("unknown flag"), "{err}");
+    }
+
+    #[test]
+    fn usage_mentions_every_batch_flag() {
+        for needle in [
+            "rtlb batch",
+            "--timeout-ms=",
+            "--tolerate=",
+            "rtlb-batch-v1",
+        ] {
+            assert!(USAGE.contains(needle), "usage is missing {needle}");
+        }
     }
 
     #[test]

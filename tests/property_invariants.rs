@@ -165,8 +165,8 @@ proptest! {
         let graph = builder.build().unwrap();
         let timing = compute_timing(&graph, &SystemModel::shared());
         let part = partition_tasks(&graph, &timing, p);
-        let with = resource_bound(&graph, &timing, &part);
-        let without = resource_bound_unpartitioned(&graph, &timing, p);
+        let with = resource_bound(&graph, &timing, &part).unwrap();
+        let without = resource_bound_unpartitioned(&graph, &timing, p).unwrap();
         prop_assert_eq!(with.bound, without.bound);
         prop_assert!(with.intervals_examined <= without.intervals_examined);
     }

@@ -81,7 +81,8 @@ fn assert_witnesses(graph: &TaskGraph) -> Result<(), TestCaseError> {
             policy,
             SweepStrategy::Incremental,
             1,
-        );
+        )
+        .unwrap();
         for b in &bounds {
             let Some(w) = b.witness else { continue };
             let tasks = graph.tasks_demanding(b.resource);
