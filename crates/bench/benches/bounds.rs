@@ -15,7 +15,8 @@ use std::time::Instant;
 
 use rtlb_bench::{counters_json, write_bench_json};
 use rtlb_core::{
-    analyze, analyze_with, analyze_with_probe, AnalysisOptions, SweepStrategy, SystemModel,
+    analyze, analyze_with, analyze_with_probe, effective_threads, AnalysisOptions, SweepStrategy,
+    SystemModel,
 };
 use rtlb_obs::{Json, Recorder};
 use rtlb_workloads::{independent_tasks, paper_example};
@@ -152,7 +153,23 @@ fn report_headline_speedup(_c: &mut Criterion) {
             ]),
         ),
         ("counters".to_owned(), counters_json(&metrics)),
-        ("threads".to_owned(), Json::Int(metrics.threads as i64)),
+        // The configured pool size for the all-cores leg. The recorder's
+        // own thread count (`threads_observed`) can be smaller: it only
+        // counts threads that actually recorded a span, and on a small
+        // machine the serial warm-up legs all run on one thread.
+        ("threads".to_owned(), Json::Int(effective_threads(0) as i64)),
+        (
+            "threads_observed".to_owned(),
+            Json::Int(metrics.threads as i64),
+        ),
+        (
+            "cores".to_owned(),
+            Json::Int(
+                std::thread::available_parallelism()
+                    .map(|c| c.get() as i64)
+                    .unwrap_or(1),
+            ),
+        ),
     ];
     match write_bench_json("BENCH_sweep.json", "sweep-headline", body) {
         Ok(path) => println!("bounds/sweep: wrote {}", path.display()),

@@ -35,6 +35,12 @@ pub struct AnalysisOptions {
     /// serial, `0` means one per available core. Results are identical
     /// for every value.
     pub parallelism: usize,
+    /// Chunk size, in candidate-`t1` columns, for splitting one
+    /// partition block's sweep across workers: `0` (default) sizes
+    /// chunks off the worker pool automatically, any other value is
+    /// taken literally. Results are identical for every value — chunk
+    /// maxima merge in ascending-`t1` order with the serial tie-break.
+    pub chunk_columns: usize,
 }
 
 impl Default for AnalysisOptions {
@@ -44,6 +50,7 @@ impl Default for AnalysisOptions {
             candidates: CandidatePolicy::EstLct,
             sweep: SweepStrategy::default(),
             parallelism: 1,
+            chunk_columns: 0,
         }
     }
 }
@@ -326,6 +333,7 @@ pub fn analyze_ctl(
             options.candidates,
             options.sweep,
             options.parallelism,
+            options.chunk_columns,
             probe,
             ctl,
         )?;

@@ -17,6 +17,7 @@
 //! `std::panic::catch_unwind` and turn the payload into a value — that
 //! is exactly what the `rtlb batch` driver does.
 
+use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use rtlb_obs::{span, Label, Probe};
@@ -29,6 +30,37 @@ pub fn effective_threads(parallelism: usize) -> usize {
     } else {
         parallelism
     }
+}
+
+/// Splits `count` sweep columns into contiguous chunk spans.
+///
+/// `chunk_columns` forces an explicit chunk size (the `--chunk=` knob
+/// and the differential chunking tests use this); `0` picks one
+/// automatically: the whole range when the pool is serial, otherwise
+/// about four chunks per worker — small enough that work stealing can
+/// balance uneven blocks, large enough (at least 8 columns) that merge
+/// overhead stays negligible. Every split covers `0..count` exactly
+/// once, in ascending order, which is what makes the chunk-maxima fold
+/// bit-identical to the serial scan.
+pub fn chunk_spans(count: usize, threads: usize, chunk_columns: usize) -> Vec<Range<usize>> {
+    if count == 0 {
+        return Vec::new();
+    }
+    let size = if chunk_columns > 0 {
+        chunk_columns
+    } else if threads <= 1 {
+        count
+    } else {
+        count.div_ceil(threads * 4).max(8)
+    };
+    let mut spans = Vec::with_capacity(count.div_ceil(size));
+    let mut start = 0;
+    while start < count {
+        let end = (start + size).min(count);
+        spans.push(start..end);
+        start = end;
+    }
+    spans
 }
 
 /// Runs `count` independent jobs on up to `threads` scoped threads and
@@ -118,6 +150,40 @@ mod tests {
         assert!(effective_threads(0) >= 1);
         assert_eq!(effective_threads(1), 1);
         assert_eq!(effective_threads(7), 7);
+    }
+
+    /// Chunk spans must tile `0..count` exactly, in ascending order, for
+    /// every combination of pool size and explicit chunk size.
+    #[test]
+    fn chunk_spans_tile_the_range() {
+        for count in [0usize, 1, 7, 8, 9, 63, 64, 100] {
+            for threads in [0usize, 1, 2, 3, 8] {
+                for chunk_columns in [0usize, 1, 2, 3, 7, 64] {
+                    let spans = chunk_spans(count, threads, chunk_columns);
+                    let mut covered = 0;
+                    for s in &spans {
+                        assert_eq!(s.start, covered, "gapless ascending tiling");
+                        assert!(s.end > s.start, "no empty chunk");
+                        covered = s.end;
+                    }
+                    assert_eq!(covered, count);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_spans_honor_explicit_size_and_serial_default() {
+        // Explicit size wins regardless of the pool.
+        assert_eq!(chunk_spans(10, 8, 3), vec![0..3, 3..6, 6..9, 9..10]);
+        assert_eq!(chunk_spans(10, 1, 4), vec![0..4, 4..8, 8..10]);
+        // Serial pools default to one chunk; parallel pools oversplit by
+        // 4x for stealing, with a floor of 8 columns per chunk.
+        assert_eq!(chunk_spans(100, 1, 0), vec![0..100]);
+        assert_eq!(chunk_spans(100, 2, 0).len(), 8); // ceil(100/8) chunks of 13
+        assert!(chunk_spans(16, 8, 0)
+            .iter()
+            .all(|s| s.len() >= 8 || s.end == 16));
     }
 
     /// One panicking job must not abort the process; the panic surfaces

@@ -48,7 +48,7 @@ use crate::estlct::{compute_timing_ctl, est_of, lct_of, TimingAnalysis};
 use crate::exec::{effective_threads, run_jobs};
 use crate::model::SystemModel;
 use crate::partition::{partition_tasks, ResourcePartition};
-use crate::sweep::sweep_block_into;
+use crate::sweep::{plan_block, BlockPlan};
 
 /// The zero bound of an unswept resource — the placeholder a cache holds
 /// until its maxima are folded.
@@ -339,39 +339,53 @@ impl AnalysisSession {
             .iter()
             .map(|&r| partition_tasks(&self.graph, &self.timing, r))
             .collect();
-        let jobs: Vec<(usize, usize)> = partitions
-            .iter()
-            .enumerate()
-            .flat_map(|(pi, p)| (0..p.blocks.len()).map(move |bi| (pi, bi)))
-            .collect();
-        let maxima = run_jobs(
-            probe,
-            effective_threads(self.options.parallelism),
-            jobs.len(),
-            |j| {
-                let (pi, bi) = jobs[j];
-                let mut max = RatioMax::default();
-                let events = sweep_block_into(
-                    &self.graph,
-                    &self.timing,
-                    &partitions[pi].blocks[bi],
-                    self.options.candidates,
-                    self.options.sweep,
-                    &mut max,
-                    ctl,
-                )?;
-                probe.add("sweep.events_processed", events);
-                probe.add("sweep.pairs_offered", max.intervals());
-                Ok(max)
-            },
-        );
-
+        let threads = effective_threads(self.options.parallelism);
         let mut block_maxima: Vec<Vec<RatioMax>> = partitions
             .iter()
-            .map(|p| Vec::with_capacity(p.blocks.len()))
+            .map(|p| vec![RatioMax::default(); p.blocks.len()])
             .collect();
-        for (j, max) in maxima.into_iter().enumerate() {
-            block_maxima[jobs[j].0].push(max?);
+        {
+            // Chunked path shared with the full sweep: plan every block
+            // in (partition, block) order, fan one job per t1 chunk, and
+            // merge chunk maxima back into their block's cached maximum
+            // in ascending-t1 job order — bit-identical to the serial
+            // block sweep by RatioMax::merge's first-wins order.
+            let mut plans: Vec<(usize, usize, BlockPlan)> = Vec::new();
+            for (pi, p) in partitions.iter().enumerate() {
+                for (bi, block) in p.blocks.iter().enumerate() {
+                    let plan = plan_block(
+                        &self.graph,
+                        &self.timing,
+                        &block.tasks,
+                        self.options.candidates,
+                        self.options.sweep,
+                        threads,
+                        self.options.chunk_columns,
+                    )?;
+                    plans.push((pi, bi, plan));
+                }
+            }
+            let jobs: Vec<(usize, usize)> = plans
+                .iter()
+                .enumerate()
+                .flat_map(|(i, (_, _, plan))| (0..plan.chunk_count()).map(move |ci| (i, ci)))
+                .collect();
+            probe.add("sweep.chunks", jobs.len() as u64);
+            let maxima = run_jobs(probe, threads, jobs.len(), |j| {
+                let (i, ci) = jobs[j];
+                let (pi, _, plan) = &plans[i];
+                let _chunk = span(probe, "sweep.chunk", Label::Index(*pi as u64));
+                let mut max = RatioMax::default();
+                let counters = plan.sweep_chunk(&self.graph, &self.timing, ci, &mut max, ctl)?;
+                probe.add("sweep.events_processed", counters.raw_events);
+                probe.add("sweep.chunk_events", counters.merged_events);
+                probe.add("sweep.pairs_offered", max.intervals());
+                Ok(max)
+            });
+            for (j, max) in maxima.into_iter().enumerate() {
+                let (pi, bi, _) = &plans[jobs[j].0];
+                block_maxima[*pi][*bi].merge(max?);
+            }
         }
         partitions
             .into_iter()
@@ -831,27 +845,49 @@ impl AnalysisSession {
 
         let threads = effective_threads(self.options.parallelism);
         if self.options.partitioning {
-            let results = run_jobs(probe, threads, jobs.len(), |j| {
-                let (ci, bi) = jobs[j];
-                let cache = &caches[ci];
-                let _chunk = span(probe, "sweep.chunk", Label::Index(ci as u64));
-                let mut max = RatioMax::default();
-                let events = sweep_block_into(
+            // Chunked path shared with the full sweep: plan every dirty
+            // block in (cache, block) order — the order the serial
+            // re-sweep would visit them — then fan one job per t1 chunk.
+            let mut plans: Vec<(usize, usize, BlockPlan)> = Vec::new();
+            for &(ci, bi) in &jobs {
+                let plan = plan_block(
                     &self.graph,
                     &self.timing,
-                    &cache.partition.blocks[bi],
+                    &caches[ci].partition.blocks[bi].tasks,
                     self.options.candidates,
                     self.options.sweep,
-                    &mut max,
-                    ctl,
+                    threads,
+                    self.options.chunk_columns,
                 )?;
-                probe.add("sweep.events_processed", events);
+                plans.push((ci, bi, plan));
+            }
+            let chunk_jobs: Vec<(usize, usize)> = plans
+                .iter()
+                .enumerate()
+                .flat_map(|(i, (_, _, plan))| (0..plan.chunk_count()).map(move |ck| (i, ck)))
+                .collect();
+            probe.add("sweep.chunks", chunk_jobs.len() as u64);
+            let results = run_jobs(probe, threads, chunk_jobs.len(), |j| {
+                let (i, ck) = chunk_jobs[j];
+                let (ci, _, plan) = &plans[i];
+                let _chunk = span(probe, "sweep.chunk", Label::Index(*ci as u64));
+                let mut max = RatioMax::default();
+                let counters = plan.sweep_chunk(&self.graph, &self.timing, ck, &mut max, ctl)?;
+                probe.add("sweep.events_processed", counters.raw_events);
+                probe.add("sweep.chunk_events", counters.merged_events);
                 probe.add("sweep.pairs_offered", max.intervals());
                 Ok(max)
             });
+            // Fold chunk maxima per dirty block in job order (ascending
+            // t1), surfacing the first error before any cache commits.
+            let mut folded = vec![RatioMax::default(); plans.len()];
             for (j, max) in results.into_iter().enumerate() {
-                let (ci, bi) = jobs[j];
-                caches[ci].block_maxima[bi] = max?;
+                folded[chunk_jobs[j].0].merge(max?);
+            }
+            let targets: Vec<(usize, usize)> = plans.iter().map(|(ci, bi, _)| (*ci, *bi)).collect();
+            drop(plans);
+            for ((ci, bi), max) in targets.into_iter().zip(folded) {
+                caches[ci].block_maxima[bi] = max;
             }
             for ci in rebuilt {
                 caches[ci].fold_bound()?;

@@ -23,36 +23,59 @@
 //!   height `h = α(C − before)` saturating exactly at `t2 = L`, so
 //!   `s = L − h`.
 //!
-//! Feasible windows (`E + C ≤ L`) guarantee `s ≥ max(t1, E)`, so the ramp
-//! is identically zero wherever the equations' window-miss guard
-//! (`t2 ≤ E` or `L ≤ t1`) forces zero. Each ramp contributes two *slope
-//! events* — `+1` at `s`, `−1` at `s + h` — and one pass over the sorted
-//! candidate `t2` points with a running slope accumulates `Θ` exactly in
-//! integer arithmetic: `O(P + N log N)` per `t1` instead of `O(P·N)`.
+//! Each ramp contributes two *slope events* — `+1` at `s`, `−1` at
+//! `s + h` — and one pass over the sorted candidate `t2` points with a
+//! running slope accumulates `Θ` exactly in integer arithmetic.
+//!
+//! ## Structure-of-arrays event arenas
+//!
+//! Re-deriving and re-sorting the event list for every `t1` column costs
+//! `O(N log N)` per column. But as `t1` varies, each task's two event
+//! positions move through at most three closed-form *regimes* — constant,
+//! shifting linearly with `t1`, or pinned to `t1` itself — so a
+//! [`BlockArena`] pre-sorts each regime **once per block** into flat
+//! struct-of-arrays streams and then *merges* the streams' alive entries
+//! per column in `O(N)` without sorting or touching the graph again:
+//!
+//! * `start_fixed` / `end_fixed`: events at a constant position, alive
+//!   while `t1 ≤ until` (entries die as `t1` grows);
+//! * `start_shift` / `end_shift`: events at `s₀ ± t1`, alive on a `t1`
+//!   band — sorted by shift key, their relative order is invariant under
+//!   the common shift;
+//! * `start_at_t1`: non-preemptive ramps whose onset *is* `t1`, coalesced
+//!   into one leading `(t1, +count)` event (every other alive event sits
+//!   at or beyond `t1`, so the merged list stays sorted);
+//! * `end_band`: non-preemptive late-regime ends pinned at `E + C`.
+//!
+//! The accumulated `Θ` depends only on the *multiset* of slope events, so
+//! the merged stream reproduces the sorted per-column list bit for bit.
+//!
+//! ## Chunked fan-out
+//!
+//! Columns are independent, so [`plan_block`] splits each block's `t1`
+//! range into contiguous chunks ([`crate::exec::chunk_spans`]) and
+//! [`sweep_partitions`] fans block×chunk jobs across cores with
+//! `std::thread::scope`. Merging the per-chunk maxima in deterministic
+//! ascending-`t1` chunk order with the first-wins strict comparison of
+//! [`RatioMax::merge`] reproduces the serial result exactly, whatever the
+//! thread count or chunk size.
 //!
 //! Results are **bit-identical** to the naive sweep (same demands, same
 //! candidate pairs offered in the same order, same tie-breaks), which the
 //! differential suite in `tests/sweep_equivalence.rs` enforces; the naive
 //! path survives behind [`SweepStrategy::Naive`] as the testing oracle.
-//!
-//! Blocks are independent after Theorem 5, so [`sweep_partitions`] also
-//! fans the per-block (and, within large blocks, per-`t1`-chunk) sweeps
-//! out across cores with `std::thread::scope`. Merging the per-chunk
-//! maxima in deterministic chunk order with a first-wins strict
-//! comparison reproduces the serial result exactly, whatever the thread
-//! count.
 
 use std::ops::Range;
 
-use rtlb_graph::{Dur, ExecutionMode, TaskGraph, TaskId, Time};
+use rtlb_graph::{Dur, TaskGraph, TaskId, Time};
 use rtlb_obs::{span, Label, Probe, NULL_PROBE};
 use serde::{Deserialize, Serialize};
 
 use crate::bounds::{candidate_points, CandidatePolicy, RatioMax, ResourceBound};
 use crate::cancel::CancelToken;
 use crate::error::AnalysisError;
-use crate::estlct::{TaskWindow, TimingAnalysis};
-use crate::exec::{effective_threads, run_jobs};
+use crate::estlct::TimingAnalysis;
+use crate::exec::{chunk_spans, effective_threads, run_jobs};
 use crate::partition::{PartitionBlock, ResourcePartition};
 
 /// How the Equation 6.3 interval sweep evaluates `Θ`.
@@ -61,14 +84,257 @@ pub enum SweepStrategy {
     /// Recompute `Θ` from scratch for every candidate pair —
     /// `O(P²·N)` per block. Kept as the differential-testing oracle.
     Naive,
-    /// Event-based incremental accumulation — `O(P·(P + N log N))` per
-    /// block, bit-identical results.
+    /// Arena-based incremental accumulation — `O(P·(P + N))` per block
+    /// after an `O(N log N)` per-block sort, bit-identical results.
     #[default]
     Incremental,
 }
 
+/// A slope event at a constant position, alive while `t1 <= until`.
+#[derive(Clone, Copy, Debug)]
+struct ClampEvent {
+    pos: i64,
+    until: i64,
+}
+
+/// A preemptive mid-regime start event at `key + t1`, alive for
+/// `lo <= t1 <= hi`. Sorted by `key`, positions stay sorted for any `t1`.
+#[derive(Clone, Copy, Debug)]
+struct StartShiftEvent {
+    key: i64,
+    lo: i64,
+    hi: i64,
+}
+
+/// A non-preemptive mid-regime end event at `l + e − t1`, alive for
+/// `e + 1 <= t1 <= hi`. The position is computed as `l − (t1 − e)` so it
+/// never overflows on feasible windows; entries are sorted by `l + e`
+/// (widened), which keeps positions sorted for any common `t1`.
+#[derive(Clone, Copy, Debug)]
+struct EndShiftEvent {
+    l: i64,
+    e: i64,
+    hi: i64,
+}
+
+/// A `t1` band: alive for `lo <= t1 <= hi`.
+#[derive(Clone, Copy, Debug)]
+struct Band {
+    lo: i64,
+    hi: i64,
+}
+
+/// A slope event at a constant position, alive on a `t1` band.
+#[derive(Clone, Copy, Debug)]
+struct BandEvent {
+    pos: i64,
+    lo: i64,
+    hi: i64,
+}
+
+/// Flat struct-of-arrays slope-event streams for one partition block,
+/// built and sorted once, then merged allocation-free per `t1` column.
+/// See the module docs for the regime decomposition; the differential
+/// unit test `arena_streams_match_ramp_decomposition` pins each stream
+/// against [`psi_ramp`] exhaustively.
+pub(crate) struct BlockArena {
+    /// `+1` at a fixed position (NP early/mid regime, P early regime).
+    start_fixed: Vec<ClampEvent>,
+    /// `+1` at `key + t1` (P mid regime).
+    start_shift: Vec<StartShiftEvent>,
+    /// `+1` at `t1` itself (NP late regime), coalesced per column.
+    start_at_t1: Vec<Band>,
+    /// `−1` at `L` (NP early regime, P early/mid regime).
+    end_fixed: Vec<ClampEvent>,
+    /// `−1` at `L + E − t1` (NP mid regime).
+    end_shift: Vec<EndShiftEvent>,
+    /// `−1` at `E + C` (NP late regime).
+    end_band: Vec<BandEvent>,
+}
+
+impl BlockArena {
+    /// Decomposes every task's ramp into its per-regime stream entries
+    /// and sorts each stream once. Requires feasible windows — an
+    /// infeasible task surfaces as [`AnalysisError::Infeasible`] here
+    /// instead of a wrong answer or a debug assertion.
+    fn build(
+        graph: &TaskGraph,
+        timing: &TimingAnalysis,
+        tasks: &[TaskId],
+    ) -> Result<BlockArena, AnalysisError> {
+        let mut arena = BlockArena {
+            start_fixed: Vec::with_capacity(tasks.len()),
+            start_shift: Vec::new(),
+            start_at_t1: Vec::new(),
+            end_fixed: Vec::with_capacity(tasks.len()),
+            end_shift: Vec::new(),
+            end_band: Vec::new(),
+        };
+        for &t in tasks {
+            let task = graph.task(t);
+            let w = timing.window(t);
+            let (e, l, c) = (w.est.ticks(), w.lct.ticks(), task.computation().ticks());
+            if i128::from(e) + i128::from(c) > i128::from(l) {
+                return Err(AnalysisError::Infeasible {
+                    task: task.name().to_owned(),
+                    est: w.est,
+                    lct: w.lct,
+                });
+            }
+            if c <= 0 {
+                continue; // zero-height ramp: no events at any t1
+            }
+            // All arithmetic below stays in range because e + c <= l:
+            // l − c >= e, l − c − e >= 0, and shifted positions are
+            // computed only inside their alive band (see emit_column).
+            if task.is_preemptive() {
+                arena.start_fixed.push(ClampEvent {
+                    pos: l - c,
+                    until: e,
+                });
+                arena.end_fixed.push(ClampEvent {
+                    pos: l,
+                    until: e + c - 1,
+                });
+                if c >= 2 {
+                    arena.start_shift.push(StartShiftEvent {
+                        key: (l - c) - e,
+                        lo: e + 1,
+                        hi: e + c - 1,
+                    });
+                }
+            } else {
+                let mid_hi = (l - c).min(e + c - 1);
+                arena.start_fixed.push(ClampEvent {
+                    pos: l - c,
+                    until: mid_hi,
+                });
+                arena.end_fixed.push(ClampEvent { pos: l, until: e });
+                if e < mid_hi {
+                    arena.end_shift.push(EndShiftEvent { l, e, hi: mid_hi });
+                }
+                if l - c < e + c - 1 {
+                    arena.start_at_t1.push(Band {
+                        lo: l - c + 1,
+                        hi: e + c - 1,
+                    });
+                    arena.end_band.push(BandEvent {
+                        pos: e + c,
+                        lo: l - c + 1,
+                        hi: e + c - 1,
+                    });
+                }
+            }
+        }
+        arena.start_fixed.sort_unstable_by_key(|x| x.pos);
+        arena.start_shift.sort_unstable_by_key(|x| x.key);
+        arena.end_fixed.sort_unstable_by_key(|x| x.pos);
+        arena
+            .end_shift
+            .sort_unstable_by_key(|x| i128::from(x.l) + i128::from(x.e));
+        arena.end_band.sort_unstable_by_key(|x| x.pos);
+        Ok(arena)
+    }
+
+    /// Merges the alive entries of every stream into `events`, sorted by
+    /// position, with same-position deltas coalesced. Returns the number
+    /// of *raw* ramp slope events represented (what the pre-arena sweep
+    /// counted as `sweep.events_processed`), which can exceed
+    /// `events.len()` because of coalescing.
+    fn emit_column(&self, t1: i64, events: &mut Vec<(i64, i64)>) -> u64 {
+        events.clear();
+        let mut raw = 0u64;
+
+        // NP late-regime starts sit exactly at t1 — the minimum possible
+        // position (every alive event is at or beyond t1) — so the
+        // coalesced (t1, +count) event leads the merged list.
+        let at_t1 = self
+            .start_at_t1
+            .iter()
+            .filter(|b| b.lo <= t1 && t1 <= b.hi)
+            .count() as i64;
+        if at_t1 > 0 {
+            events.push((t1, at_t1));
+            raw += at_t1 as u64;
+        }
+
+        let (mut sf, mut ss, mut ef, mut es, mut eb) = (0usize, 0, 0, 0, 0);
+        loop {
+            // Peek the next alive entry of each stream; dead entries are
+            // skipped (cursors restart per column, so non-monotone alive
+            // bands are handled by construction).
+            let psf = Self::peek(&self.start_fixed, &mut sf, |x| {
+                (t1 <= x.until).then_some(x.pos)
+            });
+            let pss = Self::peek(&self.start_shift, &mut ss, |x| {
+                (x.lo <= t1 && t1 <= x.hi).then(|| x.key + t1)
+            });
+            let pef = Self::peek(&self.end_fixed, &mut ef, |x| {
+                (t1 <= x.until).then_some(x.pos)
+            });
+            let pes = Self::peek(&self.end_shift, &mut es, |x| {
+                (x.e < t1 && t1 <= x.hi).then(|| x.l - (t1 - x.e))
+            });
+            let peb = Self::peek(&self.end_band, &mut eb, |x| {
+                (x.lo <= t1 && t1 <= x.hi).then_some(x.pos)
+            });
+
+            let mut best: Option<(i64, i64, u8)> = None;
+            for (pos, delta, stream) in [
+                (psf, 1, 0u8),
+                (pss, 1, 1),
+                (pef, -1, 2),
+                (pes, -1, 3),
+                (peb, -1, 4),
+            ] {
+                if let Some(pos) = pos {
+                    if best.is_none_or(|(b, _, _)| pos < b) {
+                        best = Some((pos, delta, stream));
+                    }
+                }
+            }
+            let Some((pos, delta, stream)) = best else {
+                break;
+            };
+            match stream {
+                0 => sf += 1,
+                1 => ss += 1,
+                2 => ef += 1,
+                3 => es += 1,
+                _ => eb += 1,
+            }
+            debug_assert!(pos >= t1, "alive events never precede t1");
+            raw += 1;
+            match events.last_mut() {
+                Some(last) if last.0 == pos => last.1 += delta,
+                _ => events.push((pos, delta)),
+            }
+        }
+        debug_assert!(events.windows(2).all(|w| w[0].0 < w[1].0));
+        raw
+    }
+
+    /// Advances `cursor` past dead entries and returns the next alive
+    /// entry's position, without consuming it.
+    fn peek<T: Copy>(
+        stream: &[T],
+        cursor: &mut usize,
+        alive_pos: impl Fn(T) -> Option<i64>,
+    ) -> Option<i64> {
+        while let Some(&entry) = stream.get(*cursor) {
+            if let Some(pos) = alive_pos(entry) {
+                return Some(pos);
+            }
+            *cursor += 1;
+        }
+        None
+    }
+}
+
 /// One task's `Ψ(t1, ·)` as a clamped ramp: zero up to `start`, slope 1
-/// for `height` ticks, then saturated.
+/// for `height` ticks, then saturated. The reference decomposition the
+/// arena streams are differentially tested against.
+#[cfg(test)]
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 struct Ramp {
     start: i64,
@@ -77,7 +343,13 @@ struct Ramp {
 
 /// Decomposes `Ψ(i, t1, ·)` into its ramp, or `None` when the task can
 /// dodge the interval entirely (height 0). Requires a feasible window.
-fn psi_ramp(window: TaskWindow, c: Dur, mode: ExecutionMode, t1: Time) -> Option<Ramp> {
+#[cfg(test)]
+fn psi_ramp(
+    window: crate::estlct::TaskWindow,
+    c: Dur,
+    mode: rtlb_graph::ExecutionMode,
+    t1: Time,
+) -> Option<Ramp> {
     let (e, l, c, t1) = (
         window.est.ticks(),
         window.lct.ticks(),
@@ -89,11 +361,11 @@ fn psi_ramp(window: TaskWindow, c: Dur, mode: ExecutionMode, t1: Time) -> Option
         "incremental sweep requires feasible windows (E + C <= L)"
     );
     let ramp = match mode {
-        ExecutionMode::NonPreemptive => Ramp {
+        rtlb_graph::ExecutionMode::NonPreemptive => Ramp {
             start: t1.max(l - c),
             height: c.min((c - (t1 - e)).max(0)),
         },
-        ExecutionMode::Preemptive => {
+        rtlb_graph::ExecutionMode::Preemptive => {
             let before = (l.min(t1) - e).max(0);
             let height = (c - before).max(0);
             Ramp {
@@ -126,33 +398,12 @@ fn naive_t1_sweep(
     }
 }
 
-/// The incremental sweep for one fixed `t1`: build slope events from the
-/// ramps, then walk the candidate `t2` points once with a running slope.
-/// Consumed slope events are tallied into `events_processed` (a plain
-/// local accumulator — never a probe call — so the hot loop is identical
-/// with or without instrumentation).
-#[allow(clippy::too_many_arguments)]
-fn incremental_t1_sweep(
-    graph: &TaskGraph,
-    timing: &TimingAnalysis,
-    tasks: &[TaskId],
-    points: &[Time],
-    li: usize,
-    events: &mut Vec<(i64, i64)>,
-    max: &mut RatioMax,
-    events_processed: &mut u64,
-) {
+/// Walks the candidate `t2` points of one `t1` column once with a
+/// running slope over the pre-merged `events`, offering every pair to
+/// `max` — exactly the accumulation the sorted per-column event list
+/// produced, because `Θ` depends only on the event multiset.
+fn accumulate_column(points: &[Time], li: usize, events: &[(i64, i64)], max: &mut RatioMax) {
     let t1 = points[li];
-    events.clear();
-    for &t in tasks {
-        let task = graph.task(t);
-        if let Some(ramp) = psi_ramp(timing.window(t), task.computation(), task.mode(), t1) {
-            events.push((ramp.start, 1));
-            events.push((ramp.start + ramp.height, -1));
-        }
-    }
-    events.sort_unstable();
-
     let (mut value, mut slope, mut pos) = (0i64, 0i64, t1.ticks());
     let mut next_event = 0;
     for &t2 in &points[li + 1..] {
@@ -168,68 +419,105 @@ fn incremental_t1_sweep(
         pos = at_t2;
         max.offer(Dur::new(value), t1, t2);
     }
-    *events_processed += next_event as u64;
 }
 
-/// Sweeps the candidate-`t1` index range `span` of one block into `max`,
-/// polling `ctl` once per `t1` column (the interruption checkpoint — a
-/// column is the unit of work between checks, so cancellation latency is
-/// one column, not one whole block).
+/// Per-chunk sweep counters: raw ramp slope events processed (the
+/// pre-arena `sweep.events_processed` accounting) and merged event
+/// entries actually walked (`sweep.chunk_events` — smaller whenever
+/// coalescing collapses same-position deltas).
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct ChunkCounters {
+    pub(crate) raw_events: u64,
+    pub(crate) merged_events: u64,
+}
+
+/// One block's sweep, planned: candidate points, the SoA event arena
+/// (incremental strategy only), and the ascending-`t1` chunk spans.
+/// Chunks are independent units of work whose maxima merge back in span
+/// order — the session's dirty-block re-sweep and the full fan-out both
+/// execute these plans through [`BlockPlan::sweep_chunk`].
+pub(crate) struct BlockPlan<'a> {
+    tasks: &'a [TaskId],
+    points: Vec<Time>,
+    arena: Option<BlockArena>,
+    chunks: Vec<Range<usize>>,
+}
+
+/// Plans one block's chunked sweep: computes the candidate grid, splits
+/// the `t1` range off the worker pool (`chunk_columns` forces a size,
+/// `0` auto-sizes; see [`chunk_spans`]), and — for the incremental
+/// strategy — builds the block's event arena.
 ///
-/// The incremental strategy's ramp decomposition is only defined on
-/// feasible windows (`E + C ≤ L`); an infeasible swept task surfaces as
-/// [`AnalysisError::Infeasible`] here instead of a wrong answer or a
-/// debug assertion. The naive oracle recomputes `Θ` directly and stays
-/// defined either way.
-#[allow(clippy::too_many_arguments)]
-fn sweep_span(
+/// # Errors
+///
+/// [`AnalysisError::Infeasible`] if a swept task's window cannot contain
+/// its computation (incremental strategy only; the naive oracle stays
+/// defined either way).
+pub(crate) fn plan_block<'a>(
     graph: &TaskGraph,
     timing: &TimingAnalysis,
-    tasks: &[TaskId],
-    points: &[Time],
-    span: Range<usize>,
+    tasks: &'a [TaskId],
+    policy: CandidatePolicy,
     strategy: SweepStrategy,
-    max: &mut RatioMax,
-    events_processed: &mut u64,
-    ctl: &CancelToken,
-) -> Result<(), AnalysisError> {
-    if strategy == SweepStrategy::Incremental {
-        for &t in tasks {
-            let w = timing.window(t);
-            let c = graph.task(t).computation();
-            if i128::from(w.est.ticks()) + i128::from(c.ticks()) > i128::from(w.lct.ticks()) {
-                return Err(AnalysisError::Infeasible {
-                    task: graph.task(t).name().to_owned(),
-                    est: w.est,
-                    lct: w.lct,
-                });
+    threads: usize,
+    chunk_columns: usize,
+) -> Result<BlockPlan<'a>, AnalysisError> {
+    let arena = match strategy {
+        SweepStrategy::Naive => None,
+        SweepStrategy::Incremental => Some(BlockArena::build(graph, timing, tasks)?),
+    };
+    let points = candidate_points(graph, timing, tasks, policy);
+    let t1_count = points.len().saturating_sub(1);
+    Ok(BlockPlan {
+        tasks,
+        chunks: chunk_spans(t1_count, threads, chunk_columns),
+        points,
+        arena,
+    })
+}
+
+impl BlockPlan<'_> {
+    /// Number of chunk jobs this plan fans out.
+    pub(crate) fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Sweeps chunk `ci` into `max`, polling `ctl` once per `t1` column
+    /// (the interruption checkpoint — a column is the unit of work
+    /// between checks, so cancellation latency is one column, not one
+    /// whole chunk). The event buffer is allocated once per chunk and
+    /// reused across its columns; the merge itself never allocates.
+    pub(crate) fn sweep_chunk(
+        &self,
+        graph: &TaskGraph,
+        timing: &TimingAnalysis,
+        ci: usize,
+        max: &mut RatioMax,
+        ctl: &CancelToken,
+    ) -> Result<ChunkCounters, AnalysisError> {
+        let mut counters = ChunkCounters::default();
+        let mut events: Vec<(i64, i64)> = Vec::with_capacity(match &self.arena {
+            Some(_) => self.tasks.len() * 2 + 1,
+            None => 0,
+        });
+        for li in self.chunks[ci].clone() {
+            ctl.check()?;
+            match &self.arena {
+                None => naive_t1_sweep(graph, timing, self.tasks, &self.points, li, max),
+                Some(arena) => {
+                    counters.raw_events += arena.emit_column(self.points[li].ticks(), &mut events);
+                    counters.merged_events += events.len() as u64;
+                    accumulate_column(&self.points, li, &events, max);
+                }
             }
         }
+        Ok(counters)
     }
-    let mut events = Vec::with_capacity(tasks.len() * 2);
-    for li in span {
-        ctl.check()?;
-        match strategy {
-            SweepStrategy::Naive => naive_t1_sweep(graph, timing, tasks, points, li, max),
-            SweepStrategy::Incremental => incremental_t1_sweep(
-                graph,
-                timing,
-                tasks,
-                points,
-                li,
-                &mut events,
-                max,
-                events_processed,
-            ),
-        }
-    }
-    Ok(())
 }
 
 /// Sweeps one partition block into `max` with the chosen strategy,
-/// returning the number of slope events processed (zero for the naive
-/// strategy). This is the unit of work the session's dirty-block
-/// re-sweep caches and replays.
+/// serially, returning the number of raw slope events processed (zero
+/// for the naive strategy).
 pub(crate) fn sweep_block_into(
     graph: &TaskGraph,
     timing: &TimingAnalysis,
@@ -239,21 +527,12 @@ pub(crate) fn sweep_block_into(
     max: &mut RatioMax,
     ctl: &CancelToken,
 ) -> Result<u64, AnalysisError> {
-    let mut events_processed = 0u64;
-    let points = candidate_points(graph, timing, &block.tasks, policy);
-    let t1s = 0..points.len().saturating_sub(1);
-    sweep_span(
-        graph,
-        timing,
-        &block.tasks,
-        &points,
-        t1s,
-        strategy,
-        max,
-        &mut events_processed,
-        ctl,
-    )?;
-    Ok(events_processed)
+    let plan = plan_block(graph, timing, &block.tasks, policy, strategy, 1, 0)?;
+    let mut raw = 0u64;
+    for ci in 0..plan.chunk_count() {
+        raw += plan.sweep_chunk(graph, timing, ci, max, ctl)?.raw_events;
+    }
+    Ok(raw)
 }
 
 /// Sweeps every block of one partition sequentially (Theorem 5), with the
@@ -275,10 +554,10 @@ pub(crate) fn sweep_partition_into(
 
 /// Computes `LB_r` for every partition, fanning the per-block sweeps out
 /// across `parallelism` threads (`0` = all available cores, `1` =
-/// serial). Large blocks are further split into contiguous `t1` chunks
-/// for load balance. Results are bit-identical to the serial sweep for
-/// any thread count: chunk maxima are merged in deterministic order with
-/// the same first-wins tie-break the serial scan applies.
+/// serial). Blocks are further split into contiguous `t1` chunks for
+/// load balance. Results are bit-identical to the serial sweep for any
+/// thread count: chunk maxima are merged in deterministic ascending-`t1`
+/// order with the same first-wins tie-break the serial scan applies.
 ///
 /// # Errors
 ///
@@ -306,10 +585,11 @@ pub fn sweep_partitions(
 /// [`sweep_partitions`] reporting into `probe`: an `analyze.sweep` span
 /// around the whole step, a `sweep.worker` span per worker thread, a
 /// `sweep.chunk` span (labeled with the partition index) per chunk job,
-/// and the `sweep.blocks` / `sweep.jobs` / `sweep.pairs_offered` /
-/// `sweep.events_processed` counters. Instrumentation is observational
-/// only — bounds, witnesses, and tie-breaks are bit-identical to the
-/// unprobed sweep (enforced by `tests/sweep_equivalence.rs`).
+/// and the `sweep.blocks` / `sweep.jobs` / `sweep.chunks` /
+/// `sweep.pairs_offered` / `sweep.events_processed` /
+/// `sweep.chunk_events` counters. Instrumentation is observational only —
+/// bounds, witnesses, and tie-breaks are bit-identical to the unprobed
+/// sweep (enforced by `tests/sweep_equivalence.rs`).
 ///
 /// # Errors
 ///
@@ -331,15 +611,17 @@ pub fn sweep_partitions_probed(
         policy,
         strategy,
         parallelism,
+        0,
         probe,
         &CancelToken::none(),
     )
 }
 
-/// [`sweep_partitions_probed`] polling `ctl` once per `t1` column in
-/// every worker. Workers that observe a tripped token stop at their next
-/// column boundary; the first error in job order is returned and all
-/// partial maxima are discarded.
+/// [`sweep_partitions_probed`] with an explicit chunk size
+/// (`chunk_columns`, `0` = auto) and polling `ctl` once per `t1` column
+/// in every worker. Workers that observe a tripped token stop at their
+/// next column boundary; the first error in job order is returned and
+/// all partial maxima are discarded.
 ///
 /// # Errors
 ///
@@ -353,66 +635,53 @@ pub fn sweep_partitions_ctl(
     policy: CandidatePolicy,
     strategy: SweepStrategy,
     parallelism: usize,
+    chunk_columns: usize,
     probe: &dyn Probe,
     ctl: &CancelToken,
 ) -> Result<Vec<ResourceBound>, AnalysisError> {
     let _sweep = span(probe, "analyze.sweep", Label::None);
     let threads = effective_threads(parallelism);
 
-    // Candidate points once per block; blocks in (partition, block) order.
-    let blocks: Vec<(usize, &[TaskId], Vec<Time>)> = partitions
-        .iter()
-        .enumerate()
-        .flat_map(|(pi, partition)| {
-            partition.blocks.iter().map(move |block| {
-                let points = candidate_points(graph, timing, &block.tasks, policy);
-                (pi, block.tasks.as_slice(), points)
-            })
-        })
-        .collect();
-
-    // One job per contiguous t1 chunk, in (partition, block, chunk) order.
-    let mut jobs: Vec<(usize, Range<usize>)> = Vec::new();
-    for (bi, (_, _, points)) in blocks.iter().enumerate() {
-        let t1_count = points.len().saturating_sub(1);
-        if t1_count == 0 {
-            continue;
-        }
-        let chunk = if threads <= 1 {
-            t1_count
-        } else {
-            t1_count.div_ceil(threads * 4).max(8)
-        };
-        let mut start = 0;
-        while start < t1_count {
-            let end = (start + chunk).min(t1_count);
-            jobs.push((bi, start..end));
-            start = end;
+    // Plan every block up front — candidate points, event arena, chunk
+    // split — in (partition, block) order, so a planning error (an
+    // infeasible window) surfaces in the order the serial sweep would
+    // have hit it.
+    let mut plans: Vec<(usize, BlockPlan)> = Vec::new();
+    for (pi, partition) in partitions.iter().enumerate() {
+        for block in &partition.blocks {
+            let plan = plan_block(
+                graph,
+                timing,
+                &block.tasks,
+                policy,
+                strategy,
+                threads,
+                chunk_columns,
+            )?;
+            plans.push((pi, plan));
         }
     }
 
-    probe.add("sweep.blocks", blocks.len() as u64);
+    // One job per contiguous t1 chunk, in (partition, block, chunk) order.
+    let jobs: Vec<(usize, usize)> = plans
+        .iter()
+        .enumerate()
+        .flat_map(|(bi, (_, plan))| (0..plan.chunk_count()).map(move |ci| (bi, ci)))
+        .collect();
+
+    probe.add("sweep.blocks", plans.len() as u64);
     probe.add("sweep.jobs", jobs.len() as u64);
+    probe.add("sweep.chunks", jobs.len() as u64);
 
     let chunk_maxima = run_jobs(probe, threads, jobs.len(), |j| {
-        let (bi, t1s) = &jobs[j];
-        let (pi, tasks, points) = &blocks[*bi];
+        let (bi, ci) = jobs[j];
+        let (pi, plan) = &plans[bi];
         let _chunk = span(probe, "sweep.chunk", Label::Index(*pi as u64));
         let mut max = RatioMax::default();
-        let mut events_processed = 0u64;
-        sweep_span(
-            graph,
-            timing,
-            tasks,
-            points,
-            t1s.clone(),
-            strategy,
-            &mut max,
-            &mut events_processed,
-            ctl,
-        )?;
+        let counters = plan.sweep_chunk(graph, timing, ci, &mut max, ctl)?;
         probe.add("sweep.pairs_offered", max.intervals());
-        probe.add("sweep.events_processed", events_processed);
+        probe.add("sweep.events_processed", counters.raw_events);
+        probe.add("sweep.chunk_events", counters.merged_events);
         Ok(max)
     });
 
@@ -421,7 +690,7 @@ pub fn sweep_partitions_ctl(
     // order wins, matching what the serial sweep would have hit first.
     let mut folded = vec![RatioMax::default(); partitions.len()];
     for ((bi, _), max) in jobs.iter().zip(chunk_maxima) {
-        folded[blocks[*bi].0].merge(max?);
+        folded[plans[*bi].0].merge(max?);
     }
     folded
         .into_iter()
@@ -433,11 +702,11 @@ pub fn sweep_partitions_ctl(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::estlct::compute_timing;
+    use crate::estlct::{compute_timing, TaskWindow};
     use crate::model::SystemModel;
     use crate::overlap::overlap;
     use crate::partition::partition_all;
-    use rtlb_graph::{Catalog, ResourceId, TaskGraphBuilder, TaskSpec};
+    use rtlb_graph::{Catalog, ExecutionMode, ResourceId, TaskGraphBuilder, TaskSpec};
 
     /// The ramp decomposition must equal Equation 6.1/6.2 pointwise on
     /// every feasible small window, both modes, all t1 < t2.
@@ -468,6 +737,68 @@ mod tests {
                                     "window [{e},{l}] C={c} {mode:?} interval [{t1},{t2}]"
                                 );
                             }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Builds a one-task graph with the given window and mode, returning
+    /// everything needed to construct its arena.
+    fn single_task(e: i64, l: i64, c: i64, mode: ExecutionMode) -> (rtlb_graph::TaskGraph, TaskId) {
+        let mut cat = Catalog::new();
+        let p = cat.processor("P");
+        let mut b = TaskGraphBuilder::new(cat);
+        let mut spec = TaskSpec::new("t", Dur::new(c), p)
+            .release(Time::new(e))
+            .deadline(Time::new(l));
+        if mode == ExecutionMode::Preemptive {
+            spec = spec.preemptive();
+        }
+        let t = b.add_task(spec).unwrap();
+        (b.build().unwrap(), t)
+    }
+
+    /// The arena's merged per-column event stream must reproduce the
+    /// psi_ramp event multiset — position-sorted, delta-coalesced — on
+    /// every feasible small window, both modes, every t1. This is the
+    /// differential pin that lets the sort-free merge replace the
+    /// per-column sort.
+    #[test]
+    fn arena_streams_match_ramp_decomposition() {
+        for e in 0..6 {
+            for l in (e + 1)..10 {
+                for c in 1..=(l - e) {
+                    for mode in [ExecutionMode::NonPreemptive, ExecutionMode::Preemptive] {
+                        let (g, t) = single_task(e, l, c, mode);
+                        let timing = compute_timing(&g, &SystemModel::shared());
+                        // Pin the synthetic window (precedence-free, so
+                        // EST = release, LCT = deadline).
+                        assert_eq!(timing.window(t).est.ticks(), e);
+                        assert_eq!(timing.window(t).lct.ticks(), l);
+                        let arena = BlockArena::build(&g, &timing, &[t]).unwrap();
+                        let mut events = Vec::new();
+                        for t1 in -2..12 {
+                            let raw = arena.emit_column(t1, &mut events);
+                            let window = TaskWindow {
+                                est: Time::new(e),
+                                lct: Time::new(l),
+                            };
+                            let expect: Vec<(i64, i64)> =
+                                match psi_ramp(window, Dur::new(c), mode, Time::new(t1)) {
+                                    None => Vec::new(),
+                                    Some(r) if r.height == 0 => Vec::new(),
+                                    Some(r) => {
+                                        vec![(r.start, 1), (r.start + r.height, -1)]
+                                    }
+                                };
+                            assert_eq!(
+                                raw,
+                                expect.len() as u64,
+                                "[{e},{l}] C={c} {mode:?} t1={t1}"
+                            );
+                            assert_eq!(events, expect, "window [{e},{l}] C={c} {mode:?} t1={t1}");
                         }
                     }
                 }
@@ -550,6 +881,50 @@ mod tests {
         }
     }
 
+    /// Forcing explicit chunk sizes — including size 1, one job per t1
+    /// column — must leave every bound, witness, and interval count
+    /// bit-identical, serial and parallel alike, for both strategies.
+    #[test]
+    fn explicit_chunk_sizes_are_bit_identical() {
+        let (g, _) = fixture();
+        let timing = compute_timing(&g, &SystemModel::shared());
+        let partitions = partition_all(&g, &timing);
+        for strategy in [SweepStrategy::Incremental, SweepStrategy::Naive] {
+            let serial = sweep_partitions_ctl(
+                &g,
+                &timing,
+                &partitions,
+                CandidatePolicy::Extended,
+                strategy,
+                1,
+                0,
+                &NULL_PROBE,
+                &CancelToken::none(),
+            )
+            .unwrap();
+            for chunk_columns in [1, 2, 3, 7] {
+                for threads in [1, 2, 8] {
+                    let chunked = sweep_partitions_ctl(
+                        &g,
+                        &timing,
+                        &partitions,
+                        CandidatePolicy::Extended,
+                        strategy,
+                        threads,
+                        chunk_columns,
+                        &NULL_PROBE,
+                        &CancelToken::none(),
+                    )
+                    .unwrap();
+                    assert_eq!(
+                        serial, chunked,
+                        "{strategy:?} chunk={chunk_columns} threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+
     /// An attached recorder observes the sweep without perturbing it, and
     /// both strategies offer the same number of candidate pairs.
     #[test]
@@ -588,11 +963,21 @@ mod tests {
             assert_eq!(metrics.span_count("analyze.sweep"), 1);
             assert_eq!(metrics.span_count("sweep.worker"), 1);
             assert!(metrics.span_count("sweep.chunk") >= 1);
+            assert_eq!(
+                metrics.counter("sweep.chunks"),
+                metrics.span_count("sweep.chunk")
+            );
             pairs.push(metrics.counter("sweep.pairs_offered"));
             if strategy == SweepStrategy::Incremental {
                 assert!(metrics.counter("sweep.events_processed") > 0);
+                // Coalescing can only shrink the merged stream.
+                assert!(
+                    metrics.counter("sweep.chunk_events")
+                        <= metrics.counter("sweep.events_processed")
+                );
             } else {
                 assert_eq!(metrics.counter("sweep.events_processed"), 0);
+                assert_eq!(metrics.counter("sweep.chunk_events"), 0);
             }
         }
         assert_eq!(pairs[0], pairs[1], "strategies offer identical pairs");
@@ -656,6 +1041,7 @@ mod tests {
                 CandidatePolicy::EstLct,
                 SweepStrategy::Incremental,
                 threads,
+                0,
                 &NULL_PROBE,
                 &ctl,
             )

@@ -126,6 +126,25 @@ impl RunReport {
         }
     }
 
+    /// [`normalize`](Self::normalize) plus collapsing the per-thread rows
+    /// into one aggregate row.
+    ///
+    /// Which worker thread picks up which sweep chunk varies run to run,
+    /// so per-thread span attribution is nondeterministic even though the
+    /// analysis result is not. Determinism tests that pin a multi-threaded
+    /// run's report byte-for-byte use this instead of
+    /// [`normalize`](Self::normalize): the total span count is stable, the
+    /// per-thread split is not.
+    pub fn normalize_schedule(&mut self) {
+        self.normalize();
+        let spans: u64 = self.threads.iter().map(|t| t.spans).sum();
+        self.threads = vec![ThreadStat {
+            thread: 0,
+            busy_micros: 0,
+            spans,
+        }];
+    }
+
     /// The versioned JSON document (schema [`REPORT_SCHEMA`]).
     pub fn to_json(&self) -> Json {
         let mut doc = vec![
@@ -444,6 +463,27 @@ mod tests {
         assert_eq!(report.partitions[0].sweep_micros, 0);
         assert_eq!(report.counters[0].1, 33);
         assert_eq!(report.bounds[0].lb, 3);
+    }
+
+    #[test]
+    fn normalize_schedule_collapses_threads() {
+        let mut report = sample();
+        report.threads.push(ThreadStat {
+            thread: 1,
+            busy_micros: 700,
+            spans: 3,
+        });
+        report.normalize_schedule();
+        assert_eq!(
+            report.threads,
+            vec![ThreadStat {
+                thread: 0,
+                busy_micros: 0,
+                spans: 7,
+            }]
+        );
+        assert_eq!(report.stages[0].wall_micros, 0, "normalize() still ran");
+        assert_eq!(report.counters[0].1, 33);
     }
 
     #[test]

@@ -54,6 +54,9 @@ analyze flags:
                              the O(P²·N) differential-testing oracle)
   --jobs=N                   sweep worker threads; 0 = one per core
                              (default: 1, fully serial)
+  --chunk=N                  candidate-t1 columns per sweep chunk; 0 sizes
+                             chunks off the worker pool (default: 0).
+                             Results are identical for every value
   --extended                 denser candidate-point grid (adds the
                              forced-overlap corners E_i+C_i and L_i−C_i)
   --no-partition             skip the Theorem 5 partitioning and sweep each
@@ -65,7 +68,8 @@ analyze flags:
   --trace-out=FILE           write a Chrome trace-event JSON file (open in
                              chrome://tracing or https://ui.perfetto.dev)
 
-sweep-scenarios flags (plus --sweep=, --jobs=, --extended, --no-partition):
+sweep-scenarios flags (plus --sweep=, --jobs=, --chunk=, --extended,
+--no-partition):
   --check                    re-analyze every scenario from scratch and fail
                              unless the incremental bounds, witnesses, and
                              interval counts are bit-identical (CI oracle)
@@ -180,6 +184,10 @@ fn analyze_options(flags: &[String]) -> Result<AnalyzeArgs, String> {
             args.options.parallelism = jobs
                 .parse()
                 .map_err(|_| format!("invalid job count `{jobs}`"))?;
+        } else if let Some(columns) = flag.strip_prefix("--chunk=") {
+            args.options.chunk_columns = columns
+                .parse()
+                .map_err(|_| format!("invalid chunk size `{columns}`"))?;
         } else if flag == "--extended" {
             args.options.candidates = CandidatePolicy::Extended;
         } else if flag == "--no-partition" {
@@ -300,6 +308,10 @@ fn scenario_options(flags: &[String]) -> Result<ScenarioArgs, String> {
             args.options.parallelism = jobs
                 .parse()
                 .map_err(|_| format!("invalid job count `{jobs}`"))?;
+        } else if let Some(columns) = flag.strip_prefix("--chunk=") {
+            args.options.chunk_columns = columns
+                .parse()
+                .map_err(|_| format!("invalid chunk size `{columns}`"))?;
         } else if flag == "--extended" {
             args.options.candidates = CandidatePolicy::Extended;
         } else if flag == "--no-partition" {
@@ -586,6 +598,7 @@ mod tests {
         let args = analyze_options(&flags(&[
             "--sweep=naive",
             "--jobs=4",
+            "--chunk=32",
             "--extended",
             "--no-partition",
             "--metrics=json",
@@ -594,6 +607,7 @@ mod tests {
         .unwrap();
         assert_eq!(args.options.sweep, SweepStrategy::Naive);
         assert_eq!(args.options.parallelism, 4);
+        assert_eq!(args.options.chunk_columns, 32);
         assert_eq!(args.options.candidates, CandidatePolicy::Extended);
         assert!(!args.options.partitioning);
         assert_eq!(args.metrics, MetricsMode::Json);
@@ -627,6 +641,14 @@ mod tests {
     }
 
     #[test]
+    fn bad_chunk_size_is_rejected() {
+        let err = analyze_options(&flags(&["--chunk=wide"])).unwrap_err();
+        assert!(err.contains("invalid chunk size"), "{err}");
+        let err = scenario_options(&flags(&["--chunk=-3"])).unwrap_err();
+        assert!(err.contains("invalid chunk size"), "{err}");
+    }
+
+    #[test]
     fn bad_metrics_mode_is_rejected() {
         let err = analyze_options(&flags(&["--metrics=xml"])).unwrap_err();
         assert!(err.contains("unknown metrics mode"), "{err}");
@@ -649,6 +671,7 @@ mod tests {
         for flag in [
             "--sweep=",
             "--jobs=",
+            "--chunk=",
             "--extended",
             "--no-partition",
             "--metrics=",
@@ -670,6 +693,7 @@ mod tests {
         let args = scenario_options(&flags(&[
             "--sweep=naive",
             "--jobs=2",
+            "--chunk=5",
             "--extended",
             "--no-partition",
             "--check",
@@ -678,6 +702,7 @@ mod tests {
         .unwrap();
         assert_eq!(args.options.sweep, SweepStrategy::Naive);
         assert_eq!(args.options.parallelism, 2);
+        assert_eq!(args.options.chunk_columns, 5);
         assert_eq!(args.options.candidates, CandidatePolicy::Extended);
         assert!(!args.options.partitioning);
         assert!(args.check);

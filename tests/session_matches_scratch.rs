@@ -154,7 +154,8 @@ proptest! {
     }
 
     /// Every options corner: extended candidates, flat (unpartitioned)
-    /// sweeps, and parallel fan-out must all stay bit-identical.
+    /// sweeps, parallel fan-out, and explicit chunk sizes must all stay
+    /// bit-identical.
     #[test]
     fn session_matches_scratch_under_all_options(
         seed in 0u64..1_000_000,
@@ -162,6 +163,7 @@ proptest! {
         partitioning in 0u32..2,
         extended in 0u32..2,
         threads in 0usize..5,
+        chunk in 0usize..4,
     ) {
         let graph = independent_tasks(count, 4, seed);
         let options = AnalysisOptions {
@@ -172,6 +174,7 @@ proptest! {
                 CandidatePolicy::EstLct
             },
             parallelism: threads,
+            chunk_columns: [0, 1, 3, 16][chunk],
             ..AnalysisOptions::default()
         };
         assert_session_matches_scratch(graph, options, seed ^ 0xca5e, 5)?;
@@ -280,6 +283,89 @@ fn isolated_edit_resweeps_only_its_block() {
 
     let scratch = analyze_with(session.graph(), &model, options).unwrap();
     assert_eq!(scratch.bounds(), session.to_analysis().bounds());
+}
+
+/// Chunked-sweep × session interaction: deltas that move one block's
+/// candidate-column count across the chunk threshold — shrinking it to a
+/// single chunk, then growing it back past several — must leave the
+/// session's re-swept caches bit-identical to a from-scratch analysis
+/// with the same small chunk size.
+#[test]
+fn session_resweeps_identically_across_chunk_boundaries() {
+    let mut c = Catalog::new();
+    let p = c.processor("P");
+    let mut b = TaskGraphBuilder::new(c);
+    let mut tasks = Vec::new();
+    for i in 0..6i64 {
+        tasks.push(
+            b.add_task(
+                TaskSpec::new(format!("t{i}"), Dur::new(3), p)
+                    .release(Time::new(i))
+                    .deadline(Time::new(i + 8)),
+            )
+            .unwrap(),
+        );
+    }
+    let graph = b.build().unwrap();
+
+    let model = SystemModel::shared();
+    let options = AnalysisOptions {
+        parallelism: 2,
+        chunk_columns: 2,
+        ..AnalysisOptions::default()
+    };
+    let mut session = AnalysisSession::new(graph, model.clone(), options).unwrap();
+    let assert_matches_scratch = |session: &AnalysisSession| {
+        let scratch = analyze_with(session.graph(), &model, options).unwrap();
+        let snapshot = session.to_analysis();
+        assert_eq!(scratch.timing(), snapshot.timing());
+        assert_eq!(scratch.partitions(), snapshot.partitions());
+        assert_eq!(scratch.bounds(), snapshot.bounds());
+    };
+    assert_matches_scratch(&session);
+
+    // Shrink: collapse every window onto [0, 10] — the block's candidate
+    // grid drops to two columns, i.e. a single 2-column chunk.
+    let collapse: Vec<Delta> = tasks
+        .iter()
+        .flat_map(|&t| {
+            [
+                Delta::SetRelease {
+                    task: t,
+                    release: Time::new(0),
+                },
+                Delta::SetDeadline {
+                    task: t,
+                    deadline: Time::new(10),
+                },
+            ]
+        })
+        .collect();
+    let stats = session.apply(&collapse).unwrap();
+    assert!(stats.blocks_resweeped >= 1);
+    assert_matches_scratch(&session);
+
+    // Grow: spread the windows back out while keeping them overlapping —
+    // twelve distinct columns, i.e. six 2-column chunks in one block.
+    let spread: Vec<Delta> = tasks
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &t)| {
+            [
+                Delta::SetRelease {
+                    task: t,
+                    release: Time::new(2 * i as i64),
+                },
+                Delta::SetDeadline {
+                    task: t,
+                    deadline: Time::new(2 * i as i64 + 9),
+                },
+            ]
+        })
+        .collect();
+    let stats = session.apply(&spread).unwrap();
+    assert!(stats.blocks_resweeped >= 1);
+    assert_matches_scratch(&session);
 }
 
 /// An invalid delta in a batch must leave the session byte-for-byte

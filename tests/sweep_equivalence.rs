@@ -10,10 +10,11 @@
 use proptest::prelude::*;
 
 use rtlb::core::{
-    analyze_with, analyze_with_probe, compute_timing, partition_all, sweep_partitions, theta,
-    AnalysisOptions, CandidatePolicy, ResourceBound, SweepStrategy, SystemModel,
+    analyze_with, analyze_with_probe, compute_timing, effective_threads, partition_all,
+    sweep_partitions, theta, AnalysisOptions, CandidatePolicy, ResourceBound, SweepStrategy,
+    SystemModel,
 };
-use rtlb::graph::TaskGraph;
+use rtlb::graph::{Catalog, Dur, TaskGraph, TaskGraphBuilder, TaskSpec, Time};
 use rtlb::obs::Recorder;
 use rtlb::workloads::{chain, fork_join, independent_tasks, layered, LayeredConfig};
 
@@ -37,10 +38,79 @@ fn bounds_with(
             candidates: policy,
             sweep,
             parallelism,
+            chunk_columns: 0,
         },
     )
     .ok()
     .map(|a| a.bounds().to_vec())
+}
+
+/// [`bounds_with`] at a forced intra-block chunk size, the knob the
+/// chunked-sweep differential tests exercise.
+fn bounds_chunked(
+    graph: &TaskGraph,
+    policy: CandidatePolicy,
+    sweep: SweepStrategy,
+    parallelism: usize,
+    chunk_columns: usize,
+) -> Option<Vec<ResourceBound>> {
+    analyze_with(
+        graph,
+        &SystemModel::shared(),
+        AnalysisOptions {
+            partitioning: true,
+            candidates: policy,
+            sweep,
+            parallelism,
+            chunk_columns,
+        },
+    )
+    .ok()
+    .map(|a| a.bounds().to_vec())
+}
+
+/// The chunk sizes the differential layer forces: degenerate single
+/// columns, small odd sizes that misalign with block boundaries, and the
+/// machine's core count.
+fn chunk_sizes() -> Vec<usize> {
+    vec![1, 2, 3, 7, effective_threads(0)]
+}
+
+/// Asserts that every forced chunk size, at serial and parallel thread
+/// counts, reproduces the serial incremental sweep and the naive oracle
+/// bit for bit on `graph`.
+fn assert_chunked_equivalence(
+    graph: &TaskGraph,
+    policy: CandidatePolicy,
+) -> Result<(), TestCaseError> {
+    let naive = bounds_with(graph, policy, SweepStrategy::Naive, 1, true);
+    prop_assume!(naive.is_some());
+    let naive = naive.unwrap();
+    let serial = bounds_with(graph, policy, SweepStrategy::Incremental, 1, true).unwrap();
+    prop_assert_eq!(&naive, &serial);
+    for chunk in chunk_sizes() {
+        for threads in [1usize, 2, 0] {
+            let chunked =
+                bounds_chunked(graph, policy, SweepStrategy::Incremental, threads, chunk).unwrap();
+            prop_assert_eq!(
+                &serial,
+                &chunked,
+                "incremental chunk={} threads={}",
+                chunk,
+                threads
+            );
+            let naive_chunked =
+                bounds_chunked(graph, policy, SweepStrategy::Naive, threads, chunk).unwrap();
+            prop_assert_eq!(
+                &naive,
+                &naive_chunked,
+                "naive chunk={} threads={}",
+                chunk,
+                threads
+            );
+        }
+    }
+    Ok(())
 }
 
 /// Asserts the three-way equivalence for one graph: incremental ==
@@ -145,6 +215,35 @@ proptest! {
         assert_equivalence(&chain(width * depth + 1, message, seed))?;
     }
 
+    /// Intra-block chunking must be invisible: every forced chunk size
+    /// (1, 2, 3, 7, num_cpus), serial or parallel, reproduces the serial
+    /// incremental path and the naive oracle bit for bit — bounds,
+    /// witnesses, and interval counts. Chunk boundaries land mid-block
+    /// for almost every draw, so a tie-ordering bug in the ascending-t1
+    /// merge cannot hide.
+    #[test]
+    fn chunked_sweep_matches_serial_and_naive(
+        seed in 0u64..1_000_000,
+        count in 1usize..40,
+        load in 1u32..8,
+    ) {
+        let graph = independent_tasks(count, load, seed);
+        assert_chunked_equivalence(&graph, CandidatePolicy::Extended)?;
+    }
+
+    /// Chunking on precedence-heavy single-block shapes, where one block
+    /// owns the whole candidate grid and every chunk boundary splits it.
+    #[test]
+    fn chunked_sweep_on_structured(
+        seed in 0u64..1_000_000,
+        width in 1usize..4,
+        depth in 1usize..4,
+        message in 0i64..4,
+    ) {
+        assert_chunked_equivalence(&fork_join(width, depth, message, seed), CandidatePolicy::EstLct)?;
+        assert_chunked_equivalence(&chain(width * depth + 1, message, seed), CandidatePolicy::Extended)?;
+    }
+
     /// The parallel fan-out must reproduce the serial sweep bit-for-bit
     /// at every thread count, including 0 (= all cores).
     #[test]
@@ -204,6 +303,71 @@ proptest! {
             pairs_offered[0], pairs_offered[1],
             "strategies must offer the same candidate pairs"
         );
+    }
+}
+
+/// Builds a graph of identical or hand-picked windows on one processor;
+/// `windows` is `(release, deadline, computation, preemptive)`.
+fn graph_of(windows: &[(i64, i64, i64, bool)]) -> TaskGraph {
+    let mut catalog = Catalog::new();
+    let p = catalog.processor("P");
+    let mut b = TaskGraphBuilder::new(catalog);
+    for (i, &(rel, d, comp, pre)) in windows.iter().enumerate() {
+        let mut spec = TaskSpec::new(format!("t{i}"), Dur::new(comp), p)
+            .release(Time::new(rel))
+            .deadline(Time::new(d));
+        if pre {
+            spec = spec.preemptive();
+        }
+        b.add_task(spec).unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// Degenerate blocks are where chunk boundaries are most likely to break
+/// tie-ordering: a single-task block (one candidate column), blocks whose
+/// tasks share one identical window (every candidate `t1` equal, the
+/// whole grid collapses to two points), and columns whose event set is
+/// empty (a slack-heavy window under the extended grid dodges late `t1`
+/// columns entirely). Each must stay bit-identical at every chunk size.
+#[test]
+fn chunked_sweep_on_degenerate_blocks() {
+    let degenerates: Vec<(&str, TaskGraph)> = vec![
+        ("single task", graph_of(&[(0, 9, 4, false)])),
+        ("single preemptive task", graph_of(&[(2, 11, 3, true)])),
+        ("all-identical windows", graph_of(&[(0, 6, 2, false); 5])),
+        (
+            "all-identical preemptive windows",
+            graph_of(&[(1, 8, 3, true); 4]),
+        ),
+        (
+            // t1 = 8 (= L − C) has no alive ramp under Extended: the
+            // merged event stream is empty while t2 columns remain.
+            "empty event sets",
+            graph_of(&[(0, 10, 2, false), (0, 10, 2, true)]),
+        ),
+        (
+            "mixed tight and slack",
+            graph_of(&[(0, 3, 3, false), (0, 12, 2, false), (4, 7, 3, true)]),
+        ),
+    ];
+    for (name, graph) in &degenerates {
+        for policy in POLICIES {
+            let naive = bounds_with(graph, policy, SweepStrategy::Naive, 1, true).unwrap();
+            let serial = bounds_with(graph, policy, SweepStrategy::Incremental, 1, true).unwrap();
+            assert_eq!(naive, serial, "{name} {policy:?} serial");
+            for chunk in chunk_sizes() {
+                for threads in [1usize, 2, 0] {
+                    let chunked =
+                        bounds_chunked(graph, policy, SweepStrategy::Incremental, threads, chunk)
+                            .unwrap();
+                    assert_eq!(
+                        serial, chunked,
+                        "{name} {policy:?} chunk={chunk} threads={threads}"
+                    );
+                }
+            }
+        }
     }
 }
 
