@@ -326,6 +326,9 @@ pub fn analyze_ctl(
             "partition.tasks",
             partitions.iter().map(|p| p.task_count() as u64).sum(),
         );
+        for p in &partitions {
+            probe.observe("partition.blocks_per_resource", p.blocks.len() as u64);
+        }
         let bounds = sweep_partitions_ctl(
             graph,
             &timing,

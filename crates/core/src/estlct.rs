@@ -339,6 +339,9 @@ fn compute_timing_inner(
     }
     probe.add("timing.merge_candidates", candidates);
     probe.add("timing.merges_accepted", accepted);
+    // Distribution across instances: one observation per fixpoint run,
+    // so a batch-level registry sees per-instance merge workloads.
+    probe.observe("timing.merge_candidates_per_run", candidates);
 
     let windows = est
         .into_iter()

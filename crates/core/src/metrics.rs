@@ -130,6 +130,7 @@ pub fn build_run_report(
         bounds,
         shared_cost: None,
         dedicated_cost: None,
+        profile: None,
     }
 }
 

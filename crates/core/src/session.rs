@@ -380,6 +380,7 @@ impl AnalysisSession {
                 probe.add("sweep.events_processed", counters.raw_events);
                 probe.add("sweep.chunk_events", counters.merged_events);
                 probe.add("sweep.pairs_offered", max.intervals());
+                probe.observe("sweep.events_per_chunk", counters.merged_events);
                 Ok(max)
             });
             for (j, max) in maxima.into_iter().enumerate() {
@@ -876,6 +877,7 @@ impl AnalysisSession {
                 probe.add("sweep.events_processed", counters.raw_events);
                 probe.add("sweep.chunk_events", counters.merged_events);
                 probe.add("sweep.pairs_offered", max.intervals());
+                probe.observe("sweep.events_per_chunk", counters.merged_events);
                 Ok(max)
             });
             // Fold chunk maxima per dirty block in job order (ascending

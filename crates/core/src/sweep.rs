@@ -682,6 +682,7 @@ pub fn sweep_partitions_ctl(
         probe.add("sweep.pairs_offered", max.intervals());
         probe.add("sweep.events_processed", counters.raw_events);
         probe.add("sweep.chunk_events", counters.merged_events);
+        probe.observe("sweep.events_per_chunk", counters.merged_events);
         Ok(max)
     });
 

@@ -4,7 +4,9 @@
 //! flavor, loadable in `chrome://tracing` and Perfetto. Each completed
 //! span becomes one complete (`"ph": "X"`) event on the thread that ran
 //! it, so the parallel sweep's per-thread chunk spans show up as one
-//! swim-lane per worker.
+//! swim-lane per worker. Counter increments become counter (`"ph": "C"`)
+//! events carrying the running total, which the trace viewer draws as a
+//! stacked value track per counter name alongside the spans.
 
 use crate::json::Json;
 use crate::recorder::{Metrics, OwnedLabel};
@@ -51,6 +53,20 @@ pub fn chrome_trace(metrics: &Metrics) -> String {
         }
         events.push(Json::Obj(event));
     }
+    for rec in &metrics.counter_series {
+        events.push(Json::obj([
+            ("name", Json::str(rec.name)),
+            ("cat", Json::str("rtlb")),
+            ("ph", Json::str("C")),
+            ("pid", Json::Int(1)),
+            ("tid", Json::Int(0)),
+            ("ts", Json::Int(rec.at_micros as i64)),
+            (
+                "args",
+                Json::obj([("value", Json::Int(rec.total.min(i64::MAX as u64) as i64))]),
+            ),
+        ]));
+    }
     Json::Arr(events).pretty()
 }
 
@@ -75,7 +91,8 @@ mod tests {
                 }
             });
         }
-        r.add("ignored.by.trace", 1);
+        r.add("sweep.pairs_offered", 1);
+        r.add("sweep.pairs_offered", 4);
         let trace = chrome_trace(&r.take_metrics());
         let doc = parse(&trace).expect("trace must be valid JSON");
         let events = doc.as_arr().unwrap();
@@ -107,5 +124,29 @@ mod tests {
             chunk.get("args").unwrap().get("index").unwrap().as_int(),
             Some(0)
         );
+        // Counter increments become "C" events carrying running totals.
+        let counters: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("C"))
+            .collect();
+        assert_eq!(counters.len(), 2);
+        for c in &counters {
+            assert_eq!(
+                c.get("name").and_then(Json::as_str),
+                Some("sweep.pairs_offered")
+            );
+        }
+        let totals: Vec<i64> = counters
+            .iter()
+            .map(|c| {
+                c.get("args")
+                    .unwrap()
+                    .get("value")
+                    .unwrap()
+                    .as_int()
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(totals, vec![1, 5]);
     }
 }

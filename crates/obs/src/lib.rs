@@ -17,6 +17,13 @@
 //!   versioned `rtlb-report-v1` JSON document; [`chrome_trace`] renders a
 //!   `chrome://tracing`-loadable trace with one swim-lane per sweep
 //!   worker thread.
+//! * [`MetricsRegistry`] — the fleet-scale aggregator: thread-sharded
+//!   counters, gauges, and log2-bucket histograms with a deterministic
+//!   merged [`MetricsSnapshot`], exported as the versioned
+//!   `rtlb-metrics-v1` JSON document or Prometheus text
+//!   ([`prometheus_text`]); [`PhaseProfile`] folds its span histograms
+//!   into the `--profile` per-phase breakdown. [`TeeProbe`] feeds a
+//!   recorder and a registry from the same pipeline run.
 //!
 //! The crate is deliberately free of non-std dependencies (the build
 //! environment has no registry access; see `vendor/README.md`), so it
@@ -27,15 +34,22 @@
 
 mod chrome;
 pub mod json;
+mod metrics;
 mod probe;
+mod prom;
 mod recorder;
 mod report;
 
 pub use chrome::chrome_trace;
 pub use json::Json;
-pub use probe::{span, Label, NullProbe, Probe, Span, SpanId, NULL_PROBE};
-pub use recorder::{Metrics, OwnedLabel, Recorder, SpanRec};
+pub use metrics::{
+    bucket_hi, bucket_index, bucket_lo, BucketCount, HistogramSnapshot, MetricsRegistry,
+    MetricsSnapshot, HISTOGRAM_BUCKETS, METRICS_SCHEMA,
+};
+pub use probe::{span, Label, NullProbe, Probe, Span, SpanId, TeeProbe, NULL_PROBE};
+pub use prom::prometheus_text;
+pub use recorder::{CounterRec, Metrics, OwnedLabel, Recorder, SpanRec};
 pub use report::{
-    BoundStat, InstanceStats, PartitionStat, RunReport, StageStat, ThreadStat, WitnessStat,
-    REPORT_SCHEMA,
+    BoundStat, InstanceStats, PartitionStat, PhaseProfile, PhaseStat, RunReport, StageStat,
+    ThreadStat, WitnessStat, PROFILE_SCHEMA, REPORT_SCHEMA,
 };

@@ -55,6 +55,12 @@ pub trait Probe: Sync {
 
     /// Adds `delta` to the counter named `counter`.
     fn add(&self, counter: &'static str, delta: u64);
+
+    /// Records one observation of `value` into the distribution named
+    /// `name` (e.g. events per sweep chunk, per-instance durations).
+    /// Sinks without a distribution concept ignore it — the default is
+    /// a no-op, so existing implementations are unaffected.
+    fn observe(&self, _name: &'static str, _value: u64) {}
 }
 
 /// The zero-cost default probe: every method returns immediately.
@@ -76,6 +82,74 @@ impl Probe for NullProbe {
 
     #[inline]
     fn add(&self, _counter: &'static str, _delta: u64) {}
+}
+
+/// Fans every probe call out to two sinks — e.g. a [`Recorder`] for the
+/// run report plus a [`MetricsRegistry`] for the aggregated export — so
+/// the pipeline still sees a single `&dyn Probe`.
+///
+/// `begin` hands out its own ids and keeps a small id-mapping table so
+/// each sink receives the [`SpanId`] it minted itself. The table is one
+/// `Mutex`; like the recorder, probes fire per stage/chunk, never per
+/// candidate pair, so contention is bounded by the job count.
+///
+/// [`Recorder`]: crate::Recorder
+/// [`MetricsRegistry`]: crate::MetricsRegistry
+pub struct TeeProbe<'a> {
+    first: &'a dyn Probe,
+    second: &'a dyn Probe,
+    next_id: std::sync::atomic::AtomicU64,
+    open: std::sync::Mutex<Vec<(u64, SpanId, SpanId)>>,
+}
+
+impl<'a> TeeProbe<'a> {
+    /// Tees every call to `first` and `second`, in that order.
+    pub fn new(first: &'a dyn Probe, second: &'a dyn Probe) -> TeeProbe<'a> {
+        TeeProbe {
+            first,
+            second,
+            next_id: std::sync::atomic::AtomicU64::new(1),
+            open: std::sync::Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl Probe for TeeProbe<'_> {
+    fn begin(&self, name: &'static str, label: Label<'_>) -> SpanId {
+        let a = self.first.begin(name, label);
+        let b = self.second.begin(name, label);
+        let id = self
+            .next_id
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.open.lock().expect("tee poisoned").push((id, a, b));
+        SpanId(id)
+    }
+
+    fn end(&self, id: SpanId) {
+        if id == SpanId::NULL {
+            return;
+        }
+        let entry = {
+            let mut open = self.open.lock().expect("tee poisoned");
+            match open.iter().position(|&(i, _, _)| i == id.0) {
+                Some(pos) => open.swap_remove(pos),
+                None => return,
+            }
+        };
+        // Close downstream spans outside the lock, in begin order.
+        self.first.end(entry.1);
+        self.second.end(entry.2);
+    }
+
+    fn add(&self, counter: &'static str, delta: u64) {
+        self.first.add(counter, delta);
+        self.second.add(counter, delta);
+    }
+
+    fn observe(&self, name: &'static str, value: u64) {
+        self.first.observe(name, value);
+        self.second.observe(name, value);
+    }
 }
 
 /// RAII guard that closes its span on drop; the idiomatic way to
@@ -121,6 +195,25 @@ mod tests {
         p.end(id);
         p.add("c", 7);
         let _guard = span(&p, "scoped", Label::None);
+    }
+
+    #[test]
+    fn tee_probe_fans_out_to_both_sinks() {
+        use crate::recorder::Recorder;
+        let a = Recorder::new();
+        let b = Recorder::new();
+        let tee = TeeProbe::new(&a, &b);
+        {
+            let _s = span(&tee, "stage", Label::Index(4));
+        }
+        tee.add("c", 6);
+        tee.observe("dist", 12);
+        tee.end(SpanId(777)); // unmatched: ignored
+        tee.end(SpanId::NULL);
+        for m in [a.take_metrics(), b.take_metrics()] {
+            assert_eq!(m.span_count("stage"), 1);
+            assert_eq!(m.counter("c"), 6);
+        }
     }
 
     #[test]

@@ -1,0 +1,115 @@
+//! Prometheus text-exposition writer for a [`MetricsSnapshot`].
+//!
+//! Renders the version 0.0.4 text format (`# TYPE` comments, one sample
+//! per line) so a scrape endpoint — or a file dropped next to a node
+//! exporter's `textfile` collector — can serve the aggregated metrics
+//! without any Prometheus client library. Names are sanitized into the
+//! `rtlb_` namespace (`sweep.pairs_offered` → `rtlb_sweep_pairs_offered`)
+//! and histograms render cumulative `_bucket{le=...}` samples with the
+//! registry's log2 bucket bounds.
+
+use std::fmt::Write as _;
+
+use crate::metrics::MetricsSnapshot;
+
+/// Maps a metric name into the Prometheus namespace: `rtlb_` prefix,
+/// every character outside `[a-zA-Z0-9_]` replaced by `_`.
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 5);
+    out.push_str("rtlb_");
+    for ch in name.chars() {
+        if ch.is_ascii_alphanumeric() || ch == '_' {
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Renders `snapshot` in the Prometheus text exposition format.
+///
+/// Counters render as `counter`, gauges as `gauge`, and histograms as
+/// `histogram` with cumulative buckets: each occupied log2 bucket
+/// `[2^(k-1), 2^k)` contributes a `le="2^k - 1"` sample (the largest
+/// integer the bucket holds), followed by the mandatory `le="+Inf"`,
+/// `_sum`, and `_count` samples.
+pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let name = sanitize(name);
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, value) in &snapshot.gauges {
+        let name = sanitize(name);
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for hist in &snapshot.histograms {
+        let name = sanitize(&hist.name);
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for bucket in &hist.buckets {
+            cumulative += bucket.count;
+            // Inclusive integer upper bound of the log2 bucket; the
+            // open-ended top bucket is covered by +Inf below.
+            if let Some(hi) = bucket.hi {
+                let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {cumulative}", hi - 1);
+            }
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", hist.count);
+        let _ = writeln!(out, "{name}_sum {}", hist.sum);
+        let _ = writeln!(out, "{name}_count {}", hist.count);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    #[test]
+    fn sanitizes_names_into_the_rtlb_namespace() {
+        assert_eq!(sanitize("sweep.pairs_offered"), "rtlb_sweep_pairs_offered");
+        assert_eq!(sanitize("span.analyze.micros"), "rtlb_span_analyze_micros");
+        assert_eq!(sanitize("a-b c"), "rtlb_a_b_c");
+    }
+
+    #[test]
+    fn renders_counters_gauges_and_cumulative_histograms() {
+        let r = MetricsRegistry::new();
+        r.counter_add("sweep.pairs_offered", 33);
+        r.gauge_set("pool.workers", 4);
+        r.observe_value("batch.instance_micros", 0); // bucket [0,1): le=0
+        r.observe_value("batch.instance_micros", 3); // bucket [2,4): le=3
+        r.observe_value("batch.instance_micros", 3);
+        let text = prometheus_text(&r.snapshot());
+        let expected = "\
+# TYPE rtlb_batch_instance_micros histogram
+rtlb_batch_instance_micros_bucket{le=\"0\"} 1
+rtlb_batch_instance_micros_bucket{le=\"3\"} 3
+rtlb_batch_instance_micros_bucket{le=\"+Inf\"} 3
+rtlb_batch_instance_micros_sum 6
+rtlb_batch_instance_micros_count 3
+";
+        assert!(text.contains(expected), "histogram block:\n{text}");
+        assert!(
+            text.contains("# TYPE rtlb_sweep_pairs_offered counter\nrtlb_sweep_pairs_offered 33\n")
+        );
+        assert!(text.contains("# TYPE rtlb_pool_workers gauge\nrtlb_pool_workers 4\n"));
+        // Every sample line ends in a newline and the format has no tabs.
+        assert!(text.ends_with('\n'));
+        assert!(!text.contains('\t'));
+    }
+
+    #[test]
+    fn top_bucket_values_fold_into_inf() {
+        let r = MetricsRegistry::new();
+        r.observe_value("h", u64::MAX); // bucket 64: no finite le
+        let text = prometheus_text(&r.snapshot());
+        assert!(text.contains("rtlb_h_bucket{le=\"+Inf\"} 1"));
+        assert!(!text.contains("le=\"18446744073709551614\""));
+    }
+}

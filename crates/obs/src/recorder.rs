@@ -52,6 +52,19 @@ struct OpenSpan {
     start: Instant,
 }
 
+/// One point in a counter's running-total series: the value of counter
+/// `name` right after an [`Probe::add`] call at `at_micros`. Probes fire
+/// per stage or chunk, so the series length is bounded by the job count.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CounterRec {
+    /// Counter name as passed to [`Probe::add`].
+    pub name: &'static str,
+    /// Offset from the recorder's creation, in microseconds.
+    pub at_micros: u64,
+    /// Running total after this increment.
+    pub total: u64,
+}
+
 #[derive(Default)]
 struct Inner {
     next_id: u64,
@@ -59,6 +72,7 @@ struct Inner {
     open: Vec<OpenSpan>,
     spans: Vec<SpanRec>,
     counters: BTreeMap<&'static str, u64>,
+    counter_series: Vec<CounterRec>,
 }
 
 impl Inner {
@@ -112,10 +126,12 @@ impl Recorder {
             .into_iter()
             .collect::<Vec<_>>();
         let threads = inner.threads.len();
+        let counter_series = std::mem::take(&mut inner.counter_series);
         inner.open.clear();
         Metrics {
             spans,
             counters,
+            counter_series,
             threads,
         }
     }
@@ -162,8 +178,18 @@ impl Probe for Recorder {
     }
 
     fn add(&self, counter: &'static str, delta: u64) {
+        let at_micros = Instant::now()
+            .saturating_duration_since(self.epoch)
+            .as_micros() as u64;
         let mut inner = self.lock();
-        *inner.counters.entry(counter).or_insert(0) += delta;
+        let slot = inner.counters.entry(counter).or_insert(0);
+        *slot += delta;
+        let total = *slot;
+        inner.counter_series.push(CounterRec {
+            name: counter,
+            at_micros,
+            total,
+        });
     }
 }
 
@@ -174,6 +200,9 @@ pub struct Metrics {
     pub spans: Vec<SpanRec>,
     /// Counters, sorted by name.
     pub counters: Vec<(&'static str, u64)>,
+    /// Running-total samples, one per [`Probe::add`] call, in call
+    /// order. Feeds Chrome trace counter tracks.
+    pub counter_series: Vec<CounterRec>,
     /// Number of distinct threads that recorded at least one span.
     pub threads: usize,
 }
@@ -216,6 +245,9 @@ impl Metrics {
         for s in &mut self.spans {
             s.start_micros = 0;
             s.dur_micros = 0;
+        }
+        for c in &mut self.counter_series {
+            c.at_micros = 0;
         }
     }
 }
@@ -277,6 +309,19 @@ mod tests {
         worker_threads.sort_unstable();
         worker_threads.dedup();
         assert_eq!(worker_threads.len(), 3, "one thread index per worker");
+    }
+
+    #[test]
+    fn counter_series_tracks_running_totals_in_call_order() {
+        let r = Recorder::new();
+        r.add("c.x", 3);
+        r.add("c.a", 1);
+        r.add("c.x", 4);
+        let m = r.take_metrics();
+        let series: Vec<(&str, u64)> = m.counter_series.iter().map(|c| (c.name, c.total)).collect();
+        assert_eq!(series, vec![("c.x", 3), ("c.a", 1), ("c.x", 7)]);
+        // Drained with the rest of the snapshot.
+        assert!(r.take_metrics().counter_series.is_empty());
     }
 
     #[test]

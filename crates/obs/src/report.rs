@@ -11,9 +11,13 @@
 use std::fmt::Write as _;
 
 use crate::json::Json;
+use crate::metrics::MetricsSnapshot;
 
 /// The `schema` tag of the JSON run report.
 pub const REPORT_SCHEMA: &str = "rtlb-report-v1";
+
+/// The `schema` tag of the `--profile` phase-breakdown document.
+pub const PROFILE_SCHEMA: &str = "rtlb-profile-v1";
 
 /// Static facts about the analyzed instance.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -108,6 +112,8 @@ pub struct RunReport {
     pub shared_cost: Option<i64>,
     /// Step 4 dedicated-model cost total, when computed.
     pub dedicated_cost: Option<i64>,
+    /// The `--profile` phase breakdown, when one was requested.
+    pub profile: Option<PhaseProfile>,
 }
 
 impl RunReport {
@@ -123,6 +129,9 @@ impl RunReport {
         }
         for p in &mut self.partitions {
             p.sweep_micros = 0;
+        }
+        if let Some(profile) = &mut self.profile {
+            profile.normalize();
         }
     }
 
@@ -259,6 +268,9 @@ impl RunReport {
             }
             doc.push(("cost".to_owned(), Json::Obj(cost)));
         }
+        if let Some(profile) = &self.profile {
+            doc.push(("profile".to_owned(), profile.to_json()));
+        }
         Json::Obj(doc)
     }
 
@@ -347,6 +359,164 @@ impl RunReport {
         if let Some(total) = self.dedicated_cost {
             let _ = writeln!(out, "dedicated cost bound {total}");
         }
+
+        if let Some(profile) = &self.profile {
+            let _ = writeln!(out);
+            out.push_str(&profile.render_text());
+        }
+        out
+    }
+}
+
+/// One row of the `--profile` breakdown: a pipeline phase with its
+/// aggregated wall-clock time and span count.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// Phase name (`est-lct-fixpoint`, `partition`, `sweep`, …).
+    pub phase: &'static str,
+    /// Total wall-clock microseconds attributed to the phase.
+    pub wall_micros: u64,
+    /// Spans aggregated into the phase (deterministic for a fixed run).
+    pub spans: u64,
+}
+
+/// The `--profile` report: where a run's wall-clock time went, phase by
+/// phase, aggregated from the span histograms of a [`MetricsSnapshot`].
+///
+/// The phase mapping follows the paper's pipeline: `est-lct-fixpoint`
+/// is the Figs. 2–3 fixpoint (`analyze.timing` plus incremental
+/// `session.timing`), `partition` the Fig. 4 block partitioning,
+/// `sweep` the Eq. 6.3 interval sweep (`analyze.sweep` plus
+/// `session.sweep`), and `cost-bounds` the Step-4 shared/dedicated cost
+/// totals. `other` is whatever part of the top-level spans the mapped
+/// phases do not cover, and `telemetry_micros` is the profiler watching
+/// itself: the time spent snapshotting and serializing the registry,
+/// measured by the caller and recorded here.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PhaseProfile {
+    /// Total wall-clock microseconds across the top-level pipeline spans.
+    pub total_micros: u64,
+    /// Self-profiling: microseconds the telemetry layer itself spent
+    /// (snapshot + serialization), filled in by the caller.
+    pub telemetry_micros: u64,
+    /// The per-phase rows, in pipeline order, `other` last.
+    pub phases: Vec<PhaseStat>,
+}
+
+impl PhaseProfile {
+    /// Builds the breakdown from `snapshot`'s span histograms
+    /// (`span.<name>.micros`); `telemetry_micros` starts at zero.
+    pub fn from_snapshot(snapshot: &MetricsSnapshot) -> PhaseProfile {
+        let spans = |names: &[&str]| -> (u64, u64) {
+            names.iter().fold((0, 0), |(micros, count), name| {
+                match snapshot.histogram(&format!("span.{name}.micros")) {
+                    Some(h) => (micros + h.sum, count + h.count),
+                    None => (micros, count),
+                }
+            })
+        };
+        const PHASES: &[(&str, &[&str])] = &[
+            ("validate", &["analyze.validate"]),
+            ("est-lct-fixpoint", &["analyze.timing", "session.timing"]),
+            ("feasibility", &["analyze.feasibility"]),
+            ("partition", &["analyze.partition"]),
+            ("sweep", &["analyze.sweep", "session.sweep"]),
+            ("cost-bounds", &["cost.shared", "cost.dedicated"]),
+        ];
+        let (total_micros, _) = spans(&["analyze", "session.analyze", "session.apply"]);
+        let mut phases: Vec<PhaseStat> = PHASES
+            .iter()
+            .map(|&(phase, names)| {
+                let (wall_micros, spans) = spans(names);
+                PhaseStat {
+                    phase,
+                    wall_micros,
+                    spans,
+                }
+            })
+            .collect();
+        let mapped: u64 = phases.iter().map(|p| p.wall_micros).sum();
+        phases.push(PhaseStat {
+            phase: "other",
+            wall_micros: total_micros.saturating_sub(mapped),
+            spans: 0,
+        });
+        PhaseProfile {
+            total_micros,
+            telemetry_micros: 0,
+            phases,
+        }
+    }
+
+    /// Zeroes every wall-clock field, keeping the (deterministic) span
+    /// counts — the profile analogue of [`RunReport::normalize`].
+    pub fn normalize(&mut self) {
+        self.total_micros = 0;
+        self.telemetry_micros = 0;
+        for p in &mut self.phases {
+            p.wall_micros = 0;
+        }
+    }
+
+    /// The versioned JSON document (schema [`PROFILE_SCHEMA`]).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::str(PROFILE_SCHEMA)),
+            ("total_micros", Json::Int(self.total_micros as i64)),
+            ("telemetry_micros", Json::Int(self.telemetry_micros as i64)),
+            (
+                "phases",
+                Json::Arr(
+                    self.phases
+                        .iter()
+                        .map(|p| {
+                            Json::obj([
+                                ("phase", Json::str(p.phase)),
+                                ("wall_micros", Json::Int(p.wall_micros as i64)),
+                                ("spans", Json::Int(p.spans as i64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// The human-readable breakdown table, with each phase's share of
+    /// the total in tenths of a percent.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<18} {:>12} {:>7} {:>7}",
+            "phase", "wall", "spans", "share"
+        );
+        for p in &self.phases {
+            let share = (p.wall_micros * 1000)
+                .checked_div(self.total_micros)
+                .unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "{:<18} {:>12} {:>7} {:>6}.{}%",
+                p.phase,
+                format_micros(p.wall_micros),
+                p.spans,
+                share / 10,
+                share % 10
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:<18} {:>12}",
+            "total",
+            format_micros(self.total_micros)
+        );
+        let _ = writeln!(
+            out,
+            "{:<18} {:>12}",
+            "telemetry",
+            format_micros(self.telemetry_micros)
+        );
         out
     }
 }
@@ -409,6 +579,7 @@ mod tests {
             }],
             shared_cost: Some(140),
             dedicated_cost: None,
+            profile: None,
         }
     }
 
@@ -499,6 +670,107 @@ mod tests {
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn report_with_profile_carries_and_normalizes_the_section() {
+        let mut report = sample();
+        report.profile = Some(PhaseProfile {
+            total_micros: 500,
+            telemetry_micros: 9,
+            phases: vec![PhaseStat {
+                phase: "sweep",
+                wall_micros: 500,
+                spans: 2,
+            }],
+        });
+        let doc = report.to_json();
+        assert_eq!(*doc.keys().last().unwrap(), "profile");
+        assert_eq!(
+            doc.get("profile").unwrap().get("schema").unwrap().as_str(),
+            Some(PROFILE_SCHEMA)
+        );
+        assert!(report.render_text().contains("telemetry"));
+        report.normalize();
+        assert_eq!(report.profile.as_ref().unwrap().total_micros, 0);
+        assert_eq!(report.profile.as_ref().unwrap().phases[0].spans, 2);
+    }
+
+    #[test]
+    fn phase_profile_maps_spans_and_accounts_for_other() {
+        use crate::metrics::MetricsRegistry;
+        use crate::probe::{Label, Probe};
+        let r = MetricsRegistry::new();
+        // Synthesize a run's spans without sleeping: drive begin/end
+        // directly so durations are near-zero but counts are exact.
+        for name in [
+            "analyze",
+            "analyze.validate",
+            "analyze.timing",
+            "analyze.feasibility",
+            "analyze.partition",
+            "analyze.sweep",
+            "cost.shared",
+            "cost.dedicated",
+            "sweep.chunk",
+        ] {
+            let id = r.begin(name, Label::None);
+            r.end(id);
+        }
+        let snapshot = r.snapshot();
+        let profile = PhaseProfile::from_snapshot(&snapshot);
+        let by_name = |phase: &str| {
+            profile
+                .phases
+                .iter()
+                .find(|p| p.phase == phase)
+                .unwrap_or_else(|| panic!("missing phase {phase}"))
+        };
+        assert_eq!(by_name("est-lct-fixpoint").spans, 1);
+        assert_eq!(by_name("sweep").spans, 1);
+        assert_eq!(by_name("cost-bounds").spans, 2);
+        assert_eq!(by_name("other").spans, 0);
+        assert_eq!(
+            profile.phases.last().unwrap().phase,
+            "other",
+            "other comes last"
+        );
+        // total covers at least the mapped phases (durations are tiny
+        // but the subtraction must never underflow).
+        let mapped: u64 = profile.phases.iter().map(|p| p.wall_micros).sum();
+        assert!(mapped <= profile.total_micros || by_name("other").wall_micros == 0);
+    }
+
+    #[test]
+    fn phase_profile_json_and_text_and_normalize() {
+        let mut profile = PhaseProfile {
+            total_micros: 1000,
+            telemetry_micros: 42,
+            phases: vec![
+                PhaseStat {
+                    phase: "sweep",
+                    wall_micros: 750,
+                    spans: 3,
+                },
+                PhaseStat {
+                    phase: "other",
+                    wall_micros: 250,
+                    spans: 0,
+                },
+            ],
+        };
+        let doc = profile.to_json();
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some(PROFILE_SCHEMA));
+        let parsed = parse(&doc.pretty()).unwrap();
+        assert_eq!(parsed, doc);
+        let text = profile.render_text();
+        assert!(text.contains("75.0%"), "share column:\n{text}");
+        assert!(text.contains("telemetry"));
+        profile.normalize();
+        assert_eq!(profile.total_micros, 0);
+        assert_eq!(profile.telemetry_micros, 0);
+        assert_eq!(profile.phases[0].wall_micros, 0);
+        assert_eq!(profile.phases[0].spans, 3, "span counts survive");
     }
 
     #[test]

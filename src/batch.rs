@@ -24,21 +24,38 @@
 //! `rtlb-batch-v1` JSON document (see [`BatchReport::to_json`]), and the
 //! exit-code policy is explicit: any outcome other than `ok` fails the
 //! batch unless listed in [`BatchOptions::tolerate`].
+//!
+//! Two telemetry surfaces ride on the driver. A [`Probe`] passed to
+//! [`run_batch_probed`] sees every instance's pipeline spans plus
+//! batch-level counters (`batch.outcome.*`, `batch.instances`) and the
+//! `batch.instance_micros` duration distribution — attach a
+//! [`MetricsRegistry`](rtlb_obs::MetricsRegistry) and the whole fleet
+//! aggregates into one `rtlb-metrics-v1` export. And when
+//! [`BatchOptions::heartbeat`] is set, a monitor thread emits live
+//! progress (done/total, per-class counts, throughput, ETA, stragglers
+//! above the p95 completed duration) to stderr and optionally as
+//! `rtlb-heartbeat-v1` JSONL.
 
+use std::io::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use rtlb_core::{
     analyze_ctl, effective_threads, run_jobs, AnalysisError, AnalysisOptions, CancelToken,
     ResourceBound, SystemModel,
 };
-use rtlb_obs::{Json, NULL_PROBE};
+use rtlb_obs::{Json, Probe, NULL_PROBE};
 
 use crate::format;
 
 /// Schema tag emitted by [`BatchReport::to_json`].
 pub const BATCH_SCHEMA: &str = "rtlb-batch-v1";
+
+/// Schema tag of each heartbeat JSONL record.
+pub const HEARTBEAT_SCHEMA: &str = "rtlb-heartbeat-v1";
 
 /// Everything the batch driver accepts besides the target path.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -56,6 +73,18 @@ pub struct BatchOptions {
     /// Outcomes that do **not** fail the batch exit code. `ok` is always
     /// tolerated; listing it here is harmless.
     pub tolerate: Vec<OutcomeKind>,
+    /// Live progress reporting; `None` runs silently.
+    pub heartbeat: Option<HeartbeatOptions>,
+}
+
+/// Configuration of the live batch progress emitter.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HeartbeatOptions {
+    /// Seconds between heartbeat lines on stderr. `0` emits only the
+    /// final heartbeat (one line is always emitted when the batch ends).
+    pub interval_secs: u64,
+    /// Append each heartbeat as one `rtlb-heartbeat-v1` JSON line here.
+    pub out: Option<PathBuf>,
 }
 
 /// Classified result of analyzing one instance.
@@ -251,6 +280,273 @@ impl BatchReport {
     }
 }
 
+/// Position of `kind` in [`OUTCOME_KINDS`] (report order).
+fn kind_index(kind: OutcomeKind) -> usize {
+    OUTCOME_KINDS
+        .into_iter()
+        .position(|k| k == kind)
+        .expect("kind is in OUTCOME_KINDS")
+}
+
+/// The registry counter bumped once per instance with this outcome.
+fn outcome_counter(kind: OutcomeKind) -> &'static str {
+    match kind {
+        OutcomeKind::Ok => "batch.outcome.ok",
+        OutcomeKind::ParseError => "batch.outcome.parse_error",
+        OutcomeKind::Infeasible => "batch.outcome.infeasible",
+        OutcomeKind::Overflow => "batch.outcome.overflow",
+        OutcomeKind::Timeout => "batch.outcome.timeout",
+        OutcomeKind::Panicked => "batch.outcome.panicked",
+    }
+}
+
+/// Shared progress state the batch workers write and the heartbeat
+/// monitor reads. All updates are either atomic or behind short-lived
+/// mutexes, so the monitor never blocks an instance for long.
+struct Progress {
+    total: usize,
+    started: Instant,
+    done: AtomicUsize,
+    counts: [AtomicUsize; OUTCOME_KINDS.len()],
+    /// Durations of completed instances, in micros (unordered).
+    completed: Mutex<Vec<u64>>,
+    /// `(input index, start)` of instances currently being analyzed.
+    in_flight: Mutex<Vec<(usize, Instant)>>,
+}
+
+impl Progress {
+    fn new(total: usize) -> Progress {
+        Progress {
+            total,
+            started: Instant::now(),
+            done: AtomicUsize::new(0),
+            counts: Default::default(),
+            completed: Mutex::new(Vec::new()),
+            in_flight: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn begin(&self, job: usize) {
+        self.in_flight
+            .lock()
+            .expect("progress poisoned")
+            .push((job, Instant::now()));
+    }
+
+    fn finish(&self, job: usize, kind: OutcomeKind, micros: u64) {
+        {
+            let mut in_flight = self.in_flight.lock().expect("progress poisoned");
+            if let Some(pos) = in_flight.iter().position(|&(j, _)| j == job) {
+                in_flight.swap_remove(pos);
+            }
+        }
+        self.completed
+            .lock()
+            .expect("progress poisoned")
+            .push(micros);
+        self.counts[kind_index(kind)].fetch_add(1, Ordering::Relaxed);
+        self.done.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One consistent-enough reading of the progress state. `paths`
+    /// resolves in-flight job indices to instance names for the
+    /// straggler list.
+    fn snapshot(&self, paths: &[PathBuf]) -> HeartbeatRecord {
+        let elapsed_micros = u64::try_from(self.started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let done = self.done.load(Ordering::Relaxed);
+        let counts = OUTCOME_KINDS
+            .into_iter()
+            .map(|k| {
+                (
+                    k.label(),
+                    self.counts[kind_index(k)].load(Ordering::Relaxed),
+                )
+            })
+            .collect();
+        let mut durations = self.completed.lock().expect("progress poisoned").clone();
+        durations.sort_unstable();
+        let p95_micros = percentile_95(&durations);
+        let now = Instant::now();
+        let in_flight_elapsed: Vec<(usize, u64)> = self
+            .in_flight
+            .lock()
+            .expect("progress poisoned")
+            .iter()
+            .map(|&(job, start)| {
+                (
+                    job,
+                    u64::try_from(now.saturating_duration_since(start).as_micros())
+                        .unwrap_or(u64::MAX),
+                )
+            })
+            .collect();
+        // A straggler is an in-flight instance already running longer
+        // than 95% of the completed ones took in total.
+        let mut stragglers: Vec<String> = in_flight_elapsed
+            .iter()
+            .filter(|&&(_, elapsed)| p95_micros.is_some_and(|p95| elapsed > p95))
+            .map(|&(job, _)| paths[job].display().to_string())
+            .collect();
+        stragglers.sort();
+        let eta_micros = if done == 0 {
+            None
+        } else {
+            // remaining × mean duration, spread over what the pool ran
+            // concurrently so far (wall-based: done / elapsed).
+            let remaining = (self.total - done) as u64;
+            Some(remaining.saturating_mul(elapsed_micros) / done as u64)
+        };
+        HeartbeatRecord {
+            elapsed_micros,
+            done,
+            total: self.total,
+            counts,
+            in_flight: in_flight_elapsed.len(),
+            p95_micros,
+            eta_micros,
+            stragglers,
+        }
+    }
+}
+
+/// `p95` of an ascending-sorted slice (nearest-rank); `None` when empty.
+fn percentile_95(sorted: &[u64]) -> Option<u64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let rank = (sorted.len() * 95).div_ceil(100);
+    Some(sorted[rank.max(1) - 1])
+}
+
+/// One heartbeat: the batch's progress at a point in time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HeartbeatRecord {
+    /// Micros since the batch started.
+    pub elapsed_micros: u64,
+    /// Instances finished (any outcome).
+    pub done: usize,
+    /// Instances in the batch.
+    pub total: usize,
+    /// Finished count per outcome label, in report order.
+    pub counts: Vec<(&'static str, usize)>,
+    /// Instances currently being analyzed.
+    pub in_flight: usize,
+    /// p95 of completed instance durations, once anything completed.
+    pub p95_micros: Option<u64>,
+    /// Estimated micros until the batch finishes, once anything
+    /// completed.
+    pub eta_micros: Option<u64>,
+    /// In-flight instances already running longer than `p95_micros`.
+    pub stragglers: Vec<String>,
+}
+
+impl HeartbeatRecord {
+    /// The one-line stderr rendering.
+    pub fn render_line(&self) -> String {
+        use std::fmt::Write as _;
+        let mut line = format!("heartbeat {}/{} done", self.done, self.total);
+        let failures: Vec<String> = self
+            .counts
+            .iter()
+            .filter(|&&(label, n)| n > 0 && label != "ok")
+            .map(|&(label, n)| format!("{n} {label}"))
+            .collect();
+        if !failures.is_empty() {
+            let _ = write!(line, " ({})", failures.join(", "));
+        }
+        let _ = write!(line, ", {} in-flight", self.in_flight);
+        if let Some(per_milli) = (self.done as u64 * 1_000_000_000).checked_div(self.elapsed_micros)
+        {
+            let _ = write!(line, ", {}.{:03}/s", per_milli / 1000, per_milli % 1000);
+        }
+        if let Some(eta) = self.eta_micros {
+            let _ = write!(line, ", eta {:.1}s", eta as f64 / 1e6);
+        }
+        if !self.stragglers.is_empty() {
+            let _ = write!(line, ", stragglers: {}", self.stragglers.join(" "));
+        }
+        line
+    }
+
+    /// The `rtlb-heartbeat-v1` JSON record (one JSONL line when
+    /// rendered compactly).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::str(HEARTBEAT_SCHEMA)),
+            ("elapsed_micros", Json::Int(int(self.elapsed_micros))),
+            ("done", Json::Int(self.done as i64)),
+            ("total", Json::Int(self.total as i64)),
+            (
+                "counts",
+                Json::Obj(
+                    self.counts
+                        .iter()
+                        .map(|&(label, n)| (label.to_owned(), Json::Int(n as i64)))
+                        .collect(),
+                ),
+            ),
+            ("in_flight", Json::Int(self.in_flight as i64)),
+            (
+                "p95_micros",
+                self.p95_micros.map_or(Json::Null, |v| Json::Int(int(v))),
+            ),
+            (
+                "eta_micros",
+                self.eta_micros.map_or(Json::Null, |v| Json::Int(int(v))),
+            ),
+            (
+                "stragglers",
+                Json::Arr(self.stragglers.iter().map(Json::str).collect()),
+            ),
+        ])
+    }
+}
+
+/// Writes `contents` to `path` atomically: the bytes land in a sibling
+/// temp file first and are renamed into place, so a kill mid-write can
+/// never leave a truncated file at `path`.
+///
+/// # Errors
+///
+/// A human-readable message naming the failing path and OS error.
+pub fn write_atomic(path: &Path, contents: &str) -> Result<(), String> {
+    let mut tmp_name = path.file_name().unwrap_or_default().to_owned();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    std::fs::write(&tmp, contents).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path)
+        .map_err(|e| format!("cannot rename {} into place: {e}", tmp.display()))
+}
+
+/// Sink for heartbeat records: stderr always, plus the JSONL file when
+/// configured.
+struct HeartbeatSink {
+    out: Option<Mutex<std::fs::File>>,
+}
+
+impl HeartbeatSink {
+    fn open(options: &HeartbeatOptions) -> Result<HeartbeatSink, String> {
+        let out = match &options.out {
+            None => None,
+            Some(path) => {
+                Some(Mutex::new(std::fs::File::create(path).map_err(|e| {
+                    format!("cannot create {}: {e}", path.display())
+                })?))
+            }
+        };
+        Ok(HeartbeatSink { out })
+    }
+
+    fn emit(&self, record: &HeartbeatRecord) {
+        eprintln!("{}", record.render_line());
+        if let Some(file) = &self.out {
+            let mut file = file.lock().expect("heartbeat sink poisoned");
+            // Render compactly: one record per line is the JSONL contract.
+            let _ = writeln!(file, "{}", record.to_json().render());
+        }
+    }
+}
+
 /// Analyzes every instance under `target` (a directory scanned for
 /// `*.rtlb` files, or a manifest file listing one instance path per
 /// line, `#` comments allowed, relative to the manifest's directory).
@@ -268,6 +564,26 @@ impl BatchReport {
 /// the manifest cannot be read, or no instances were found. Per-instance
 /// failures are outcomes, not errors.
 pub fn run_batch(target: &Path, options: &BatchOptions) -> Result<BatchReport, String> {
+    run_batch_probed(target, options, &NULL_PROBE)
+}
+
+/// [`run_batch`] with a telemetry sink attached: every instance's
+/// pipeline reports into `probe`, and the driver itself adds the
+/// batch-level counters (`batch.instances`, `batch.workers`, one
+/// `batch.outcome.*` per instance) and observes each instance's
+/// duration into `batch.instance_micros`. The probe only observes —
+/// outcomes and bounds are bit-identical to [`run_batch`] with the
+/// default [`NULL_PROBE`].
+///
+/// # Errors
+///
+/// The [`run_batch`] driver-level errors, plus an unwritable
+/// heartbeat JSONL path.
+pub fn run_batch_probed(
+    target: &Path,
+    options: &BatchOptions,
+    probe: &dyn Probe,
+) -> Result<BatchReport, String> {
     let inputs = collect_instances(target)?;
     if inputs.is_empty() {
         return Err(format!("no .rtlb instances under {}", target.display()));
@@ -283,33 +599,74 @@ pub fn run_batch(target: &Path, options: &BatchOptions) -> Result<BatchReport, S
     }
     let timeout = options.timeout_ms.map(Duration::from_millis);
 
+    probe.add("batch.instances", inputs.len() as u64);
+    probe.add("batch.workers", workers as u64);
+
+    let sink = match &options.heartbeat {
+        Some(hb) => Some(HeartbeatSink::open(hb)?),
+        None => None,
+    };
+    let progress = Progress::new(inputs.len());
+    let stop = AtomicBool::new(false);
+
     let started = Instant::now();
-    let instances = run_jobs(&NULL_PROBE, workers, inputs.len(), |job| {
-        let path = &inputs[job];
-        let instance_start = Instant::now();
-        // The job boundary is the fault-isolation line: a panic anywhere
-        // in read/parse/analyze becomes a `panicked` outcome for this
-        // instance only.
-        let result = catch_unwind(AssertUnwindSafe(|| {
-            analyze_instance(path, per_instance, timeout)
-        }));
-        let micros = u64::try_from(instance_start.elapsed().as_micros()).unwrap_or(u64::MAX);
-        let (kind, detail, bounds) = match result {
-            Ok(outcome) => outcome,
-            Err(payload) => (
-                OutcomeKind::Panicked,
-                Some(panic_message(payload.as_ref())),
-                Vec::new(),
-            ),
-        };
-        InstanceOutcome {
-            path: path.clone(),
-            kind,
-            detail,
-            micros,
-            bounds,
+    let instances = std::thread::scope(|scope| {
+        // The monitor wakes in short slices so a finished batch never
+        // waits out a long interval before joining.
+        if let (Some(sink), Some(hb)) = (&sink, &options.heartbeat) {
+            if hb.interval_secs > 0 {
+                let interval = Duration::from_secs(hb.interval_secs);
+                let (progress, stop, inputs) = (&progress, &stop, &inputs);
+                scope.spawn(move || {
+                    let mut last = Instant::now();
+                    while !stop.load(Ordering::Relaxed) {
+                        std::thread::sleep(Duration::from_millis(25));
+                        if last.elapsed() >= interval {
+                            sink.emit(&progress.snapshot(inputs));
+                            last = Instant::now();
+                        }
+                    }
+                });
+            }
         }
+        let instances = run_jobs(&NULL_PROBE, workers, inputs.len(), |job| {
+            let path = &inputs[job];
+            progress.begin(job);
+            let instance_start = Instant::now();
+            // The job boundary is the fault-isolation line: a panic
+            // anywhere in read/parse/analyze becomes a `panicked`
+            // outcome for this instance only.
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                analyze_instance(path, per_instance, timeout, probe)
+            }));
+            let micros = u64::try_from(instance_start.elapsed().as_micros()).unwrap_or(u64::MAX);
+            let (kind, detail, bounds) = match result {
+                Ok(outcome) => outcome,
+                Err(payload) => (
+                    OutcomeKind::Panicked,
+                    Some(panic_message(payload.as_ref())),
+                    Vec::new(),
+                ),
+            };
+            progress.finish(job, kind, micros);
+            probe.add(outcome_counter(kind), 1);
+            probe.observe("batch.instance_micros", micros);
+            InstanceOutcome {
+                path: path.clone(),
+                kind,
+                detail,
+                micros,
+                bounds,
+            }
+        });
+        stop.store(true, Ordering::Relaxed);
+        instances
     });
+    // The final heartbeat is unconditional: even `--heartbeat` larger
+    // than the whole run emits at least this one complete line.
+    if let Some(sink) = &sink {
+        sink.emit(&progress.snapshot(&inputs));
+    }
     Ok(BatchReport {
         root: target.display().to_string(),
         instances,
@@ -323,6 +680,7 @@ fn analyze_instance(
     path: &Path,
     options: AnalysisOptions,
     timeout: Option<Duration>,
+    probe: &dyn Probe,
 ) -> (OutcomeKind, Option<String>, Vec<(String, ResourceBound)>) {
     let text = match std::fs::read_to_string(path) {
         Ok(text) => text,
@@ -342,13 +700,7 @@ fn analyze_instance(
         Some(limit) => CancelToken::with_timeout(limit),
         None => CancelToken::none(),
     };
-    match analyze_ctl(
-        &parsed.graph,
-        &SystemModel::shared(),
-        options,
-        &NULL_PROBE,
-        &ctl,
-    ) {
+    match analyze_ctl(&parsed.graph, &SystemModel::shared(), options, probe, &ctl) {
         Ok(analysis) => {
             let bounds = analysis
                 .bounds()
@@ -475,6 +827,103 @@ mod tests {
             0
         );
         assert_eq!(report.count(OutcomeKind::Ok), 1);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        assert_eq!(percentile_95(&[]), None);
+        assert_eq!(percentile_95(&[7]), Some(7));
+        assert_eq!(percentile_95(&[1, 2]), Some(2));
+        let twenty: Vec<u64> = (1..=20).collect();
+        assert_eq!(percentile_95(&twenty), Some(19));
+        let hundred: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_95(&hundred), Some(95));
+    }
+
+    #[test]
+    fn heartbeat_snapshot_counts_eta_and_stragglers() {
+        let paths: Vec<PathBuf> = (0..4)
+            .map(|i| PathBuf::from(format!("i{i}.rtlb")))
+            .collect();
+        let progress = Progress::new(4);
+        progress.begin(0);
+        progress.begin(1);
+        progress.begin(2);
+        progress.finish(0, OutcomeKind::Ok, 10);
+        progress.finish(1, OutcomeKind::ParseError, 30);
+        std::thread::sleep(Duration::from_millis(2));
+        let record = progress.snapshot(&paths);
+        assert_eq!((record.done, record.total, record.in_flight), (2, 4, 1));
+        assert_eq!(record.p95_micros, Some(30));
+        assert!(record.eta_micros.is_some());
+        assert!(record.counts.contains(&("ok", 1)));
+        assert!(record.counts.contains(&("parse-error", 1)));
+        // Job 2 has been in flight ~2ms > p95 of 30us: a straggler.
+        assert_eq!(record.stragglers, vec!["i2.rtlb".to_owned()]);
+        let line = record.render_line();
+        assert!(line.starts_with("heartbeat 2/4 done"), "{line}");
+        assert!(line.contains("1 parse-error"), "{line}");
+        assert!(line.contains("stragglers: i2.rtlb"), "{line}");
+        assert!(!line.contains("1 ok"), "ok is not a failure class: {line}");
+    }
+
+    #[test]
+    fn heartbeat_json_is_versioned_and_single_line() {
+        let progress = Progress::new(2);
+        progress.begin(0);
+        progress.finish(0, OutcomeKind::Ok, 5);
+        let record = progress.snapshot(&[PathBuf::from("a.rtlb"), PathBuf::from("b.rtlb")]);
+        let doc = record.to_json();
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some(HEARTBEAT_SCHEMA)
+        );
+        assert_eq!(doc.get("done").and_then(Json::as_int), Some(1));
+        assert_eq!(doc.get("total").and_then(Json::as_int), Some(2));
+        assert_eq!(
+            doc.get("counts").unwrap().get("ok").and_then(Json::as_int),
+            Some(1)
+        );
+        let line = doc.render();
+        assert!(!line.contains('\n'), "compact render is one JSONL line");
+        let reparsed = rtlb_obs::json::parse(&line).unwrap();
+        assert_eq!(reparsed, doc);
+    }
+
+    #[test]
+    fn empty_progress_has_no_eta_or_p95() {
+        let record = Progress::new(3).snapshot(&[]);
+        assert_eq!(record.done, 0);
+        assert_eq!(record.p95_micros, None);
+        assert_eq!(record.eta_micros, None);
+        assert!(record.stragglers.is_empty());
+        assert!(record.render_line().starts_with("heartbeat 0/3 done"));
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_leaves_no_temp() {
+        let dir = std::env::temp_dir().join(format!("rtlb-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.json");
+        write_atomic(&path, "first").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "first");
+        write_atomic(&path, "second").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        assert_eq!(leftovers, vec![std::ffi::OsString::from("report.json")]);
+        std::fs::remove_dir_all(&dir).unwrap();
+        assert!(write_atomic(&dir.join("missing/x.json"), "y").is_err());
+    }
+
+    #[test]
+    fn outcome_counters_are_distinct_per_kind() {
+        let names: std::collections::BTreeSet<_> =
+            OUTCOME_KINDS.into_iter().map(outcome_counter).collect();
+        assert_eq!(names.len(), OUTCOME_KINDS.len());
+        assert!(names.iter().all(|n| n.starts_with("batch.outcome.")));
     }
 
     #[test]

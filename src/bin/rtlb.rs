@@ -15,16 +15,20 @@
 //! followed by `rtlb analyze f.rtlb` reproduces the paper's numbers.
 
 use std::process::ExitCode;
+use std::time::Instant;
 
-use rtlb::batch::{run_batch, BatchOptions, OutcomeKind};
+use rtlb::batch::{run_batch_probed, write_atomic, BatchOptions, HeartbeatOptions, OutcomeKind};
 use rtlb::core::{
-    analyze_with, analyze_with_probe, build_run_report, render_analysis, render_dedicated_cost,
-    render_shared_cost, AnalysisOptions, AnalysisSession, CandidatePolicy, SweepStrategy,
-    SystemModel,
+    analyze_with, analyze_with_probe, build_run_report, effective_threads, render_analysis,
+    render_dedicated_cost, render_shared_cost, AnalysisOptions, AnalysisSession, CandidatePolicy,
+    SweepStrategy, SystemModel,
 };
 use rtlb::format::{parse, render};
 use rtlb::graph::to_dot;
-use rtlb::obs::{chrome_trace, Json, Recorder};
+use rtlb::obs::{
+    chrome_trace, prometheus_text, Json, MetricsRegistry, MetricsSnapshot, PhaseProfile, Probe,
+    Recorder, TeeProbe, METRICS_SCHEMA, NULL_PROBE,
+};
 use rtlb::scenario::{parse_scenarios, resolve};
 use rtlb::sched::{list_schedule, validate_schedule, Capacities};
 use rtlb::workloads::paper_example;
@@ -47,6 +51,8 @@ usage:
                                 (or listed one-per-line in a manifest file),
                                 isolating parse errors, infeasibility,
                                 overflows, timeouts, and panics per instance
+  rtlb check-metrics <file>     validate a file against the rtlb-metrics-v1
+                                schema (exit 0 iff it parses and validates)
   rtlb help | -h | --help       show this message
 
 analyze flags:
@@ -66,17 +72,31 @@ analyze flags:
                              normal output; json prints only the versioned
                              rtlb-report-v1 JSON document on stdout
   --trace-out=FILE           write a Chrome trace-event JSON file (open in
-                             chrome://tracing or https://ui.perfetto.dev)
+                             chrome://tracing or https://ui.perfetto.dev);
+                             counter increments appear as counter tracks
+
+telemetry flags (accepted by analyze, sweep-scenarios, and batch):
+  --profile                  print a per-phase wall-time breakdown (EST/LCT
+                             fixpoint, partitioning, sweep, cost bounds) to
+                             stderr, aggregated from the metrics registry;
+                             with --metrics=json the rtlb-report-v1 document
+                             gains a `profile` section
+  --metrics-out=FILE         write the aggregated rtlb-metrics-v1 JSON export
+                             (counters, gauges, log2-bucket histograms)
+                             atomically to FILE
+  --prom-out=FILE            write the same snapshot in Prometheus text
+                             exposition format atomically to FILE
 
 sweep-scenarios flags (plus --sweep=, --jobs=, --chunk=, --extended,
---no-partition):
+--no-partition, and the telemetry flags):
   --check                    re-analyze every scenario from scratch and fail
                              unless the incremental bounds, witnesses, and
                              interval counts are bit-identical (CI oracle)
   --json                     print only a versioned rtlb-scenarios-v1 JSON
                              report on stdout
 
-batch flags (plus --sweep=, --extended, --no-partition):
+batch flags (plus --sweep=, --extended, --no-partition, and the telemetry
+flags):
   --jobs=N                   batch worker threads, one instance per job;
                              0 = one per core (default: 0). With more than
                              one worker each instance sweeps serially
@@ -89,14 +109,27 @@ batch flags (plus --sweep=, --extended, --no-partition):
                              timeout panicked; exit 1 if any untolerated)
   --json                     print only a versioned rtlb-batch-v1 JSON
                              report on stdout
+  --out=FILE                 write the rtlb-batch-v1 JSON report atomically
+                             to FILE (temp file + rename; a kill mid-write
+                             never leaves a truncated report)
+  --heartbeat=SECS           emit live progress on stderr every SECS seconds
+                             (done/total, failure counts, throughput, ETA,
+                             stragglers past the p95 completed duration);
+                             a final heartbeat is always emitted
+  --heartbeat-out=FILE       also append each heartbeat to FILE as one
+                             rtlb-heartbeat-v1 JSON line (JSONL)
 
 examples:
   rtlb example > f.rtlb
   rtlb analyze f.rtlb
   rtlb analyze f.rtlb --jobs=0 --metrics=text
   rtlb analyze f.rtlb --metrics=json --trace-out=trace.json
+  rtlb analyze f.rtlb --metrics=json --profile --metrics-out=metrics.json
   rtlb sweep-scenarios examples/scenarios/sensor_sweep.rtlbs --check --json
   rtlb batch examples/batch --tolerate=infeasible --json
+  rtlb batch examples/batch --heartbeat=1 --heartbeat-out=hb.jsonl \\
+      --out=report.json --prom-out=metrics.prom
+  rtlb check-metrics metrics.json
 ";
 
 fn main() -> ExitCode {
@@ -118,6 +151,7 @@ fn main() -> ExitCode {
                 }
             }
         }
+        Some("check-metrics") => cmd_check_metrics(&args),
         Some("help" | "-h" | "--help") => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -162,12 +196,101 @@ enum MetricsMode {
     Json,
 }
 
+/// The registry-backed telemetry flags shared by `analyze`,
+/// `sweep-scenarios`, and `batch`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct TelemetryArgs {
+    /// Print the per-phase wall-time breakdown to stderr.
+    profile: bool,
+    /// Write the `rtlb-metrics-v1` JSON export here (atomically).
+    metrics_out: Option<String>,
+    /// Write the Prometheus text exposition here (atomically).
+    prom_out: Option<String>,
+}
+
+impl TelemetryArgs {
+    /// Whether any registry consumer was requested.
+    fn enabled(&self) -> bool {
+        self.profile || self.metrics_out.is_some() || self.prom_out.is_some()
+    }
+}
+
+/// Tries `flag` against the shared telemetry flags; `Ok(true)` means it
+/// was consumed.
+fn telemetry_flag(args: &mut TelemetryArgs, flag: &str) -> Result<bool, String> {
+    if flag == "--profile" {
+        args.profile = true;
+    } else if let Some(path) = flag.strip_prefix("--metrics-out=") {
+        if path.is_empty() {
+            return Err("--metrics-out needs a file path".to_owned());
+        }
+        args.metrics_out = Some(path.to_owned());
+    } else if let Some(path) = flag.strip_prefix("--prom-out=") {
+        if path.is_empty() {
+            return Err("--prom-out needs a file path".to_owned());
+        }
+        args.prom_out = Some(path.to_owned());
+    } else {
+        return Ok(false);
+    }
+    Ok(true)
+}
+
+/// Drains `registry` into its export sinks: the `rtlb-metrics-v1` JSON
+/// and Prometheus files (written atomically) and the stderr profile
+/// table. Returns the phase breakdown with `telemetry_micros` set to
+/// the time this function itself spent — the profiler profiles itself.
+fn export_telemetry(
+    registry: &MetricsRegistry,
+    telemetry: &TelemetryArgs,
+    workers: usize,
+) -> Result<Option<PhaseProfile>, String> {
+    if !telemetry.enabled() {
+        return Ok(None);
+    }
+    let started = Instant::now();
+    registry.gauge_set("pool.workers", workers as i64);
+    let snapshot = registry.snapshot();
+    let mut profile = PhaseProfile::from_snapshot(&snapshot);
+    if let Some(path) = &telemetry.metrics_out {
+        let mut doc = snapshot.to_json().pretty();
+        doc.push('\n');
+        write_atomic(std::path::Path::new(path), &doc)?;
+    }
+    if let Some(path) = &telemetry.prom_out {
+        write_atomic(std::path::Path::new(path), &prometheus_text(&snapshot))?;
+    }
+    profile.telemetry_micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    if telemetry.profile {
+        eprint!("{}", profile.render_text());
+    }
+    Ok(Some(profile))
+}
+
+fn cmd_check_metrics(args: &[String]) -> Result<(), String> {
+    if args.len() < 2 {
+        return Err("`check-metrics` needs a file argument".to_owned());
+    }
+    let path = &args[1];
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = rtlb::obs::json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    let snapshot = MetricsSnapshot::from_json(&doc).map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "{path}: valid {METRICS_SCHEMA} ({} counters, {} gauges, {} histograms)",
+        snapshot.counters.len(),
+        snapshot.gauges.len(),
+        snapshot.histograms.len()
+    );
+    Ok(())
+}
+
 /// Everything `rtlb analyze` accepts after the file argument.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 struct AnalyzeArgs {
     options: AnalysisOptions,
     metrics: MetricsMode,
     trace_out: Option<String>,
+    telemetry: TelemetryArgs,
 }
 
 /// Parses `analyze` flags (everything after the file argument).
@@ -208,6 +331,8 @@ fn analyze_options(flags: &[String]) -> Result<AnalyzeArgs, String> {
                 return Err("--trace-out needs a file path".to_owned());
             }
             args.trace_out = Some(path.to_owned());
+        } else if telemetry_flag(&mut args.telemetry, flag)? {
+            // consumed by the shared telemetry flags
         } else {
             return Err(format!("unknown flag `{flag}` (see `rtlb --help`)"));
         }
@@ -220,11 +345,17 @@ fn cmd_analyze(parsed: &rtlb::format::ParsedSystem, args: &[String]) -> Result<(
         options,
         metrics,
         trace_out,
+        telemetry,
     } = analyze_options(&args[2..])?;
     let recorder = Recorder::new();
+    let registry = MetricsRegistry::new();
+    let tee = TeeProbe::new(&recorder, &registry);
+    // One probe feeds both sinks; without telemetry flags the recorder
+    // runs alone as before.
+    let probe: &dyn Probe = if telemetry.enabled() { &tee } else { &recorder };
     let quiet = metrics == MetricsMode::Json;
 
-    let analysis = analyze_with_probe(&parsed.graph, &SystemModel::shared(), options, &recorder)
+    let analysis = analyze_with_probe(&parsed.graph, &SystemModel::shared(), options, probe)
         .map_err(|e| e.to_string())?;
     if !quiet {
         print!("{}", render_analysis(&parsed.graph, &analysis));
@@ -232,7 +363,7 @@ fn cmd_analyze(parsed: &rtlb::format::ParsedSystem, args: &[String]) -> Result<(
 
     let mut shared_total = None;
     if let Some(shared) = &parsed.shared_costs {
-        match analysis.shared_cost_probed(shared, &recorder) {
+        match analysis.shared_cost_probed(shared, probe) {
             Ok(cost) => {
                 shared_total = Some(cost.total);
                 if !quiet {
@@ -249,7 +380,7 @@ fn cmd_analyze(parsed: &rtlb::format::ParsedSystem, args: &[String]) -> Result<(
     }
     let mut dedicated_total = None;
     if let Some(model) = &parsed.node_types {
-        match analysis.dedicated_cost_probed(&parsed.graph, model, &recorder) {
+        match analysis.dedicated_cost_probed(&parsed.graph, model, probe) {
             Ok(cost) => {
                 dedicated_total = Some(cost.total);
                 if !quiet {
@@ -265,6 +396,12 @@ fn cmd_analyze(parsed: &rtlb::format::ParsedSystem, args: &[String]) -> Result<(
         }
     }
 
+    let profile = export_telemetry(
+        &registry,
+        &telemetry,
+        effective_threads(options.parallelism),
+    )?;
+
     if metrics == MetricsMode::Off && trace_out.is_none() {
         return Ok(());
     }
@@ -277,6 +414,7 @@ fn cmd_analyze(parsed: &rtlb::format::ParsedSystem, args: &[String]) -> Result<(
         let mut report = build_run_report(&args[1], &parsed.graph, options, &analysis, &snapshot);
         report.shared_cost = shared_total;
         report.dedicated_cost = dedicated_total;
+        report.profile = profile;
         match metrics {
             MetricsMode::Json => println!("{}", report.to_json().pretty()),
             MetricsMode::Text => print!("\n== Metrics ==\n{}", report.render_text()),
@@ -292,6 +430,7 @@ struct ScenarioArgs {
     options: AnalysisOptions,
     check: bool,
     json: bool,
+    telemetry: TelemetryArgs,
 }
 
 /// Parses `sweep-scenarios` flags (everything after the file argument).
@@ -320,6 +459,8 @@ fn scenario_options(flags: &[String]) -> Result<ScenarioArgs, String> {
             args.check = true;
         } else if flag == "--json" {
             args.json = true;
+        } else if telemetry_flag(&mut args.telemetry, flag)? {
+            // consumed by the shared telemetry flags
         } else {
             return Err(format!("unknown flag `{flag}` (see `rtlb --help`)"));
         }
@@ -356,12 +497,21 @@ fn cmd_sweep_scenarios(args: &[String]) -> Result<(), String> {
             "scenario", "recomputed", "resweeped", "reused", "micros"
         );
     }
+    // One registry aggregates across every scenario; each scenario
+    // still gets its own recorder for the per-apply timing column.
+    let registry = MetricsRegistry::new();
     let mut rows: Vec<Json> = Vec::new();
     for scenario in &file.scenarios {
         let deltas =
             resolve(scenario, session.graph()).map_err(|e| format!("scenario file: {e}"))?;
         let recorder = Recorder::new();
-        let outcome = session.apply_probed(&deltas, &recorder);
+        let tee = TeeProbe::new(&recorder, &registry);
+        let probe: &dyn Probe = if opts.telemetry.enabled() {
+            &tee
+        } else {
+            &recorder
+        };
+        let outcome = session.apply_probed(&deltas, probe);
         let metrics = recorder.take_metrics();
         let micros = metrics.total_micros("session.apply");
         match outcome {
@@ -449,6 +599,11 @@ fn cmd_sweep_scenarios(args: &[String]) -> Result<(), String> {
             }
         }
     }
+    export_telemetry(
+        &registry,
+        &opts.telemetry,
+        effective_threads(opts.options.parallelism),
+    )?;
     if opts.json {
         let doc = Json::obj([
             ("schema", Json::str("rtlb-scenarios-v1")),
@@ -467,6 +622,8 @@ fn cmd_sweep_scenarios(args: &[String]) -> Result<(), String> {
 struct BatchArgs {
     options: BatchOptions,
     json: bool,
+    out: Option<String>,
+    telemetry: TelemetryArgs,
 }
 
 /// Parses `batch` flags (everything after the directory/manifest).
@@ -502,6 +659,29 @@ fn batch_options(flags: &[String]) -> Result<BatchArgs, String> {
             }
         } else if flag == "--json" {
             args.json = true;
+        } else if let Some(path) = flag.strip_prefix("--out=") {
+            if path.is_empty() {
+                return Err("--out needs a file path".to_owned());
+            }
+            args.out = Some(path.to_owned());
+        } else if let Some(secs) = flag.strip_prefix("--heartbeat=") {
+            let interval_secs = secs
+                .parse()
+                .map_err(|_| format!("invalid heartbeat interval `{secs}`"))?;
+            args.options
+                .heartbeat
+                .get_or_insert_with(HeartbeatOptions::default)
+                .interval_secs = interval_secs;
+        } else if let Some(path) = flag.strip_prefix("--heartbeat-out=") {
+            if path.is_empty() {
+                return Err("--heartbeat-out needs a file path".to_owned());
+            }
+            args.options
+                .heartbeat
+                .get_or_insert_with(HeartbeatOptions::default)
+                .out = Some(path.into());
+        } else if telemetry_flag(&mut args.telemetry, flag)? {
+            // consumed by the shared telemetry flags
         } else {
             return Err(format!("unknown flag `{flag}` (see `rtlb --help`)"));
         }
@@ -513,8 +693,25 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
     if args.len() < 2 {
         return Err("`batch` needs a directory or manifest argument".to_owned());
     }
-    let BatchArgs { options, json } = batch_options(&args[2..])?;
-    let report = run_batch(std::path::Path::new(&args[1]), &options)?;
+    let BatchArgs {
+        options,
+        json,
+        out,
+        telemetry,
+    } = batch_options(&args[2..])?;
+    let registry = MetricsRegistry::new();
+    let probe: &dyn Probe = if telemetry.enabled() {
+        &registry
+    } else {
+        &NULL_PROBE
+    };
+    let report = run_batch_probed(std::path::Path::new(&args[1]), &options, probe)?;
+    export_telemetry(&registry, &telemetry, effective_threads(options.jobs))?;
+    if let Some(path) = &out {
+        let mut doc = report.to_json().pretty();
+        doc.push('\n');
+        write_atomic(std::path::Path::new(path), &doc)?;
+    }
     if json {
         println!("{}", report.to_json().pretty());
     } else {
@@ -603,6 +800,9 @@ mod tests {
             "--no-partition",
             "--metrics=json",
             "--trace-out=t.json",
+            "--profile",
+            "--metrics-out=m.json",
+            "--prom-out=m.prom",
         ]))
         .unwrap();
         assert_eq!(args.options.sweep, SweepStrategy::Naive);
@@ -612,6 +812,41 @@ mod tests {
         assert!(!args.options.partitioning);
         assert_eq!(args.metrics, MetricsMode::Json);
         assert_eq!(args.trace_out.as_deref(), Some("t.json"));
+        assert!(args.telemetry.profile);
+        assert_eq!(args.telemetry.metrics_out.as_deref(), Some("m.json"));
+        assert_eq!(args.telemetry.prom_out.as_deref(), Some("m.prom"));
+        assert!(args.telemetry.enabled());
+    }
+
+    #[test]
+    fn telemetry_defaults_off_and_rejects_empty_paths() {
+        let args = analyze_options(&[]).unwrap();
+        assert!(!args.telemetry.enabled());
+        let err = analyze_options(&flags(&["--metrics-out="])).unwrap_err();
+        assert!(err.contains("--metrics-out"), "{err}");
+        let err = scenario_options(&flags(&["--prom-out="])).unwrap_err();
+        assert!(err.contains("--prom-out"), "{err}");
+        // The shared flags parse identically on all three subcommands.
+        assert!(
+            scenario_options(&flags(&["--profile"]))
+                .unwrap()
+                .telemetry
+                .profile
+        );
+        assert!(
+            batch_options(&flags(&["--profile"]))
+                .unwrap()
+                .telemetry
+                .profile
+        );
+        assert_eq!(
+            batch_options(&flags(&["--metrics-out=x.json"]))
+                .unwrap()
+                .telemetry
+                .metrics_out
+                .as_deref(),
+            Some("x.json")
+        );
     }
 
     #[test]
@@ -719,6 +954,9 @@ mod tests {
             "--timeout-ms=250",
             "--tolerate=infeasible,timeout",
             "--json",
+            "--out=report.json",
+            "--heartbeat=2",
+            "--heartbeat-out=hb.jsonl",
         ]))
         .unwrap();
         assert_eq!(args.options.analysis.sweep, SweepStrategy::Naive);
@@ -731,6 +969,29 @@ mod tests {
             vec![OutcomeKind::Infeasible, OutcomeKind::Timeout]
         );
         assert!(args.json);
+        assert_eq!(args.out.as_deref(), Some("report.json"));
+        let hb = args.options.heartbeat.as_ref().unwrap();
+        assert_eq!(hb.interval_secs, 2);
+        assert_eq!(hb.out.as_deref(), Some(std::path::Path::new("hb.jsonl")));
+    }
+
+    #[test]
+    fn heartbeat_flags_combine_in_any_order() {
+        // --heartbeat-out alone still arms the (final) heartbeat.
+        let args = batch_options(&flags(&["--heartbeat-out=hb.jsonl"])).unwrap();
+        let hb = args.options.heartbeat.as_ref().unwrap();
+        assert_eq!(hb.interval_secs, 0);
+        assert!(hb.out.is_some());
+        let args = batch_options(&flags(&["--heartbeat-out=hb.jsonl", "--heartbeat=3"])).unwrap();
+        let hb = args.options.heartbeat.as_ref().unwrap();
+        assert_eq!(hb.interval_secs, 3);
+        assert!(hb.out.is_some());
+        let err = batch_options(&flags(&["--heartbeat=soon"])).unwrap_err();
+        assert!(err.contains("invalid heartbeat interval"), "{err}");
+        let err = batch_options(&flags(&["--heartbeat-out="])).unwrap_err();
+        assert!(err.contains("--heartbeat-out"), "{err}");
+        let err = batch_options(&flags(&["--out="])).unwrap_err();
+        assert!(err.contains("--out"), "{err}");
     }
 
     #[test]
@@ -757,6 +1018,23 @@ mod tests {
             "--timeout-ms=",
             "--tolerate=",
             "rtlb-batch-v1",
+            "--out=",
+            "--heartbeat=",
+            "--heartbeat-out=",
+        ] {
+            assert!(USAGE.contains(needle), "usage is missing {needle}");
+        }
+    }
+
+    #[test]
+    fn usage_mentions_the_telemetry_surface() {
+        for needle in [
+            "--profile",
+            "--metrics-out=",
+            "--prom-out=",
+            "rtlb-metrics-v1",
+            "rtlb-heartbeat-v1",
+            "check-metrics",
         ] {
             assert!(USAGE.contains(needle), "usage is missing {needle}");
         }

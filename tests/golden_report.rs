@@ -12,7 +12,7 @@
 //! and explain the drift in the commit message.
 
 use rtlb::core::{analyze_with_probe, build_run_report, AnalysisOptions, SystemModel};
-use rtlb::obs::{Recorder, REPORT_SCHEMA};
+use rtlb::obs::{MetricsRegistry, MetricsSnapshot, Recorder, METRICS_SCHEMA, REPORT_SCHEMA};
 
 /// Builds the normalized report JSON for one shipped instance under
 /// default options (serial sweep, so span counts are deterministic).
@@ -90,6 +90,63 @@ fn check(name: &str) {
     );
 }
 
+/// Builds the normalized `rtlb-metrics-v1` JSON for one shipped
+/// instance: the full pipeline (analysis plus both step-4 cost passes)
+/// run against a [`MetricsRegistry`] probe, snapshotted and normalized
+/// so only deterministic data values and span counts remain.
+fn normalized_metrics(name: &str) -> String {
+    let path = format!(
+        "{}/examples/instances/{name}.rtlb",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    let parsed = rtlb::format::parse(&text).unwrap_or_else(|e| panic!("{path}: {e}"));
+
+    let options = AnalysisOptions::default();
+    let registry = MetricsRegistry::new();
+    let analysis = analyze_with_probe(&parsed.graph, &SystemModel::shared(), options, &registry)
+        .expect("shipped instances analyze");
+    if let Some(m) = parsed.shared_costs.as_ref() {
+        analysis.shared_cost_probed(m, &registry).unwrap();
+    }
+    if let Some(m) = parsed.node_types.as_ref() {
+        analysis
+            .dedicated_cost_probed(&parsed.graph, m, &registry)
+            .unwrap();
+    }
+
+    let mut snapshot = registry.snapshot();
+    snapshot.normalize();
+    snapshot.to_json().pretty() + "\n"
+}
+
+fn check_metrics(name: &str) {
+    let actual = normalized_metrics(name);
+
+    // The export must satisfy its own validating parser before any
+    // golden comparison, so a malformed document names the rule it
+    // broke instead of producing a wall-of-JSON diff.
+    let doc = rtlb::obs::json::parse(&actual).expect("metrics export is valid JSON");
+    assert_eq!(doc.get("schema").unwrap().as_str(), Some(METRICS_SCHEMA));
+    MetricsSnapshot::from_json(&doc)
+        .unwrap_or_else(|e| panic!("{name}: metrics export rejected by its own parser: {e}"));
+
+    let golden_path = format!(
+        "{}/tests/golden/{name}.metrics.json",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(&golden_path, &actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&golden_path)
+        .unwrap_or_else(|e| panic!("{golden_path}: {e} (run with BLESS=1 to create)"));
+    assert_eq!(
+        actual, expected,
+        "{name}: normalized metrics drifted from {golden_path}"
+    );
+}
+
 #[test]
 fn paper_fig7_report_golden() {
     check("paper_fig7");
@@ -98,6 +155,16 @@ fn paper_fig7_report_golden() {
 #[test]
 fn sensor_fusion_report_golden() {
     check("sensor_fusion");
+}
+
+#[test]
+fn paper_fig7_metrics_golden() {
+    check_metrics("paper_fig7");
+}
+
+#[test]
+fn sensor_fusion_metrics_golden() {
+    check_metrics("sensor_fusion");
 }
 
 /// The pinned counters, asserted directly so a drift names the counter

@@ -15,7 +15,7 @@ use rtlb::core::{
     SystemModel,
 };
 use rtlb::graph::{Catalog, Dur, TaskGraph, TaskGraphBuilder, TaskSpec, Time};
-use rtlb::obs::Recorder;
+use rtlb::obs::{MetricsRegistry, Recorder};
 use rtlb::workloads::{chain, fork_join, independent_tasks, layered, LayeredConfig};
 
 const POLICIES: [CandidatePolicy; 2] = [CandidatePolicy::EstLct, CandidatePolicy::Extended];
@@ -261,12 +261,13 @@ proptest! {
         prop_assert_eq!(serial, parallel);
     }
 
-    /// Attaching a [`Recorder`] must not perturb any computed result:
-    /// bounds, witnesses, and partition blocks are bit-identical to the
-    /// default null-probe run, at any thread count. And since the probe
-    /// only observes, the naive and incremental strategies must report
-    /// the same `sweep.pairs_offered` count (they examine the same
-    /// candidate pairs by construction).
+    /// Attaching a [`Recorder`] or a [`MetricsRegistry`] must not
+    /// perturb any computed result: bounds, witnesses, and partition
+    /// blocks are bit-identical to the default null-probe run, at any
+    /// thread count. And since the probes only observe, the naive and
+    /// incremental strategies must report the same `sweep.pairs_offered`
+    /// count (they examine the same candidate pairs by construction),
+    /// and both sinks must agree on it.
     #[test]
     fn recorder_attached_run_is_bit_identical(
         seed in 0u64..1_000_000,
@@ -303,6 +304,18 @@ proptest! {
             pairs_offered[0], pairs_offered[1],
             "strategies must offer the same candidate pairs"
         );
+
+        // The sharded registry is the second probe implementation; it
+        // must be just as invisible, and its merged snapshot must agree
+        // with the recorder on the offered-pair count.
+        let registry = MetricsRegistry::new();
+        let probed =
+            analyze_with_probe(&graph, &model, options(SweepStrategy::Incremental), &registry)
+                .unwrap();
+        prop_assert_eq!(plain.bounds(), probed.bounds());
+        prop_assert_eq!(plain.partitions(), probed.partitions());
+        let snapshot = registry.snapshot();
+        prop_assert_eq!(snapshot.counter("sweep.pairs_offered"), pairs_offered[0]);
     }
 }
 
