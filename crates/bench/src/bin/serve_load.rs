@@ -1,0 +1,116 @@
+//! E16 — daemon load study: sustained request throughput and tail
+//! latency of `rtlb serve` under concurrent clients, for the two
+//! workload shapes the service exists for.
+//!
+//! An in-process daemon (sized so admission control never skews the
+//! measurement) is driven by 4 concurrent clients over loopback TCP:
+//!
+//! * **one-shot** — every request re-sends the full instance text and
+//!   pays parse + full pipeline;
+//! * **delta-stream** — each client opens a session once and streams
+//!   single-task edits, paying only the incremental re-sweep.
+//!
+//! On a few-hundred-task instance the delta-stream workload must beat
+//! one-shot on throughput — that is the session pool earning its keep;
+//! the binary exits non-zero if it does not.
+//!
+//! ```sh
+//! cargo run --release -p rtlb-bench --bin serve_load
+//! ```
+
+use rtlb_bench::{write_bench_json, TextTable};
+use rtlb_obs::Json;
+use rtlb_serve::{run_load, serve, LoadConfig, ServeConfig, Workload};
+use rtlb_workloads::framed_tasks;
+
+const FRAMES: usize = 100;
+const PER_FRAME: usize = 4;
+const CLIENTS: usize = 4;
+const REQUESTS_PER_CLIENT: usize = 25;
+
+fn main() {
+    let tasks = FRAMES * PER_FRAME;
+    println!("E16: daemon load study ({tasks} tasks, {CLIENTS} clients)\n");
+    let graph = framed_tasks(FRAMES, PER_FRAME, 42);
+    let instance = rtlb_format::render(&graph, None, None);
+
+    let server = serve(ServeConfig {
+        max_sessions: CLIENTS.max(4),
+        max_inflight: CLIENTS.max(4),
+        ..ServeConfig::default()
+    })
+    .expect("loopback daemon binds");
+    let addr = server.addr().to_string();
+    let config = LoadConfig {
+        clients: CLIENTS,
+        requests_per_client: REQUESTS_PER_CLIENT,
+        ..LoadConfig::default()
+    };
+
+    let mut table = TextTable::new(["workload", "requests", "ok", "req/s", "p50 us", "p99 us"]);
+    let mut runs = Vec::new();
+    let mut throughput = std::collections::BTreeMap::new();
+    for workload in [Workload::OneShot, Workload::DeltaStream] {
+        let report = run_load(&addr, &instance, workload, &config).expect("load run completes");
+        assert_eq!(
+            report.ok,
+            report.requests,
+            "{}: every request must succeed under a right-sized daemon",
+            workload.label()
+        );
+        table.row(&[
+            workload.label().to_owned(),
+            report.requests.to_string(),
+            report.ok.to_string(),
+            format!(
+                "{}.{:03}",
+                report.throughput_milli / 1000,
+                report.throughput_milli % 1000
+            ),
+            report.p50_micros.to_string(),
+            report.p99_micros.to_string(),
+        ]);
+        throughput.insert(workload.label(), report.throughput_milli);
+        runs.push(report.to_json());
+    }
+    server.shutdown();
+    print!("{}", table.render());
+
+    let oneshot = throughput[Workload::OneShot.label()];
+    let delta = throughput[Workload::DeltaStream.label()];
+    let delta_beats_oneshot = delta > oneshot;
+    println!(
+        "\ndelta-stream vs one-shot: {}.{:03}x",
+        delta / oneshot.max(1),
+        (delta * 1000 / oneshot.max(1)) % 1000
+    );
+
+    let path = write_bench_json(
+        "BENCH_serve.json",
+        "serve",
+        vec![
+            (
+                "instance".to_owned(),
+                Json::str(format!("framed_tasks({FRAMES}, {PER_FRAME}, 42)")),
+            ),
+            ("tasks".to_owned(), Json::Int(tasks as i64)),
+            ("clients".to_owned(), Json::Int(CLIENTS as i64)),
+            (
+                "requests_per_client".to_owned(),
+                Json::Int(REQUESTS_PER_CLIENT as i64),
+            ),
+            ("runs".to_owned(), Json::Arr(runs)),
+            (
+                "delta_beats_oneshot".to_owned(),
+                Json::Bool(delta_beats_oneshot),
+            ),
+        ],
+    )
+    .expect("artifact writes");
+    println!("wrote {}", path.display());
+
+    assert!(
+        delta_beats_oneshot,
+        "delta-stream ({delta} milli-req/s) must beat one-shot ({oneshot} milli-req/s)"
+    );
+}

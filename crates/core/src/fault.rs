@@ -1,0 +1,131 @@
+//! The failure taxonomy shared by every fault-isolating driver.
+//!
+//! The batch driver (`rtlb batch`) and the serving daemon (`rtlb serve`)
+//! both run analyses on behalf of many independent callers and must
+//! classify every way one analysis can go wrong without taking down its
+//! siblings. They share this taxonomy: each unit of work ends in exactly
+//! one [`OutcomeKind`], derived from the pipeline's [`AnalysisError`] by
+//! [`classify`] (plus `ParseError` for inputs that never reached the
+//! pipeline and `Panicked` for payloads caught at a
+//! [`std::panic::catch_unwind`] boundary, printable via
+//! [`panic_message`]).
+//!
+//! The stable string [`label`](OutcomeKind::label)s appear in
+//! `rtlb-batch-v1` reports, `--tolerate=` lists, heartbeat records, and
+//! `rtlb-rpc-v1` error codes, so drivers agree on what "timeout" means
+//! end to end.
+
+use crate::error::AnalysisError;
+
+/// Classified result of analyzing one unit of work (a batch instance, an
+/// RPC request).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OutcomeKind {
+    /// The analysis completed; bounds are reported.
+    Ok,
+    /// The input could not be read or did not parse.
+    ParseError,
+    /// The constraints are unsatisfiable (or a task is unhostable).
+    Infeasible,
+    /// A bound or intermediate quantity escaped its representable range,
+    /// or a solver reported a defective value.
+    Overflow,
+    /// The deadline expired before the analysis finished.
+    Timeout,
+    /// The analysis panicked; the payload is in the outcome detail.
+    Panicked,
+}
+
+/// Every kind, in report order.
+pub const OUTCOME_KINDS: [OutcomeKind; 6] = [
+    OutcomeKind::Ok,
+    OutcomeKind::ParseError,
+    OutcomeKind::Infeasible,
+    OutcomeKind::Overflow,
+    OutcomeKind::Timeout,
+    OutcomeKind::Panicked,
+];
+
+impl OutcomeKind {
+    /// The stable label used in reports, `--tolerate=` lists, and RPC
+    /// error codes.
+    pub fn label(self) -> &'static str {
+        match self {
+            OutcomeKind::Ok => "ok",
+            OutcomeKind::ParseError => "parse-error",
+            OutcomeKind::Infeasible => "infeasible",
+            OutcomeKind::Overflow => "overflow",
+            OutcomeKind::Timeout => "timeout",
+            OutcomeKind::Panicked => "panicked",
+        }
+    }
+
+    /// Parses a [`label`](OutcomeKind::label) back into a kind.
+    pub fn from_label(label: &str) -> Option<OutcomeKind> {
+        OUTCOME_KINDS.into_iter().find(|k| k.label() == label)
+    }
+}
+
+/// Maps a pipeline error to its outcome class. `Deadline` is a timeout;
+/// unsatisfiable constraints are `infeasible`; every numeric or solver
+/// defect (overflowed bound, non-integral cost) is `overflow`.
+pub fn classify(e: &AnalysisError) -> OutcomeKind {
+    match e {
+        AnalysisError::Deadline => OutcomeKind::Timeout,
+        AnalysisError::Infeasible { .. } | AnalysisError::UnhostableTask(_) => {
+            OutcomeKind::Infeasible
+        }
+        _ => OutcomeKind::Overflow,
+    }
+}
+
+/// Extracts a printable message from a caught panic payload.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "(non-string panic payload)".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        for kind in OUTCOME_KINDS {
+            assert_eq!(OutcomeKind::from_label(kind.label()), Some(kind));
+        }
+        assert_eq!(OutcomeKind::from_label("exploded"), None);
+    }
+
+    #[test]
+    fn classification_covers_the_contract() {
+        assert_eq!(classify(&AnalysisError::Deadline), OutcomeKind::Timeout);
+        assert_eq!(
+            classify(&AnalysisError::UnhostableTask("t".into())),
+            OutcomeKind::Infeasible
+        );
+        assert_eq!(
+            classify(&AnalysisError::BoundOverflow { detail: "x".into() }),
+            OutcomeKind::Overflow
+        );
+        assert_eq!(
+            classify(&AnalysisError::CostNotIntegral { detail: "x".into() }),
+            OutcomeKind::Overflow
+        );
+    }
+
+    #[test]
+    fn panic_payloads_are_printable() {
+        let caught =
+            std::panic::catch_unwind(|| panic!("boom {n}", n = 7)).expect_err("must panic");
+        assert_eq!(panic_message(caught.as_ref()), "boom 7");
+        let caught =
+            std::panic::catch_unwind(|| std::panic::panic_any(42_u32)).expect_err("must panic");
+        assert_eq!(panic_message(caught.as_ref()), "(non-string panic payload)");
+    }
+}

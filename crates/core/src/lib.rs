@@ -64,6 +64,7 @@ mod cost;
 mod error;
 mod estlct;
 mod exec;
+mod fault;
 mod merge;
 mod metrics;
 mod model;
@@ -89,6 +90,7 @@ pub use estlct::{
     MergeDecision, MergeStep, TaskTrace, TaskWindow, TimingAnalysis, TimingTrace,
 };
 pub use exec::{effective_threads, run_jobs};
+pub use fault::{classify, panic_message, OutcomeKind, OUTCOME_KINDS};
 pub use merge::{mergeable, MergeSet};
 pub use metrics::{build_run_report, options_as_json};
 pub use model::{DedicatedModel, NodeType, NodeTypeId, SharedModel, SystemModel};

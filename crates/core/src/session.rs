@@ -442,6 +442,18 @@ impl AnalysisSession {
         self.bound_for(r).map_or(0, |b| b.bound)
     }
 
+    /// Consumes the session and hands back the (possibly edited) graph.
+    ///
+    /// This is the pool-eviction path of `rtlb serve`: an evicted session
+    /// drops its sweep caches but the instance itself survives, so a
+    /// later reopen re-analyzes the same graph from scratch — and, because
+    /// [`AnalysisSession::new`] and [`apply`](AnalysisSession::apply) are
+    /// bit-identical to a fresh [`crate::analyze_with`], produces the same
+    /// bounds the resident session would have reported.
+    pub fn into_graph(self) -> TaskGraph {
+        self.graph
+    }
+
     /// Whether a failed apply left dirt that the next successful apply
     /// will have to consume. While true, the sweep state reflects the
     /// last *successfully analyzed* instance, not the current graph.

@@ -1,0 +1,30 @@
+//! Text formats for the `rtlb` workspace.
+//!
+//! Two line-oriented, `#`-commented formats live here, shared by the CLI,
+//! the batch driver, and the `rtlb serve` daemon (which receives instance
+//! text and edit lines over the wire and must parse them with exactly the
+//! same rules as the offline tools):
+//!
+//! * [`instance`] — the `.rtlb` application format: processors, resources,
+//!   tasks, edges, optional shared-cost prices and dedicated node types.
+//!   [`instance::parse`] produces a [`instance::ParsedSystem`];
+//!   [`instance::render`] writes one back out.
+//! * [`scenario`] — the `.rtlbs` sweep format: a base instance plus named
+//!   batches of edits ([`scenario::parse_scenarios`]), resolved against a
+//!   built graph into ready-to-apply [`rtlb_core::Delta`] batches by
+//!   [`scenario::resolve`]. [`scenario::parse_edit_line`] parses one
+//!   freestanding edit line — the unit the RPC `delta` request carries.
+//!
+//! Both parsers are pure (no IO) and report 1-based line numbers in their
+//! [`instance::ParseError`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod instance;
+pub mod scenario;
+
+pub use instance::{parse, render, ParseError, ParsedSystem};
+pub use scenario::{
+    parse_edit_line, parse_scenarios, resolve, resolve_edits, Scenario, ScenarioEdit, ScenarioFile,
+};

@@ -1,6 +1,6 @@
 //! A plain-text format for scenario sweeps.
 //!
-//! A scenario file names a base instance (in the [`crate::format`] text
+//! A scenario file names a base instance (in the [`crate::instance`] text
 //! format) and a list of named scenarios, each a batch of edits applied
 //! to the instance. Scenarios are **cumulative**: the `rtlb
 //! sweep-scenarios` command feeds them, in file order, to one
@@ -33,7 +33,7 @@ use std::fmt;
 use rtlb_core::Delta;
 use rtlb_graph::{Dur, ExecutionMode, TaskGraph, Time};
 
-use crate::format::{fields, parse_i64, ParseError};
+use crate::instance::{fields, parse_i64, ParseError};
 
 /// One unresolved, name-based edit line.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -149,6 +149,25 @@ pub fn parse_scenarios(input: &str) -> Result<ScenarioFile, ParseError> {
     Ok(ScenarioFile { base, scenarios })
 }
 
+/// Parses one freestanding edit line (`set ...`, `message ...`, or
+/// `demand ...`, exactly as it would appear inside a scenario block) into
+/// its [`ScenarioEdit`]s. `line` is reported in errors; wire protocols
+/// that carry edits one-per-element pass the element's position.
+///
+/// # Errors
+///
+/// [`ParseError`] on an empty line, an unknown directive, or a malformed
+/// field — the same rules as [`parse_scenarios`].
+pub fn parse_edit_line(text: &str, line: usize) -> Result<Vec<ScenarioEdit>, ParseError> {
+    let text = text.split('#').next().unwrap_or("").trim();
+    let tokens: Vec<&str> = text.split_whitespace().collect();
+    match tokens.first() {
+        Some(&("set" | "message" | "demand")) => parse_edit(&tokens, line),
+        Some(other) => Err(err(line, format!("unknown edit directive `{other}`"))),
+        None => Err(err(line, "empty edit line")),
+    }
+}
+
 /// Parses one edit line into (possibly several) [`ScenarioEdit`]s.
 fn parse_edit(tokens: &[&str], line: usize) -> Result<Vec<ScenarioEdit>, ParseError> {
     match tokens[0] {
@@ -243,19 +262,33 @@ fn parse_edit(tokens: &[&str], line: usize) -> Result<Vec<ScenarioEdit>, ParseEr
 /// [`ParseError`] (reported on the scenario's declaration line) when an
 /// edit names an unknown task or resource.
 pub fn resolve(scenario: &Scenario, graph: &TaskGraph) -> Result<Vec<Delta>, ParseError> {
+    resolve_edits(&scenario.edits, graph, scenario.line)
+}
+
+/// Resolves a bare edit batch (no [`Scenario`] wrapper) against a built
+/// graph; errors are reported on `line`. This is the entry point wire
+/// protocols use after [`parse_edit_line`].
+///
+/// # Errors
+///
+/// Same as [`resolve`].
+pub fn resolve_edits(
+    edits: &[ScenarioEdit],
+    graph: &TaskGraph,
+    line: usize,
+) -> Result<Vec<Delta>, ParseError> {
     let task = |name: &str| {
         graph
             .task_id(name)
-            .ok_or_else(|| err(scenario.line, format!("unknown task `{name}`")))
+            .ok_or_else(|| err(line, format!("unknown task `{name}`")))
     };
     let resource = |name: &str| {
         graph
             .catalog()
             .lookup(name)
-            .ok_or_else(|| err(scenario.line, format!("unknown type `{name}`")))
+            .ok_or_else(|| err(line, format!("unknown type `{name}`")))
     };
-    scenario
-        .edits
+    edits
         .iter()
         .map(|edit| {
             Ok(match edit {
@@ -311,7 +344,7 @@ set c mode=preemptive
 ";
 
     fn base_graph() -> TaskGraph {
-        crate::format::parse(
+        crate::instance::parse(
             "processor P1\nresource r1\ndefault_deadline 36\n\
              task a c=3 proc=P1 uses=r1\ntask b c=6 proc=P1\ntask c c=4 proc=P1\n\
              edge a -> b m=5\n",
@@ -380,6 +413,32 @@ set c mode=preemptive
 
         let e = parse_scenarios("base f\nwibble").unwrap_err();
         assert!(e.message.contains("unknown directive"));
+    }
+
+    #[test]
+    fn edit_lines_parse_standalone() {
+        let edits = parse_edit_line("set a c=2 rel=1   # faster", 7).unwrap();
+        assert_eq!(edits.len(), 2);
+        let edits = parse_edit_line("message a -> b m=0", 1).unwrap();
+        assert_eq!(
+            edits,
+            vec![ScenarioEdit::SetMessage(
+                "a".to_owned(),
+                "b".to_owned(),
+                Dur::ZERO
+            )]
+        );
+        let graph = base_graph();
+        let deltas = resolve_edits(&edits, &graph, 1).unwrap();
+        assert_eq!(deltas.len(), 1);
+
+        let e = parse_edit_line("", 3).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("empty edit line"), "{e}");
+        let e = parse_edit_line("scenario s", 4).unwrap_err();
+        assert!(e.message.contains("unknown edit directive"), "{e}");
+        let e = parse_edit_line("set a zzz=9", 5).unwrap_err();
+        assert!(e.message.contains("unknown set field"), "{e}");
     }
 
     #[test]

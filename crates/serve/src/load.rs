@@ -1,0 +1,370 @@
+//! Load harness for the daemon: N concurrent clients, measured
+//! latencies, a machine-readable report.
+//!
+//! Two workloads mirror the two ways real callers use the service:
+//!
+//! * [`Workload::OneShot`] — every request is a stateless `analyze`
+//!   carrying the full instance text (parse + full pipeline per
+//!   request);
+//! * [`Workload::DeltaStream`] — each client `open`s the instance once,
+//!   then streams `delta` requests cycling through a fixed edit list
+//!   (incremental recompute per request). This is the workload the
+//!   session pool exists for, and it is expected to beat one-shot
+//!   per-request latency.
+//!
+//! Latencies are measured client-side per request (only successful
+//! requests enter the percentile math; failures are tallied by typed
+//! error code). Percentiles are nearest-rank on integer microseconds —
+//! no floating point, so reports are bit-stable for identical inputs.
+
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use rtlb_obs::Json;
+
+use crate::client::{self, Client};
+
+/// Which request mix to drive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Workload {
+    /// Stateless `analyze` per request.
+    OneShot,
+    /// `open` once per client, then `delta` per request.
+    DeltaStream,
+}
+
+impl Workload {
+    /// Stable name used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Workload::OneShot => "one-shot",
+            Workload::DeltaStream => "delta-stream",
+        }
+    }
+}
+
+/// Everything one load run needs besides the daemon address.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LoadConfig {
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Requests issued per client (not counting the delta-stream
+    /// `open`/`close` bookends).
+    pub requests_per_client: usize,
+    /// `deadline_ms` attached to every request; `None` omits it.
+    pub deadline_ms: Option<u64>,
+    /// Edit lines the delta-stream workload cycles through; ignored by
+    /// one-shot. Empty falls back to [`default_edits`].
+    pub edits: Vec<String>,
+}
+
+impl Default for LoadConfig {
+    fn default() -> LoadConfig {
+        LoadConfig {
+            clients: 4,
+            requests_per_client: 25,
+            deadline_ms: None,
+            edits: Vec::new(),
+        }
+    }
+}
+
+/// The measured result of one load run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Which workload ran.
+    pub workload: Workload,
+    /// Concurrent clients driven.
+    pub clients: usize,
+    /// Requests issued (excluding delta-stream bookends).
+    pub requests: u64,
+    /// Requests answered with `"ok": true`.
+    pub ok: u64,
+    /// Failed requests tallied by typed error code, sorted by code.
+    pub errors: Vec<(String, u64)>,
+    /// Wall-clock micros from first request to last response.
+    pub elapsed_micros: u64,
+    /// Successful requests per second ×1000 (0 when unmeasurable).
+    pub throughput_milli: u64,
+    /// Nearest-rank p50 of successful request latencies, micros.
+    pub p50_micros: u64,
+    /// Nearest-rank p99 of successful request latencies, micros.
+    pub p99_micros: u64,
+}
+
+impl LoadReport {
+    /// The report as a JSON fragment (embedded in `BENCH_serve.json`).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("workload", Json::str(self.workload.label())),
+            ("clients", Json::Int(self.clients as i64)),
+            ("requests", int(self.requests)),
+            ("ok", int(self.ok)),
+            (
+                "errors",
+                Json::Obj(
+                    self.errors
+                        .iter()
+                        .map(|(code, n)| (code.clone(), int(*n)))
+                        .collect(),
+                ),
+            ),
+            ("elapsed_micros", int(self.elapsed_micros)),
+            ("throughput_milli", int(self.throughput_milli)),
+            ("p50_micros", int(self.p50_micros)),
+            ("p99_micros", int(self.p99_micros)),
+        ])
+    }
+}
+
+fn int(v: u64) -> Json {
+    Json::Int(i64::try_from(v).unwrap_or(i64::MAX))
+}
+
+/// Derives a benign default edit cycle for `instance`: re-assert the
+/// first task's computation time, alternating with a one-tick-shorter
+/// variant. Both keep a feasible instance feasible (computations only
+/// shrink) while still dirtying the task's cone, so the delta path does
+/// real incremental work.
+///
+/// # Errors
+///
+/// The instance does not parse, has no tasks, or has a zero-length
+/// first computation (nothing to shrink).
+pub fn default_edits(instance: &str) -> Result<Vec<String>, String> {
+    let parsed = rtlb_format::parse(instance).map_err(|e| format!("instance: {e}"))?;
+    let (_, task) = parsed
+        .graph
+        .tasks()
+        .next()
+        .ok_or_else(|| "instance has no tasks to edit".to_owned())?;
+    let c = task.computation().ticks();
+    if c == 0 {
+        return Err(format!(
+            "task `{}` has zero computation; pass explicit edits",
+            task.name()
+        ));
+    }
+    Ok(vec![
+        format!("set {} c={}", task.name(), c - 1),
+        format!("set {} c={}", task.name(), c),
+    ])
+}
+
+/// Drives `config.clients` concurrent connections against the daemon at
+/// `addr` and measures per-request latency client-side.
+///
+/// # Errors
+///
+/// Setup problems only: a client cannot connect, a delta-stream `open`
+/// fails, or the default edit cycle cannot be derived. Per-request
+/// failures are tallied in the report instead.
+pub fn run_load(
+    addr: &str,
+    instance: &str,
+    workload: Workload,
+    config: &LoadConfig,
+) -> Result<LoadReport, String> {
+    let edits = match workload {
+        Workload::OneShot => Vec::new(),
+        Workload::DeltaStream => {
+            if config.edits.is_empty() {
+                default_edits(instance)?
+            } else {
+                config.edits.clone()
+            }
+        }
+    };
+    let clients = config.clients.max(1);
+    let start_gate = Arc::new(Barrier::new(clients + 1));
+
+    let mut workers = Vec::new();
+    for _ in 0..clients {
+        let gate = Arc::clone(&start_gate);
+        let addr = addr.to_owned();
+        let instance = instance.to_owned();
+        let edits = edits.clone();
+        let requests = config.requests_per_client;
+        let deadline_ms = config.deadline_ms;
+        workers.push(std::thread::spawn(move || {
+            run_client(
+                &gate,
+                &addr,
+                &instance,
+                workload,
+                &edits,
+                requests,
+                deadline_ms,
+            )
+        }));
+    }
+
+    start_gate.wait();
+    let started = Instant::now();
+    let mut latencies = Vec::new();
+    let mut errors = std::collections::BTreeMap::<String, u64>::new();
+    let mut setup_failure = None;
+    for worker in workers {
+        match worker.join() {
+            Ok(Ok(outcome)) => {
+                latencies.extend(outcome.latencies);
+                for (code, n) in outcome.errors {
+                    *errors.entry(code).or_default() += n;
+                }
+            }
+            Ok(Err(e)) => setup_failure = Some(e),
+            Err(_) => setup_failure = Some("a load client panicked".to_owned()),
+        }
+    }
+    if let Some(e) = setup_failure {
+        return Err(e);
+    }
+    let elapsed_micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+
+    latencies.sort_unstable();
+    let ok = latencies.len() as u64;
+    let requests = ok + errors.values().sum::<u64>();
+    Ok(LoadReport {
+        workload,
+        clients,
+        requests,
+        ok,
+        errors: errors.into_iter().collect(),
+        elapsed_micros,
+        throughput_milli: if ok == 0 || elapsed_micros == 0 {
+            0
+        } else {
+            ok.saturating_mul(1_000_000_000) / elapsed_micros
+        },
+        p50_micros: percentile(&latencies, 50),
+        p99_micros: percentile(&latencies, 99),
+    })
+}
+
+struct ClientOutcome {
+    latencies: Vec<u64>,
+    errors: Vec<(String, u64)>,
+}
+
+fn run_client(
+    gate: &Barrier,
+    addr: &str,
+    instance: &str,
+    workload: Workload,
+    edits: &[String],
+    requests: usize,
+    deadline_ms: Option<u64>,
+) -> Result<ClientOutcome, String> {
+    let mut client = Client::connect(addr)?;
+    // Delta-stream setup happens before the gate so every measured
+    // request is a steady-state delta.
+    let session = match workload {
+        Workload::OneShot => None,
+        Workload::DeltaStream => {
+            let response = client.open(instance, deadline_ms)?;
+            if !client::is_ok(&response) {
+                return Err(format!(
+                    "delta-stream open failed: {}",
+                    client::error_code(&response).unwrap_or("?")
+                ));
+            }
+            let id = response
+                .get("session")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "open response lacks a session id".to_owned())?;
+            Some(id.to_owned())
+        }
+    };
+
+    gate.wait();
+    let mut latencies = Vec::with_capacity(requests);
+    let mut errors = std::collections::BTreeMap::<String, u64>::new();
+    for i in 0..requests {
+        let started = Instant::now();
+        let response = match (&session, workload) {
+            (None, _) => client.analyze(instance, deadline_ms)?,
+            (Some(id), _) => {
+                let edit = &edits[i % edits.len()];
+                client.delta(id, std::slice::from_ref(edit), deadline_ms)?
+            }
+        };
+        let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        if client::is_ok(&response) {
+            latencies.push(micros);
+        } else {
+            let code = client::error_code(&response)
+                .unwrap_or("unknown")
+                .to_owned();
+            *errors.entry(code).or_default() += 1;
+        }
+    }
+    if let Some(id) = session {
+        let _ = client.close_session(&id);
+    }
+    Ok(ClientOutcome {
+        latencies,
+        errors: errors.into_iter().collect(),
+    })
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice; 0 when empty.
+fn percentile(sorted: &[u64], p: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (sorted.len() * p).div_ceil(100).max(1);
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        assert_eq!(percentile(&[], 99), 0);
+        assert_eq!(percentile(&[7], 50), 7);
+        let hundred: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&hundred, 50), 50);
+        assert_eq!(percentile(&hundred, 99), 99);
+    }
+
+    #[test]
+    fn default_edits_cycle_the_first_task() {
+        let edits = default_edits(
+            "processor P\ntask a c=5 proc=P deadline=10\ntask b c=2 proc=P deadline=10\n",
+        )
+        .expect("edits derive");
+        assert_eq!(edits, vec!["set a c=4".to_owned(), "set a c=5".to_owned()]);
+        assert!(default_edits("processor P\n").is_err());
+        assert!(default_edits("task a").is_err());
+    }
+
+    #[test]
+    fn report_json_is_complete() {
+        let report = LoadReport {
+            workload: Workload::DeltaStream,
+            clients: 4,
+            requests: 100,
+            ok: 98,
+            errors: vec![("busy".to_owned(), 2)],
+            elapsed_micros: 1_000_000,
+            throughput_milli: 98_000,
+            p50_micros: 900,
+            p99_micros: 4_000,
+        };
+        let doc = report.to_json();
+        assert_eq!(
+            doc.get("workload").and_then(Json::as_str),
+            Some("delta-stream")
+        );
+        assert_eq!(doc.get("ok").and_then(Json::as_int), Some(98));
+        assert_eq!(
+            doc.get("errors")
+                .and_then(|e| e.get("busy"))
+                .and_then(Json::as_int),
+            Some(2)
+        );
+        assert_eq!(doc.get("p99_micros").and_then(Json::as_int), Some(4000));
+    }
+}

@@ -44,8 +44,8 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use rtlb_core::{
-    analyze_ctl, effective_threads, run_jobs, AnalysisError, AnalysisOptions, CancelToken,
-    ResourceBound, SystemModel,
+    analyze_ctl, effective_threads, run_jobs, AnalysisOptions, CancelToken, ResourceBound,
+    SystemModel,
 };
 use rtlb_obs::{Json, Probe, NULL_PROBE};
 
@@ -87,52 +87,10 @@ pub struct HeartbeatOptions {
     pub out: Option<PathBuf>,
 }
 
-/// Classified result of analyzing one instance.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub enum OutcomeKind {
-    /// The analysis completed; bounds are reported.
-    Ok,
-    /// The file could not be read or did not parse.
-    ParseError,
-    /// The constraints are unsatisfiable (or a task is unhostable).
-    Infeasible,
-    /// A bound or intermediate quantity escaped its representable range,
-    /// or a solver reported a defective value.
-    Overflow,
-    /// The per-instance deadline expired before the analysis finished.
-    Timeout,
-    /// The analysis panicked; the payload is in the outcome detail.
-    Panicked,
-}
-
-/// Every kind, in report order.
-pub const OUTCOME_KINDS: [OutcomeKind; 6] = [
-    OutcomeKind::Ok,
-    OutcomeKind::ParseError,
-    OutcomeKind::Infeasible,
-    OutcomeKind::Overflow,
-    OutcomeKind::Timeout,
-    OutcomeKind::Panicked,
-];
-
-impl OutcomeKind {
-    /// The stable label used in reports and `--tolerate=` lists.
-    pub fn label(self) -> &'static str {
-        match self {
-            OutcomeKind::Ok => "ok",
-            OutcomeKind::ParseError => "parse-error",
-            OutcomeKind::Infeasible => "infeasible",
-            OutcomeKind::Overflow => "overflow",
-            OutcomeKind::Timeout => "timeout",
-            OutcomeKind::Panicked => "panicked",
-        }
-    }
-
-    /// Parses a [`label`](OutcomeKind::label) back into a kind.
-    pub fn from_label(label: &str) -> Option<OutcomeKind> {
-        OUTCOME_KINDS.into_iter().find(|k| k.label() == label)
-    }
-}
+// The failure taxonomy moved to `rtlb_core::fault` so the serve daemon
+// classifies request failures with the same kinds and labels; the old
+// `rtlb::batch::OutcomeKind` paths keep working.
+pub use rtlb_core::{classify, panic_message, OutcomeKind, OUTCOME_KINDS};
 
 /// One row of the batch report: what happened to one instance.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -388,14 +346,6 @@ impl Progress {
             .map(|&(job, _)| paths[job].display().to_string())
             .collect();
         stragglers.sort();
-        let eta_micros = if done == 0 {
-            None
-        } else {
-            // remaining × mean duration, spread over what the pool ran
-            // concurrently so far (wall-based: done / elapsed).
-            let remaining = (self.total - done) as u64;
-            Some(remaining.saturating_mul(elapsed_micros) / done as u64)
-        };
         HeartbeatRecord {
             elapsed_micros,
             done,
@@ -403,10 +353,35 @@ impl Progress {
             counts,
             in_flight: in_flight_elapsed.len(),
             p95_micros,
-            eta_micros,
+            throughput_milli: throughput_milli(done, elapsed_micros),
+            eta_micros: eta_micros(done, self.total, elapsed_micros),
             stragglers,
         }
     }
+}
+
+/// Completed instances per second in fixed-point milli-units (`1234`
+/// means 1.234/s). `None` until at least one instance finished **and**
+/// wall time has advanced: both divisions are guarded, so heartbeat
+/// records never carry an inf/NaN-shaped value however early the first
+/// snapshot fires.
+pub fn throughput_milli(done: usize, elapsed_micros: u64) -> Option<u64> {
+    if done == 0 || elapsed_micros == 0 {
+        return None;
+    }
+    Some((done as u64).saturating_mul(1_000_000_000) / elapsed_micros)
+}
+
+/// Estimated micros until the batch drains: remaining × mean wall time
+/// per completed instance (wall-based, so pool concurrency is already
+/// priced in). `None` until anything completed; with zero elapsed time
+/// the estimate is `0`, never a division by zero.
+pub fn eta_micros(done: usize, total: usize, elapsed_micros: u64) -> Option<u64> {
+    if done == 0 {
+        return None;
+    }
+    let remaining = total.saturating_sub(done) as u64;
+    Some(remaining.saturating_mul(elapsed_micros) / done as u64)
 }
 
 /// `p95` of an ascending-sorted slice (nearest-rank); `None` when empty.
@@ -433,6 +408,9 @@ pub struct HeartbeatRecord {
     pub in_flight: usize,
     /// p95 of completed instance durations, once anything completed.
     pub p95_micros: Option<u64>,
+    /// Completed instances per second ×1000, once measurable (see
+    /// [`throughput_milli`]).
+    pub throughput_milli: Option<u64>,
     /// Estimated micros until the batch finishes, once anything
     /// completed.
     pub eta_micros: Option<u64>,
@@ -455,8 +433,7 @@ impl HeartbeatRecord {
             let _ = write!(line, " ({})", failures.join(", "));
         }
         let _ = write!(line, ", {} in-flight", self.in_flight);
-        if let Some(per_milli) = (self.done as u64 * 1_000_000_000).checked_div(self.elapsed_micros)
-        {
+        if let Some(per_milli) = self.throughput_milli {
             let _ = write!(line, ", {}.{:03}/s", per_milli / 1000, per_milli % 1000);
         }
         if let Some(eta) = self.eta_micros {
@@ -489,6 +466,11 @@ impl HeartbeatRecord {
             (
                 "p95_micros",
                 self.p95_micros.map_or(Json::Null, |v| Json::Int(int(v))),
+            ),
+            (
+                "throughput_milli",
+                self.throughput_milli
+                    .map_or(Json::Null, |v| Json::Int(int(v))),
             ),
             (
                 "eta_micros",
@@ -713,30 +695,6 @@ fn analyze_instance(
     }
 }
 
-/// Maps a pipeline error to its outcome class. `Deadline` is a timeout;
-/// unsatisfiable constraints are `infeasible`; every numeric or solver
-/// defect (overflowed bound, non-integral cost) is `overflow`.
-fn classify(e: &AnalysisError) -> OutcomeKind {
-    match e {
-        AnalysisError::Deadline => OutcomeKind::Timeout,
-        AnalysisError::Infeasible { .. } | AnalysisError::UnhostableTask(_) => {
-            OutcomeKind::Infeasible
-        }
-        _ => OutcomeKind::Overflow,
-    }
-}
-
-/// Extracts a printable message from a caught panic payload.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_owned()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "(non-string panic payload)".to_owned()
-    }
-}
-
 /// Resolves the batch target into an ordered instance list.
 fn collect_instances(target: &Path) -> Result<Vec<PathBuf>, String> {
     let meta = std::fs::metadata(target)
@@ -776,31 +734,6 @@ fn int(v: u64) -> i64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn labels_round_trip() {
-        for kind in OUTCOME_KINDS {
-            assert_eq!(OutcomeKind::from_label(kind.label()), Some(kind));
-        }
-        assert_eq!(OutcomeKind::from_label("exploded"), None);
-    }
-
-    #[test]
-    fn classification_covers_the_contract() {
-        assert_eq!(classify(&AnalysisError::Deadline), OutcomeKind::Timeout);
-        assert_eq!(
-            classify(&AnalysisError::UnhostableTask("t".into())),
-            OutcomeKind::Infeasible
-        );
-        assert_eq!(
-            classify(&AnalysisError::BoundOverflow { detail: "x".into() }),
-            OutcomeKind::Overflow
-        );
-        assert_eq!(
-            classify(&AnalysisError::CostNotIntegral { detail: "x".into() }),
-            OutcomeKind::Overflow
-        );
-    }
 
     #[test]
     fn violations_respect_the_tolerate_list() {
@@ -895,9 +828,52 @@ mod tests {
         let record = Progress::new(3).snapshot(&[]);
         assert_eq!(record.done, 0);
         assert_eq!(record.p95_micros, None);
+        assert_eq!(record.throughput_milli, None);
         assert_eq!(record.eta_micros, None);
         assert!(record.stragglers.is_empty());
         assert!(record.render_line().starts_with("heartbeat 0/3 done"));
+    }
+
+    #[test]
+    fn rate_math_survives_zero_done_and_zero_elapsed() {
+        // Nothing done: no rate, no ETA, whatever the clock says.
+        assert_eq!(throughput_milli(0, 0), None);
+        assert_eq!(throughput_milli(0, 1_000_000), None);
+        assert_eq!(eta_micros(0, 10, 1_000_000), None);
+        // Done but the clock has not advanced (coarse timers do this):
+        // rate is unknown, ETA degenerates to 0, never a panic or NaN.
+        assert_eq!(throughput_milli(5, 0), None);
+        assert_eq!(eta_micros(5, 10, 0), Some(0));
+        // The healthy case: 2 done in 1s of 4 total → 2.000/s, 1s left.
+        assert_eq!(throughput_milli(2, 1_000_000), Some(2000));
+        assert_eq!(eta_micros(2, 4, 1_000_000), Some(1_000_000));
+        // done > total (defensive): remaining saturates at 0.
+        assert_eq!(eta_micros(5, 3, 1_000_000), Some(0));
+    }
+
+    #[test]
+    fn degenerate_heartbeat_renders_finite_json() {
+        // A record shaped like the worst early snapshot — work completed
+        // before the wall clock ticked — must still render as a finite,
+        // reparseable JSONL line with nulls, not inf/NaN.
+        let record = HeartbeatRecord {
+            elapsed_micros: 0,
+            done: 1,
+            total: 2,
+            counts: vec![("ok", 1)],
+            in_flight: 1,
+            p95_micros: Some(0),
+            throughput_milli: throughput_milli(1, 0),
+            eta_micros: eta_micros(1, 2, 0),
+            stragglers: Vec::new(),
+        };
+        let line = record.to_json().render();
+        assert!(line.contains("\"throughput_milli\":null"), "{line}");
+        assert!(line.contains("\"eta_micros\":0"), "{line}");
+        assert!(!line.contains("inf") && !line.contains("NaN"), "{line}");
+        assert!(rtlb_obs::json::parse(&line).is_ok(), "{line}");
+        let rendered = record.render_line();
+        assert!(!rendered.contains("inf") && !rendered.contains("NaN"));
     }
 
     #[test]

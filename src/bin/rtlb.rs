@@ -14,10 +14,12 @@
 //! The text format is documented in `rtlb::format`; `rtlb example > f.rtlb`
 //! followed by `rtlb analyze f.rtlb` reproduces the paper's numbers.
 
+use std::io::Write as _;
 use std::process::ExitCode;
 use std::time::Instant;
 
 use rtlb::batch::{run_batch_probed, write_atomic, BatchOptions, HeartbeatOptions, OutcomeKind};
+use rtlb::check::check_document;
 use rtlb::core::{
     analyze_with, analyze_with_probe, build_run_report, effective_threads, render_analysis,
     render_dedicated_cost, render_shared_cost, AnalysisOptions, AnalysisSession, CandidatePolicy,
@@ -31,6 +33,7 @@ use rtlb::obs::{
 };
 use rtlb::scenario::{parse_scenarios, resolve};
 use rtlb::sched::{list_schedule, validate_schedule, Capacities};
+use rtlb::serve::{LoadConfig, ServeConfig, Workload, RPC_SCHEMA};
 use rtlb::workloads::paper_example;
 
 const USAGE: &str = "\
@@ -53,7 +56,26 @@ usage:
                                 overflows, timeouts, and panics per instance
   rtlb check-metrics <file>     validate a file against the rtlb-metrics-v1
                                 schema (exit 0 iff it parses and validates)
+  rtlb check-report <file>...   validate rtlb-report-v1, rtlb-batch-v1,
+                                rtlb-scenarios-v1, or rtlb-metrics-v1 JSON
+                                documents, dispatching on their schema tag
+                                (exit 0 iff every file validates)
+  rtlb serve [flags]            run the analysis-as-a-service TCP daemon
+                                speaking rtlb-rpc-v1 (one JSON request per
+                                line: open / delta / analyze / close /
+                                stats / shutdown) until a shutdown request
+  rtlb bench-serve <file>       load-test a daemon (an in-process one
+                                unless --addr= points elsewhere): N
+                                concurrent clients, sustained req/s, and
+                                p50/p99 latency per workload
   rtlb help | -h | --help       show this message
+
+exit codes (every subcommand):
+  0  success
+  1  the run failed: unreadable input, parse or analysis error, untolerated
+     batch outcome, scenario oracle divergence, invalid document, bench
+     setup failure
+  2  usage error: unknown command or flag, missing or invalid argument
 
 analyze flags:
   --sweep=naive|incremental  Θ-sweep strategy (default: incremental; naive is
@@ -119,6 +141,38 @@ flags):
   --heartbeat-out=FILE       also append each heartbeat to FILE as one
                              rtlb-heartbeat-v1 JSON line (JSONL)
 
+serve flags (plus --sweep=, --jobs=, --chunk=, --extended, --no-partition,
+and the telemetry flags; telemetry exports are written when the daemon
+stops):
+  --addr=HOST:PORT           bind address (default: 127.0.0.1:0; port 0
+                             lets the OS pick — the bound address is the
+                             first stdout line, for scripts to capture)
+  --max-sessions=N           resident session cap; opening past it evicts
+                             the least-recently-used session to a parked
+                             tier that re-analyzes on next use (default: 8)
+  --max-inflight=N           concurrent analysis requests admitted;
+                             over-limit requests get a typed `busy` error
+                             immediately, never an unbounded queue
+                             (default: 4; 0 is a drain mode that refuses
+                             every analysis op while control ops work)
+  --deadline-ms=N            default per-request deadline for requests
+                             that do not carry their own deadline_ms
+                             (an expired request reports `timeout`)
+
+bench-serve flags:
+  --addr=HOST:PORT           drive an already-running daemon instead of
+                             spawning an in-process one
+  --clients=N                concurrent client connections (default: 4)
+  --requests=N               requests per client (default: 25)
+  --workload=W               one-shot, delta-stream, or both (default:
+                             both; delta-stream opens a session per client
+                             and streams edits, one-shot re-analyzes the
+                             full instance per request)
+  --deadline-ms=N            deadline_ms attached to every request
+  --out=FILE                 write the rtlb-bench-v1 JSON report atomically
+                             to FILE (e.g. BENCH_serve.json) instead of
+                             printing it on stdout
+
 examples:
   rtlb example > f.rtlb
   rtlb analyze f.rtlb
@@ -130,28 +184,45 @@ examples:
   rtlb batch examples/batch --heartbeat=1 --heartbeat-out=hb.jsonl \\
       --out=report.json --prom-out=metrics.prom
   rtlb check-metrics metrics.json
+  rtlb check-report report.json batch.json
+  rtlb serve --addr=127.0.0.1:7421 --max-sessions=8 --max-inflight=4 &
+  printf '{\"proto\":\"rtlb-rpc-v1\",\"op\":\"stats\"}\\n' | nc 127.0.0.1 7421
+  rtlb bench-serve f.rtlb --clients=4 --out=BENCH_serve.json
 ";
+
+/// The two non-zero exits of the documented table: usage errors (exit
+/// 2: unknown command or flag, missing or invalid argument) and run
+/// failures (exit 1: everything that goes wrong after the invocation
+/// itself was well-formed).
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Failure {
+    Usage(String),
+    Run(String),
+}
+
+/// `?` on a plain-`String` error means a run failure; usage errors are
+/// tagged explicitly at the flag-parsing call sites.
+impl From<String> for Failure {
+    fn from(message: String) -> Failure {
+        Failure::Run(message)
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let result = match args.first().map(String::as_str) {
+    let result: Result<ExitCode, Failure> = match args.first().map(String::as_str) {
         Some("analyze") => with_file(&args, 2, cmd_analyze),
         Some("dot") => with_file(&args, 2, cmd_dot),
         Some("example") => cmd_example(),
         Some("schedule") => with_file(&args, 3, cmd_schedule),
         Some("sweep-scenarios") => cmd_sweep_scenarios(&args),
-        // `batch` owns its exit code: per-instance failures are report
-        // rows plus a non-zero exit, not a driver error.
-        Some("batch") => {
-            return match cmd_batch(&args) {
-                Ok(code) => code,
-                Err(message) => {
-                    eprintln!("rtlb: {message}");
-                    ExitCode::FAILURE
-                }
-            }
-        }
+        // `batch` owns its success exit code: per-instance failures are
+        // report rows plus exit 1, not a driver error.
+        Some("batch") => cmd_batch(&args),
         Some("check-metrics") => cmd_check_metrics(&args),
+        Some("check-report") => cmd_check_report(&args),
+        Some("serve") => cmd_serve(&args),
+        Some("bench-serve") => cmd_bench_serve(&args),
         Some("help" | "-h" | "--help") => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -162,10 +233,14 @@ fn main() -> ExitCode {
         }
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
+        Ok(code) => code,
+        Err(Failure::Run(message)) => {
             eprintln!("rtlb: {message}");
             ExitCode::FAILURE
+        }
+        Err(Failure::Usage(message)) => {
+            eprintln!("rtlb: {message} (see `rtlb --help`)");
+            ExitCode::from(2)
         }
     }
 }
@@ -173,15 +248,19 @@ fn main() -> ExitCode {
 fn with_file(
     args: &[String],
     expected: usize,
-    run: impl Fn(&rtlb::format::ParsedSystem, &[String]) -> Result<(), String>,
-) -> Result<(), String> {
+    run: impl Fn(&rtlb::format::ParsedSystem, &[String]) -> Result<(), Failure>,
+) -> Result<ExitCode, Failure> {
     if args.len() < expected {
-        return Err(format!("`{}` needs a file argument", args[0]));
+        return Err(Failure::Usage(format!(
+            "`{}` needs a file argument",
+            args[0]
+        )));
     }
     let input =
         std::fs::read_to_string(&args[1]).map_err(|e| format!("cannot read {}: {e}", args[1]))?;
     let parsed = parse(&input).map_err(|e| format!("{}: {e}", args[1]))?;
-    run(&parsed, args)
+    run(&parsed, args)?;
+    Ok(ExitCode::SUCCESS)
 }
 
 /// Where the run's metrics go.
@@ -248,17 +327,29 @@ fn export_telemetry(
     if !telemetry.enabled() {
         return Ok(None);
     }
-    let started = Instant::now();
     registry.gauge_set("pool.workers", workers as i64);
-    let snapshot = registry.snapshot();
-    let mut profile = PhaseProfile::from_snapshot(&snapshot);
+    export_snapshot(&registry.snapshot(), telemetry)
+}
+
+/// [`export_telemetry`] for a snapshot that already left its registry —
+/// the `serve` path, where the daemon owns the registry and hands back
+/// its final snapshot on shutdown.
+fn export_snapshot(
+    snapshot: &MetricsSnapshot,
+    telemetry: &TelemetryArgs,
+) -> Result<Option<PhaseProfile>, String> {
+    if !telemetry.enabled() {
+        return Ok(None);
+    }
+    let started = Instant::now();
+    let mut profile = PhaseProfile::from_snapshot(snapshot);
     if let Some(path) = &telemetry.metrics_out {
         let mut doc = snapshot.to_json().pretty();
         doc.push('\n');
         write_atomic(std::path::Path::new(path), &doc)?;
     }
     if let Some(path) = &telemetry.prom_out {
-        write_atomic(std::path::Path::new(path), &prometheus_text(&snapshot))?;
+        write_atomic(std::path::Path::new(path), &prometheus_text(snapshot))?;
     }
     profile.telemetry_micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
     if telemetry.profile {
@@ -267,9 +358,11 @@ fn export_telemetry(
     Ok(Some(profile))
 }
 
-fn cmd_check_metrics(args: &[String]) -> Result<(), String> {
+fn cmd_check_metrics(args: &[String]) -> Result<ExitCode, Failure> {
     if args.len() < 2 {
-        return Err("`check-metrics` needs a file argument".to_owned());
+        return Err(Failure::Usage(
+            "`check-metrics` needs a file argument".to_owned(),
+        ));
     }
     let path = &args[1];
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -281,7 +374,28 @@ fn cmd_check_metrics(args: &[String]) -> Result<(), String> {
         snapshot.gauges.len(),
         snapshot.histograms.len()
     );
-    Ok(())
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_check_report(args: &[String]) -> Result<ExitCode, Failure> {
+    if args.len() < 2 {
+        return Err(Failure::Usage(
+            "`check-report` needs a file argument".to_owned(),
+        ));
+    }
+    for path in &args[1..] {
+        if path.starts_with("--") {
+            return Err(Failure::Usage(format!(
+                "`check-report` takes no flags, got `{path}`"
+            )));
+        }
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let doc =
+            rtlb::obs::json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+        let summary = check_document(&doc).map_err(|e| format!("{path}: {e}"))?;
+        println!("{path}: {summary}");
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 /// Everything `rtlb analyze` accepts after the file argument.
@@ -340,13 +454,13 @@ fn analyze_options(flags: &[String]) -> Result<AnalyzeArgs, String> {
     Ok(args)
 }
 
-fn cmd_analyze(parsed: &rtlb::format::ParsedSystem, args: &[String]) -> Result<(), String> {
+fn cmd_analyze(parsed: &rtlb::format::ParsedSystem, args: &[String]) -> Result<(), Failure> {
     let AnalyzeArgs {
         options,
         metrics,
         trace_out,
         telemetry,
-    } = analyze_options(&args[2..])?;
+    } = analyze_options(&args[2..]).map_err(Failure::Usage)?;
     let recorder = Recorder::new();
     let registry = MetricsRegistry::new();
     let tee = TeeProbe::new(&recorder, &registry);
@@ -424,6 +538,208 @@ fn cmd_analyze(parsed: &rtlb::format::ParsedSystem, args: &[String]) -> Result<(
     Ok(())
 }
 
+/// Everything `rtlb serve` accepts.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct ServeArgs {
+    config: ServeConfig,
+    telemetry: TelemetryArgs,
+}
+
+/// Parses `serve` flags (everything after the subcommand).
+fn serve_options(flags: &[String]) -> Result<ServeArgs, String> {
+    let mut args = ServeArgs::default();
+    for flag in flags {
+        if let Some(addr) = flag.strip_prefix("--addr=") {
+            if addr.is_empty() {
+                return Err("--addr needs a HOST:PORT".to_owned());
+            }
+            args.config.addr = addr.to_owned();
+        } else if let Some(n) = flag.strip_prefix("--max-sessions=") {
+            args.config.max_sessions = n
+                .parse()
+                .map_err(|_| format!("invalid session cap `{n}`"))?;
+        } else if let Some(n) = flag.strip_prefix("--max-inflight=") {
+            args.config.max_inflight = n
+                .parse()
+                .map_err(|_| format!("invalid in-flight cap `{n}`"))?;
+        } else if let Some(ms) = flag.strip_prefix("--deadline-ms=") {
+            args.config.default_deadline_ms =
+                Some(ms.parse().map_err(|_| format!("invalid deadline `{ms}`"))?);
+        } else if let Some(strategy) = flag.strip_prefix("--sweep=") {
+            args.config.options.sweep = match strategy {
+                "naive" => SweepStrategy::Naive,
+                "incremental" => SweepStrategy::Incremental,
+                other => return Err(format!("unknown sweep strategy `{other}`")),
+            };
+        } else if let Some(jobs) = flag.strip_prefix("--jobs=") {
+            args.config.options.parallelism = jobs
+                .parse()
+                .map_err(|_| format!("invalid job count `{jobs}`"))?;
+        } else if let Some(columns) = flag.strip_prefix("--chunk=") {
+            args.config.options.chunk_columns = columns
+                .parse()
+                .map_err(|_| format!("invalid chunk size `{columns}`"))?;
+        } else if flag == "--extended" {
+            args.config.options.candidates = CandidatePolicy::Extended;
+        } else if flag == "--no-partition" {
+            args.config.options.partitioning = false;
+        } else if telemetry_flag(&mut args.telemetry, flag)? {
+            // consumed by the shared telemetry flags
+        } else {
+            return Err(format!("unknown flag `{flag}` (see `rtlb --help`)"));
+        }
+    }
+    Ok(args)
+}
+
+fn cmd_serve(args: &[String]) -> Result<ExitCode, Failure> {
+    let ServeArgs { config, telemetry } = serve_options(&args[1..]).map_err(Failure::Usage)?;
+    let server = rtlb::serve::serve(config)?;
+    // The first stdout line is the contract for scripts: with --addr
+    // port 0 this is the only way to learn the bound port.
+    println!("rtlb serve: listening on {} ({RPC_SCHEMA})", server.addr());
+    std::io::stdout()
+        .flush()
+        .map_err(|e| format!("cannot flush stdout: {e}"))?;
+    let mut snapshot = server.wait();
+    snapshot.normalize();
+    export_snapshot(&snapshot, &telemetry)?;
+    println!("rtlb serve: stopped");
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Everything `rtlb bench-serve` accepts after the instance file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct BenchServeArgs {
+    addr: Option<String>,
+    load: LoadConfig,
+    workloads: Vec<Workload>,
+    out: Option<String>,
+}
+
+impl Default for BenchServeArgs {
+    fn default() -> BenchServeArgs {
+        BenchServeArgs {
+            addr: None,
+            load: LoadConfig::default(),
+            workloads: vec![Workload::OneShot, Workload::DeltaStream],
+            out: None,
+        }
+    }
+}
+
+/// Parses `bench-serve` flags (everything after the file argument).
+fn bench_serve_options(flags: &[String]) -> Result<BenchServeArgs, String> {
+    let mut args = BenchServeArgs::default();
+    for flag in flags {
+        if let Some(addr) = flag.strip_prefix("--addr=") {
+            if addr.is_empty() {
+                return Err("--addr needs a HOST:PORT".to_owned());
+            }
+            args.addr = Some(addr.to_owned());
+        } else if let Some(n) = flag.strip_prefix("--clients=") {
+            args.load.clients = n
+                .parse()
+                .map_err(|_| format!("invalid client count `{n}`"))?;
+        } else if let Some(n) = flag.strip_prefix("--requests=") {
+            args.load.requests_per_client = n
+                .parse()
+                .map_err(|_| format!("invalid request count `{n}`"))?;
+        } else if let Some(ms) = flag.strip_prefix("--deadline-ms=") {
+            args.load.deadline_ms =
+                Some(ms.parse().map_err(|_| format!("invalid deadline `{ms}`"))?);
+        } else if let Some(w) = flag.strip_prefix("--workload=") {
+            args.workloads = match w {
+                "one-shot" => vec![Workload::OneShot],
+                "delta-stream" => vec![Workload::DeltaStream],
+                "both" => vec![Workload::OneShot, Workload::DeltaStream],
+                other => {
+                    return Err(format!(
+                        "unknown workload `{other}` (expected one-shot, delta-stream, or both)"
+                    ))
+                }
+            };
+        } else if let Some(path) = flag.strip_prefix("--out=") {
+            if path.is_empty() {
+                return Err("--out needs a file path".to_owned());
+            }
+            args.out = Some(path.to_owned());
+        } else {
+            return Err(format!("unknown flag `{flag}` (see `rtlb --help`)"));
+        }
+    }
+    Ok(args)
+}
+
+fn cmd_bench_serve(args: &[String]) -> Result<ExitCode, Failure> {
+    if args.len() < 2 || args[1].starts_with("--") {
+        return Err(Failure::Usage(
+            "`bench-serve` needs an instance file argument".to_owned(),
+        ));
+    }
+    let path = &args[1];
+    let opts = bench_serve_options(&args[2..]).map_err(Failure::Usage)?;
+    let instance = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+
+    // Without --addr, spawn an in-process daemon sized to the offered
+    // load so admission control does not skew the measurement.
+    let local = match &opts.addr {
+        Some(_) => None,
+        None => {
+            let config = ServeConfig {
+                max_sessions: opts.load.clients.max(4),
+                max_inflight: opts.load.clients.max(4),
+                ..ServeConfig::default()
+            };
+            Some(rtlb::serve::serve(config)?)
+        }
+    };
+    let addr = match (&opts.addr, &local) {
+        (Some(addr), _) => addr.clone(),
+        (None, Some(server)) => server.addr().to_string(),
+        (None, None) => unreachable!("either --addr or a local daemon"),
+    };
+
+    let mut runs = Vec::new();
+    for workload in &opts.workloads {
+        let report = rtlb::serve::run_load(&addr, &instance, *workload, &opts.load)?;
+        eprintln!(
+            "bench-serve: {} — {} ok / {} requests, {}.{:03} req/s, p50 {}us, p99 {}us",
+            report.workload.label(),
+            report.ok,
+            report.requests,
+            report.throughput_milli / 1000,
+            report.throughput_milli % 1000,
+            report.p50_micros,
+            report.p99_micros,
+        );
+        runs.push(report.to_json());
+    }
+    if let Some(server) = local {
+        server.shutdown();
+    }
+
+    let doc = Json::obj([
+        ("schema", Json::str("rtlb-bench-v1")),
+        ("bench", Json::str("serve")),
+        ("instance", Json::str(path.as_str())),
+        ("clients", Json::Int(opts.load.clients as i64)),
+        (
+            "requests_per_client",
+            Json::Int(opts.load.requests_per_client as i64),
+        ),
+        ("runs", Json::Arr(runs)),
+    ]);
+    if let Some(out) = &opts.out {
+        let mut text = doc.pretty();
+        text.push('\n');
+        write_atomic(std::path::Path::new(out), &text)?;
+    } else {
+        println!("{}", doc.pretty());
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 /// Everything `rtlb sweep-scenarios` accepts after the file argument.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 struct ScenarioArgs {
@@ -468,12 +784,14 @@ fn scenario_options(flags: &[String]) -> Result<ScenarioArgs, String> {
     Ok(args)
 }
 
-fn cmd_sweep_scenarios(args: &[String]) -> Result<(), String> {
+fn cmd_sweep_scenarios(args: &[String]) -> Result<ExitCode, Failure> {
     if args.len() < 2 {
-        return Err("`sweep-scenarios` needs a scenario file argument".to_owned());
+        return Err(Failure::Usage(
+            "`sweep-scenarios` needs a scenario file argument".to_owned(),
+        ));
     }
     let path = &args[1];
-    let opts = scenario_options(&args[2..])?;
+    let opts = scenario_options(&args[2..]).map_err(Failure::Usage)?;
     let input = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let file = parse_scenarios(&input).map_err(|e| format!("{path}: {e}"))?;
 
@@ -521,11 +839,11 @@ fn cmd_sweep_scenarios(args: &[String]) -> Result<(), String> {
                         .map_err(|e| format!("scenario `{}`: oracle failed: {e}", scenario.name))?;
                     if scratch.bounds() != session.bounds() || scratch.timing() != session.timing()
                     {
-                        return Err(format!(
+                        return Err(Failure::Run(format!(
                             "scenario `{}`: incremental result diverged from the \
                              from-scratch oracle",
                             scenario.name
-                        ));
+                        )));
                     }
                 }
                 let bounds: Vec<Json> = session
@@ -581,11 +899,11 @@ fn cmd_sweep_scenarios(args: &[String]) -> Result<(), String> {
                 if opts.check {
                     let scratch = analyze_with(session.graph(), &model, opts.options);
                     if scratch.is_ok() {
-                        return Err(format!(
+                        return Err(Failure::Run(format!(
                             "scenario `{}`: session rejected ({e}) what the \
                              from-scratch oracle accepts",
                             scenario.name
-                        ));
+                        )));
                     }
                 }
                 if !opts.json {
@@ -614,7 +932,7 @@ fn cmd_sweep_scenarios(args: &[String]) -> Result<(), String> {
         ]);
         println!("{}", doc.pretty());
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
 /// Everything `rtlb batch` accepts after the target argument.
@@ -689,16 +1007,18 @@ fn batch_options(flags: &[String]) -> Result<BatchArgs, String> {
     Ok(args)
 }
 
-fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
+fn cmd_batch(args: &[String]) -> Result<ExitCode, Failure> {
     if args.len() < 2 {
-        return Err("`batch` needs a directory or manifest argument".to_owned());
+        return Err(Failure::Usage(
+            "`batch` needs a directory or manifest argument".to_owned(),
+        ));
     }
     let BatchArgs {
         options,
         json,
         out,
         telemetry,
-    } = batch_options(&args[2..])?;
+    } = batch_options(&args[2..]).map_err(Failure::Usage)?;
     let registry = MetricsRegistry::new();
     let probe: &dyn Probe = if telemetry.enabled() {
         &registry
@@ -724,29 +1044,31 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
     })
 }
 
-fn cmd_dot(parsed: &rtlb::format::ParsedSystem, _args: &[String]) -> Result<(), String> {
+fn cmd_dot(parsed: &rtlb::format::ParsedSystem, _args: &[String]) -> Result<(), Failure> {
     print!("{}", to_dot(&parsed.graph));
     Ok(())
 }
 
-fn cmd_example() -> Result<(), String> {
+fn cmd_example() -> Result<ExitCode, Failure> {
     let ex = paper_example();
     let shared = ex.shared_costs([30, 45, 20]);
     let model = ex.node_types([45, 30, 45]);
     print!("{}", render(&ex.graph, Some(&shared), Some(&model)));
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_schedule(parsed: &rtlb::format::ParsedSystem, args: &[String]) -> Result<(), String> {
+fn cmd_schedule(parsed: &rtlb::format::ParsedSystem, args: &[String]) -> Result<(), Failure> {
     let units: u32 = args[2]
         .parse()
-        .map_err(|_| format!("invalid unit count `{}`", args[2]))?;
+        .map_err(|_| Failure::Usage(format!("invalid unit count `{}`", args[2])))?;
     let caps = Capacities::uniform(&parsed.graph, units);
     match list_schedule(&parsed.graph, &caps) {
         Ok(schedule) => {
             let violations = validate_schedule(&parsed.graph, &caps, &schedule);
             if !violations.is_empty() {
-                return Err(format!("internal error: invalid schedule: {violations:?}"));
+                return Err(Failure::Run(format!(
+                    "internal error: invalid schedule: {violations:?}"
+                )));
             }
             println!("feasible with {units} unit(s) of every demanded resource:");
             for p in schedule.placements() {
@@ -767,10 +1089,10 @@ fn cmd_schedule(parsed: &rtlb::format::ParsedSystem, args: &[String]) -> Result<
             }
             Ok(())
         }
-        Err(e) => Err(format!(
+        Err(e) => Err(Failure::Run(format!(
             "the greedy scheduler found no schedule at {units} unit(s): {e} \
              (the instance may still be feasible for a smarter scheduler)"
-        )),
+        ))),
     }
 }
 
@@ -1038,6 +1360,121 @@ mod tests {
         ] {
             assert!(USAGE.contains(needle), "usage is missing {needle}");
         }
+    }
+
+    #[test]
+    fn serve_flags_parse_together() {
+        let args = serve_options(&flags(&[
+            "--addr=0.0.0.0:7421",
+            "--max-sessions=3",
+            "--max-inflight=9",
+            "--deadline-ms=250",
+            "--sweep=naive",
+            "--jobs=2",
+            "--chunk=7",
+            "--extended",
+            "--no-partition",
+            "--metrics-out=m.json",
+        ]))
+        .unwrap();
+        assert_eq!(args.config.addr, "0.0.0.0:7421");
+        assert_eq!(args.config.max_sessions, 3);
+        assert_eq!(args.config.max_inflight, 9);
+        assert_eq!(args.config.default_deadline_ms, Some(250));
+        assert_eq!(args.config.options.sweep, SweepStrategy::Naive);
+        assert_eq!(args.config.options.parallelism, 2);
+        assert_eq!(args.config.options.chunk_columns, 7);
+        assert_eq!(args.config.options.candidates, CandidatePolicy::Extended);
+        assert!(!args.config.options.partitioning);
+        assert_eq!(args.telemetry.metrics_out.as_deref(), Some("m.json"));
+    }
+
+    #[test]
+    fn serve_flags_default_to_serve_config_defaults() {
+        let args = serve_options(&[]).unwrap();
+        assert_eq!(args.config, ServeConfig::default());
+        assert!(!args.telemetry.enabled());
+        for bad in [
+            "--addr=",
+            "--max-sessions=lots",
+            "--max-inflight=-1",
+            "--deadline-ms=soon",
+            "--bogus",
+        ] {
+            assert!(serve_options(&flags(&[bad])).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn bench_serve_flags_parse_together() {
+        let args = bench_serve_options(&flags(&[
+            "--addr=127.0.0.1:7421",
+            "--clients=8",
+            "--requests=50",
+            "--workload=delta-stream",
+            "--deadline-ms=100",
+            "--out=BENCH_serve.json",
+        ]))
+        .unwrap();
+        assert_eq!(args.addr.as_deref(), Some("127.0.0.1:7421"));
+        assert_eq!(args.load.clients, 8);
+        assert_eq!(args.load.requests_per_client, 50);
+        assert_eq!(args.load.deadline_ms, Some(100));
+        assert_eq!(args.workloads, vec![Workload::DeltaStream]);
+        assert_eq!(args.out.as_deref(), Some("BENCH_serve.json"));
+    }
+
+    #[test]
+    fn bench_serve_defaults_to_both_workloads_in_process() {
+        let args = bench_serve_options(&[]).unwrap();
+        assert_eq!(args.addr, None);
+        assert_eq!(args.load, LoadConfig::default());
+        assert_eq!(
+            args.workloads,
+            vec![Workload::OneShot, Workload::DeltaStream]
+        );
+        for bad in [
+            "--workload=batch",
+            "--clients=all",
+            "--requests=",
+            "--out=",
+            "--addr=",
+        ] {
+            assert!(bench_serve_options(&flags(&[bad])).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn usage_mentions_the_serve_surface() {
+        for needle in [
+            "rtlb serve",
+            "rtlb bench-serve",
+            "rtlb check-report",
+            "rtlb-rpc-v1",
+            "--addr=",
+            "--max-sessions=",
+            "--max-inflight=",
+            "--deadline-ms=",
+            "--clients=",
+            "--requests=",
+            "--workload=",
+            "rtlb-bench-v1",
+        ] {
+            assert!(USAGE.contains(needle), "usage is missing {needle}");
+        }
+    }
+
+    #[test]
+    fn usage_documents_the_exit_code_table() {
+        for needle in ["exit codes", "usage error"] {
+            assert!(USAGE.contains(needle), "usage is missing {needle}");
+        }
+    }
+
+    #[test]
+    fn string_errors_default_to_run_failures() {
+        let failure: Failure = "disk on fire".to_owned().into();
+        assert_eq!(failure, Failure::Run("disk on fire".to_owned()));
     }
 
     #[test]

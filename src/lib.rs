@@ -59,14 +59,21 @@
 #![warn(missing_docs)]
 
 pub mod batch;
-pub mod format;
-pub mod scenario;
+pub mod check;
+
+// The text formats moved to the `rtlb-format` crate (the serve daemon and
+// the bench crate parse instances without depending on this facade); the
+// old `rtlb::format` / `rtlb::scenario` paths keep working.
+pub use rtlb_format::instance as format;
+pub use rtlb_format::scenario;
 
 pub use rtlb_baselines as baselines;
 pub use rtlb_core as core;
+pub use rtlb_format as fmt;
 pub use rtlb_graph as graph;
 pub use rtlb_ilp as ilp;
 pub use rtlb_obs as obs;
 pub use rtlb_sched as sched;
+pub use rtlb_serve as serve;
 pub use rtlb_sim as sim;
 pub use rtlb_workloads as workloads;

@@ -1,0 +1,160 @@
+//! Session-pool lifecycle tests of the `rtlb serve` daemon: LRU
+//! eviction to the parked tier, transparent re-analysis on reuse, and
+//! recovery of a session whose apply failed.
+//!
+//! The invariant throughout: however a session travelled through the
+//! pool (stayed live, was evicted and rebuilt, survived a failed
+//! apply), its bounds are bit-identical to a fresh analysis of the same
+//! edited instance — eviction is a cache policy, never a semantics
+//! change.
+
+use rtlb::obs::Json;
+use rtlb::serve::{serve, Client, ServeConfig};
+
+const INSTANCE: &str = "examples/instances/sensor_fusion.rtlb";
+const SECOND: &str = "examples/instances/paper_fig7.rtlb";
+
+fn read(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+fn session_id(response: &Json) -> String {
+    response
+        .get("session")
+        .and_then(Json::as_str)
+        .expect("session id")
+        .to_owned()
+}
+
+fn is_ok(response: &Json) -> bool {
+    rtlb::serve::client::is_ok(response)
+}
+
+#[test]
+fn evicted_session_rebuilds_bit_identical_to_a_live_one() {
+    let edit = ["set radar_a c=5".to_owned()];
+
+    // Reference: a session that stays live through the delta.
+    let reference = {
+        let server = serve(ServeConfig::default()).expect("daemon binds");
+        let mut client = Client::connect(server.addr()).expect("client connects");
+        let opened = client.open(&read(INSTANCE), None).expect("open answers");
+        assert!(is_ok(&opened));
+        let delta = client
+            .delta(&session_id(&opened), &edit, None)
+            .expect("delta answers");
+        assert!(is_ok(&delta));
+        assert_eq!(delta.get("rebuilt"), Some(&Json::Bool(false)));
+        delta
+    };
+
+    // Same traffic against a one-slot pool: the second open evicts the
+    // first session to the parked tier, so its delta must rebuild.
+    let server = serve(ServeConfig {
+        max_sessions: 1,
+        ..ServeConfig::default()
+    })
+    .expect("daemon binds");
+    let mut client = Client::connect(server.addr()).expect("client connects");
+    let opened = client.open(&read(INSTANCE), None).expect("open answers");
+    let first = session_id(&opened);
+    let second = client.open(&read(SECOND), None).expect("open answers");
+    assert!(is_ok(&second));
+
+    let stats = client.stats().expect("stats answers");
+    let sessions = stats.get("sessions").expect("sessions");
+    assert_eq!(sessions.get("live").and_then(Json::as_int), Some(1));
+    assert_eq!(sessions.get("parked").and_then(Json::as_int), Some(1));
+    assert_eq!(sessions.get("evictions").and_then(Json::as_int), Some(1));
+
+    let rebuilt = client.delta(&first, &edit, None).expect("delta answers");
+    assert!(is_ok(&rebuilt), "{rebuilt:?}");
+    assert_eq!(rebuilt.get("rebuilt"), Some(&Json::Bool(true)));
+
+    // Bit-identical: bounds rows (lb, witness, intervals examined) and
+    // the rendered table agree with the never-evicted session.
+    assert_eq!(rebuilt.get("bounds"), reference.get("bounds"));
+    assert_eq!(rebuilt.get("text"), reference.get("text"));
+    assert_eq!(
+        rebuilt.get("tasks_recomputed"),
+        reference.get("tasks_recomputed"),
+        "the rebuilt session applies the same delta work"
+    );
+}
+
+#[test]
+fn reopening_after_parked_drop_matches_a_fresh_analysis() {
+    // One live slot and one parked slot: opening three instances drops
+    // the oldest parked graph for good.
+    let server = serve(ServeConfig {
+        max_sessions: 1,
+        ..ServeConfig::default()
+    })
+    .expect("daemon binds");
+    let mut client = Client::connect(server.addr()).expect("client connects");
+    let first = session_id(&client.open(&read(INSTANCE), None).expect("open"));
+    let _second = client.open(&read(SECOND), None).expect("open");
+    let third = client.open(&read(INSTANCE), None).expect("open");
+    assert!(is_ok(&third));
+
+    let stats = client.stats().expect("stats answers");
+    let sessions = stats.get("sessions").expect("sessions");
+    assert_eq!(sessions.get("parked_drops").and_then(Json::as_int), Some(1));
+
+    // The dropped session is gone for good...
+    let gone = client
+        .delta(&first, &["set radar_a c=5".to_owned()], None)
+        .expect("delta answers");
+    assert_eq!(rtlb::serve::client::error_code(&gone), Some("no-session"));
+    // ...but reopening the same instance reproduces its bounds exactly.
+    assert_eq!(
+        third.get("bounds"),
+        {
+            let fresh = serve(ServeConfig::default()).expect("daemon binds");
+            let mut fresh_client = Client::connect(fresh.addr()).expect("connects");
+            let opened = fresh_client.open(&read(INSTANCE), None).expect("open");
+            opened.get("bounds").cloned()
+        }
+        .as_ref()
+    );
+}
+
+#[test]
+fn failed_apply_keeps_the_session_recoverable() {
+    let server = serve(ServeConfig::default()).expect("daemon binds");
+    let mut client = Client::connect(server.addr()).expect("client connects");
+    let opened = client.open(&read(INSTANCE), None).expect("open answers");
+    let session = session_id(&opened);
+
+    // `alarm` has deadline 30; forcing c=40 cannot be hosted.
+    let infeasible = client
+        .delta(&session, &["set alarm c=40".to_owned()], None)
+        .expect("delta answers");
+    assert!(!is_ok(&infeasible));
+    assert_eq!(
+        rtlb::serve::client::error_code(&infeasible),
+        Some("infeasible")
+    );
+
+    // The session survived: reverting the edit recovers bounds
+    // bit-identical to the original open.
+    let recovered = client
+        .delta(&session, &["set alarm c=2".to_owned()], None)
+        .expect("delta answers");
+    assert!(is_ok(&recovered), "{recovered:?}");
+    assert_eq!(recovered.get("bounds"), opened.get("bounds"));
+    assert_eq!(recovered.get("text"), opened.get("text"));
+
+    // Malformed edits also leave the session usable.
+    let malformed = client
+        .delta(&session, &["set nobody c=1".to_owned()], None)
+        .expect("delta answers");
+    assert_eq!(
+        rtlb::serve::client::error_code(&malformed),
+        Some("bad-request")
+    );
+    let still_alive = client
+        .delta(&session, &["set radar_a c=6".to_owned()], None)
+        .expect("delta answers");
+    assert!(is_ok(&still_alive), "{still_alive:?}");
+}
