@@ -1,0 +1,209 @@
+//! E17 — content-addressed batch cache: a cold batch over a synthetic
+//! corpus fills the store; the warm rerun must be **at least
+//! 10x faster** with bounds byte-identical to recomputation, and a
+//! sharded run killed mid-stream must resume and merge into an
+//! aggregate byte-identical to the uninterrupted run.
+//!
+//! The corpus is 8 distinct 6000-task independent-window instances
+//! (the sweep-stressing generator, where analysis costs ~15x the parse)
+//! plus 4 content-identical aliases of the first one (reformatted
+//! copies), so the run also exercises in-run deduplication: 12 files,
+//! 8 analyses.
+//!
+//! ```sh
+//! cargo run --release -p rtlb-bench --bin batch_cache
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use rtlb::batch::{run_batch, run_batch_probed, BatchOptions, BatchReport};
+use rtlb::shard::{merge_shards, run_shard, ShardOptions};
+use rtlb_bench::{write_bench_json, TextTable};
+use rtlb_obs::{Json, MetricsRegistry};
+use rtlb_workloads::independent_tasks;
+
+const SEEDS: u64 = 8;
+const ALIASES: usize = 4;
+const TASKS: usize = 6000;
+const LOAD: u32 = 12;
+const SPEEDUP_TARGET: f64 = 10.0;
+
+/// Writes the corpus: `SEEDS` distinct instances, then `ALIASES`
+/// reformatted copies of the seed-0 text.
+fn write_corpus(dir: &Path) {
+    std::fs::create_dir_all(dir).expect("corpus dir");
+    let mut first = String::new();
+    for seed in 0..SEEDS {
+        let text = rtlb_format::render(&independent_tasks(TASKS, LOAD, seed), None, None);
+        std::fs::write(dir.join(format!("seed_{seed:02}.rtlb")), &text).expect("corpus file");
+        if seed == 0 {
+            first = text;
+        }
+    }
+    for k in 0..ALIASES {
+        std::fs::write(
+            dir.join(format!("alias_{k}.rtlb")),
+            format!("# reformatted alias {k} of seed_00\n\n{first}\n"),
+        )
+        .expect("alias file");
+    }
+}
+
+/// Everything about a report except wall-clock timing.
+fn shape(report: &BatchReport) -> Vec<(PathBuf, &'static str, Option<String>, usize)> {
+    report
+        .instances
+        .iter()
+        .map(|i| {
+            (
+                i.path.clone(),
+                i.kind.label(),
+                i.detail.clone(),
+                i.bounds.len(),
+            )
+        })
+        .collect()
+}
+
+fn normalized_json(mut report: BatchReport) -> String {
+    report.normalize_timing();
+    report.to_json().render()
+}
+
+fn main() {
+    let files = SEEDS as usize + ALIASES;
+    println!(
+        "E17: content-addressed batch cache ({files} files, {SEEDS} unique, {TASKS} tasks each)\n"
+    );
+
+    let scratch =
+        std::env::temp_dir().join(format!("rtlb-bench-batch-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let corpus = scratch.join("corpus");
+    write_corpus(&corpus);
+    let options = BatchOptions {
+        cache: Some(scratch.join("cache")),
+        ..BatchOptions::default()
+    };
+
+    let cold_registry = MetricsRegistry::new();
+    let t0 = Instant::now();
+    let cold = run_batch_probed(&corpus, &options, &cold_registry).expect("cold batch");
+    let cold_micros = t0.elapsed().as_micros() as u64;
+
+    let warm_registry = MetricsRegistry::new();
+    let t0 = Instant::now();
+    let warm = run_batch_probed(&corpus, &options, &warm_registry).expect("warm batch");
+    let warm_micros = t0.elapsed().as_micros() as u64;
+
+    let cold_counters = cold_registry.snapshot();
+    let warm_counters = warm_registry.snapshot();
+    assert_eq!(
+        cold_counters.counter("cache.write"),
+        SEEDS,
+        "one store per unique instance"
+    );
+    assert_eq!(cold_counters.counter("cache.dedup"), ALIASES as u64);
+    assert_eq!(
+        warm_counters.counter("cache.hit"),
+        SEEDS,
+        "warm run must be all hits"
+    );
+    assert_eq!(warm_counters.counter("cache.miss"), 0);
+    assert_eq!(
+        shape(&cold),
+        shape(&warm),
+        "cached bounds must be byte-identical to recomputation"
+    );
+    assert_eq!(normalized_json(cold), normalized_json(warm));
+
+    // The resumable-stream cycle: shard the corpus in two, tear shard
+    // 0's stream mid-line, resume it, and merge — byte-identical to the
+    // uninterrupted aggregate.
+    let uninterrupted =
+        normalized_json(run_batch(&corpus, &BatchOptions::default()).expect("baseline"));
+    let shard_options = |shard: usize, resume: bool| ShardOptions {
+        batch: BatchOptions::default(),
+        shards: 2,
+        shard,
+        out: scratch.join(format!("s{shard}.jsonl")),
+        resume,
+    };
+    run_shard(&corpus, &shard_options(0, false)).expect("shard 0");
+    let stream = std::fs::read_to_string(scratch.join("s0.jsonl")).expect("stream");
+    std::fs::write(scratch.join("s0.jsonl"), &stream[..stream.len() - 25]).expect("tear");
+    let resumed = run_shard(&corpus, &shard_options(0, true)).expect("resume");
+    run_shard(&corpus, &shard_options(1, false)).expect("shard 1");
+    let merged =
+        merge_shards(&[scratch.join("s0.jsonl"), scratch.join("s1.jsonl")]).expect("merge");
+    let merge_identical = merged.to_json().render() == uninterrupted;
+    assert!(
+        merge_identical,
+        "kill/resume/merge drifted from the uninterrupted run"
+    );
+
+    let speedup = cold_micros as f64 / warm_micros.max(1) as f64;
+    let mut table = TextTable::new(["metric", "value"]);
+    table
+        .row(["corpus files", &files.to_string()])
+        .row(["unique instances", &SEEDS.to_string()])
+        .row(["cold batch", &format!("{cold_micros} us")])
+        .row(["warm batch", &format!("{warm_micros} us")])
+        .row(["speedup", &format!("{speedup:.1}x")])
+        .row([
+            "warm cache hits",
+            &warm_counters.counter("cache.hit").to_string(),
+        ])
+        .row([
+            "in-run dedups",
+            &cold_counters.counter("cache.dedup").to_string(),
+        ])
+        .row(["resumed rows", &resumed.resumed.to_string()]);
+    println!("{}", table.render());
+    println!("bounds: byte-identical cold vs warm; merge: byte-identical to uninterrupted");
+
+    let path = write_bench_json(
+        "BENCH_cache.json",
+        "batch_cache",
+        vec![
+            (
+                "corpus".to_owned(),
+                Json::obj([
+                    ("files", Json::Int(files as i64)),
+                    ("unique", Json::Int(SEEDS as i64)),
+                    ("aliases", Json::Int(ALIASES as i64)),
+                    ("tasks_per_instance", Json::Int(TASKS as i64)),
+                    (
+                        "generator",
+                        Json::str(format!("independent_tasks({TASKS}, {LOAD}, seed)")),
+                    ),
+                ]),
+            ),
+            ("cold_micros".to_owned(), Json::Int(cold_micros as i64)),
+            ("warm_micros".to_owned(), Json::Int(warm_micros as i64)),
+            ("speedup".to_owned(), Json::Float(speedup)),
+            (
+                "warm_cache_hits".to_owned(),
+                Json::Int(warm_counters.counter("cache.hit") as i64),
+            ),
+            (
+                "dedups".to_owned(),
+                Json::Int(cold_counters.counter("cache.dedup") as i64),
+            ),
+            ("warm_byte_identical".to_owned(), Json::Bool(true)),
+            (
+                "merge_byte_identical".to_owned(),
+                Json::Bool(merge_identical),
+            ),
+        ],
+    )
+    .expect("artifact writes");
+    println!("wrote {}", path.display());
+
+    let _ = std::fs::remove_dir_all(&scratch);
+    assert!(
+        speedup >= SPEEDUP_TARGET,
+        "warm batch must be at least {SPEEDUP_TARGET}x faster than cold (got {speedup:.1}x)"
+    );
+}

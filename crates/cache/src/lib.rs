@@ -1,0 +1,412 @@
+//! Content-addressed result cache for analysis bounds.
+//!
+//! The fleet workload is many users sweeping near-identical design
+//! points, so most batch work is recomputation of instances the
+//! pipeline has already solved. [`ResultCache`] turns those into disk
+//! hits: bounds are stored under the instance's 128-bit
+//! [`ContentKey`](rtlb_format::ContentKey) — a stable hash of the
+//! *canonical* instance text plus the semantic fingerprint of the
+//! [`AnalysisOptions`](rtlb_core::AnalysisOptions) — so any
+//! presentation variant of an already-analyzed system, under the same
+//! analysis semantics, is served without re-running the pipeline.
+//!
+//! Layout on disk (`--cache=DIR`):
+//!
+//! ```text
+//! DIR/index.json        # rtlb-cache-v1: schema + key algorithm pin
+//! DIR/<xx>/<key>.json   # rtlb-cache-entry-v1, sharded by the first
+//!                       # key byte (256-way) to keep directories flat
+//! ```
+//!
+//! Every write goes through [`write_atomic`] (temp + rename), so a kill
+//! mid-store can never leave a torn entry: an entry either exists in
+//! full or not at all. Reads are correspondingly forgiving — a missing,
+//! unreadable, or malformed entry is a **miss**, never an error; a
+//! cache must not be able to fail a run.
+//!
+//! Only healthy (`ok`) results are cached. Failure outcomes are cheap
+//! to recompute (parse errors, infeasibility) or nondeterministic under
+//! load (timeouts), and caching them would let one bad run poison every
+//! later one.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rtlb_core::{IntervalWitness, ResourceBound};
+use rtlb_format::ContentKey;
+use rtlb_graph::{Catalog, Dur, ResourceId, Time};
+use rtlb_obs::{json, Json};
+
+/// Schema tag of the cache directory's `index.json`.
+pub const CACHE_SCHEMA: &str = "rtlb-cache-v1";
+
+/// Schema tag of each stored entry.
+pub const CACHE_ENTRY_SCHEMA: &str = "rtlb-cache-entry-v1";
+
+/// The key algorithm pinned in the index; a cache written with a
+/// different algorithm or canonical form must miss, not mislead.
+pub const KEY_ALGO: &str = "siphash-2-4-128";
+
+/// The canonical-form version pinned in the index (see
+/// `rtlb_format::canon`).
+pub const CANON_VERSION: &str = "rtlb-canon-v1";
+
+/// Bounds by resource name, exactly as a batch row or `rtlb analyze`
+/// carries them.
+pub type NamedBounds = Vec<(String, ResourceBound)>;
+
+/// Monotone suffix making concurrent temp files unique within one
+/// process; the pid handles distinct processes.
+static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Writes `contents` to `path` atomically: the bytes land in a sibling
+/// temp file first and are renamed into place, so a kill mid-write can
+/// never leave a truncated file at `path`. The temp name carries the
+/// pid and a process-local sequence number, so concurrent writers —
+/// batch workers, serve connections, parallel shard processes — never
+/// clobber each other's in-flight bytes.
+///
+/// # Errors
+///
+/// A human-readable message naming the failing path and OS error.
+pub fn write_atomic(path: &Path, contents: &str) -> Result<(), String> {
+    let mut tmp_name = path.file_name().unwrap_or_default().to_owned();
+    tmp_name.push(format!(
+        ".tmp.{}.{}",
+        std::process::id(),
+        TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let tmp = path.with_file_name(tmp_name);
+    std::fs::write(&tmp, contents).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path)
+        .map_err(|e| format!("cannot rename {} into place: {e}", tmp.display()))
+}
+
+/// A content-addressed store of analysis bounds under one directory.
+#[derive(Clone, Debug)]
+pub struct ResultCache {
+    root: PathBuf,
+}
+
+impl ResultCache {
+    /// Opens (creating if needed) the cache at `dir` and pins its
+    /// `index.json`.
+    ///
+    /// # Errors
+    ///
+    /// The directory cannot be created, the index cannot be written, or
+    /// an existing index disagrees on schema, key algorithm, or
+    /// canonical-form version — serving entries across such a mismatch
+    /// could return bounds for a *different* normalization, so the open
+    /// refuses instead.
+    pub fn open(dir: &Path) -> Result<ResultCache, String> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create cache dir {}: {e}", dir.display()))?;
+        let index = dir.join("index.json");
+        match std::fs::read_to_string(&index) {
+            Ok(text) => {
+                let doc = json::parse(&text)
+                    .map_err(|e| format!("corrupt cache index {}: {e}", index.display()))?;
+                for (field, want) in [
+                    ("schema", CACHE_SCHEMA),
+                    ("key_algo", KEY_ALGO),
+                    ("canon", CANON_VERSION),
+                ] {
+                    let got = doc.get(field).and_then(Json::as_str);
+                    if got != Some(want) {
+                        return Err(format!(
+                            "cache index {}: {field} is {:?}, this build needs {want:?}",
+                            index.display(),
+                            got.unwrap_or("missing"),
+                        ));
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                let doc = Json::obj([
+                    ("schema", Json::str(CACHE_SCHEMA)),
+                    ("key_algo", Json::str(KEY_ALGO)),
+                    ("canon", Json::str(CANON_VERSION)),
+                ]);
+                write_atomic(&index, &doc.render())?;
+            }
+            Err(e) => return Err(format!("cannot read cache index {}: {e}", index.display())),
+        }
+        Ok(ResultCache {
+            root: dir.to_path_buf(),
+        })
+    }
+
+    /// The cache directory this store was opened on.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Where `key`'s entry lives (whether or not it exists yet).
+    pub fn entry_path(&self, key: ContentKey) -> PathBuf {
+        self.root
+            .join(key.shard_prefix())
+            .join(format!("{key}.json"))
+    }
+
+    /// Fetches the bounds stored under `key`, or `None` on a miss.
+    /// Unreadable and malformed entries are misses too — the caller
+    /// recomputes and overwrites; corruption can cost time, never
+    /// correctness.
+    pub fn lookup(&self, key: ContentKey) -> Option<NamedBounds> {
+        let text = std::fs::read_to_string(self.entry_path(key)).ok()?;
+        let doc = json::parse(&text).ok()?;
+        if doc.get("schema").and_then(Json::as_str) != Some(CACHE_ENTRY_SCHEMA) {
+            return None;
+        }
+        // A copied or renamed entry must not impersonate another key.
+        if doc.get("key").and_then(Json::as_str) != Some(key.to_hex().as_str()) {
+            return None;
+        }
+        let rows = doc.get("bounds").and_then(Json::as_arr)?;
+        let mut bounds = Vec::with_capacity(rows.len());
+        for row in rows {
+            let name = row.get("resource").and_then(Json::as_str)?.to_owned();
+            let index = usize::try_from(row.get("index").and_then(Json::as_int)?).ok()?;
+            let lb = u32::try_from(row.get("lb").and_then(Json::as_int)?).ok()?;
+            let intervals =
+                u64::try_from(row.get("intervals_examined").and_then(Json::as_int)?).ok()?;
+            let witness = match row.get("witness")? {
+                Json::Null => None,
+                w => Some(IntervalWitness {
+                    t1: Time::new(w.get("t1").and_then(Json::as_int)?),
+                    t2: Time::new(w.get("t2").and_then(Json::as_int)?),
+                    demand: Dur::try_new(w.get("demand").and_then(Json::as_int)?)?,
+                }),
+            };
+            bounds.push((
+                name,
+                ResourceBound {
+                    resource: ResourceId::from_index(index),
+                    bound: lb,
+                    witness,
+                    intervals_examined: intervals,
+                },
+            ));
+        }
+        Some(bounds)
+    }
+
+    /// Stores `bounds` under `key`, atomically. `options_fingerprint`
+    /// is recorded for humans inspecting the entry (the fingerprint is
+    /// already folded into `key`, so it never disambiguates lookups).
+    ///
+    /// # Errors
+    ///
+    /// The shard directory or entry file cannot be written.
+    pub fn store(
+        &self,
+        key: ContentKey,
+        options_fingerprint: &str,
+        bounds: &[(String, ResourceBound)],
+    ) -> Result<(), String> {
+        let path = self.entry_path(key);
+        let shard = path.parent().expect("entry path has a shard dir");
+        std::fs::create_dir_all(shard)
+            .map_err(|e| format!("cannot create cache shard {}: {e}", shard.display()))?;
+        write_atomic(
+            &path,
+            &entry_json(key, options_fingerprint, bounds).render(),
+        )
+    }
+}
+
+/// Re-binds name-keyed cached bounds to a graph's catalog ids so they
+/// render byte-identically to a fresh analysis (both `render_bounds`
+/// and the RPC `bounds_body` resolve names through the catalog). `None`
+/// when any cached name is missing from the catalog — the caller should
+/// treat that as a miss and recompute; it cannot happen for an entry
+/// stored under the same content key, but a defensive miss beats a
+/// wrong label.
+pub fn resolve_bounds(catalog: &Catalog, named: &NamedBounds) -> Option<Vec<ResourceBound>> {
+    named
+        .iter()
+        .map(|(name, b)| {
+            catalog
+                .lookup(name)
+                .map(|id| ResourceBound { resource: id, ..*b })
+        })
+        .collect()
+}
+
+/// The `rtlb-cache-entry-v1` document for one stored result.
+pub fn entry_json(
+    key: ContentKey,
+    options_fingerprint: &str,
+    bounds: &[(String, ResourceBound)],
+) -> Json {
+    let rows: Vec<Json> = bounds
+        .iter()
+        .map(|(name, b)| {
+            let witness = match &b.witness {
+                None => Json::Null,
+                Some(w) => Json::obj([
+                    ("t1", Json::Int(w.t1.ticks())),
+                    ("t2", Json::Int(w.t2.ticks())),
+                    ("demand", Json::Int(w.demand.ticks())),
+                ]),
+            };
+            Json::obj([
+                ("resource", Json::str(name.as_str())),
+                ("index", Json::Int(b.resource.index() as i64)),
+                ("lb", Json::Int(i64::from(b.bound))),
+                (
+                    "intervals_examined",
+                    Json::Int(i64::try_from(b.intervals_examined).unwrap_or(i64::MAX)),
+                ),
+                ("witness", witness),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("schema", Json::str(CACHE_ENTRY_SCHEMA)),
+        ("key", Json::str(key.to_hex())),
+        ("options", Json::str(options_fingerprint)),
+        ("bounds", Json::Arr(rows)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rtlb-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_bounds() -> NamedBounds {
+        vec![
+            (
+                "P1".to_owned(),
+                ResourceBound {
+                    resource: ResourceId::from_index(0),
+                    bound: 3,
+                    witness: Some(IntervalWitness {
+                        t1: Time::new(2),
+                        t2: Time::new(9),
+                        demand: Dur::new(21),
+                    }),
+                    intervals_examined: 17,
+                },
+            ),
+            (
+                "r1".to_owned(),
+                ResourceBound {
+                    resource: ResourceId::from_index(2),
+                    bound: 0,
+                    witness: None,
+                    intervals_examined: 4,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn store_then_lookup_round_trips_exactly() {
+        let dir = temp_dir("roundtrip");
+        let cache = ResultCache::open(&dir).unwrap();
+        let key = ContentKey::of(b"instance");
+        assert_eq!(cache.lookup(key), None, "fresh cache misses");
+        let bounds = sample_bounds();
+        cache.store(key, "fp", &bounds).unwrap();
+        assert_eq!(cache.lookup(key), Some(bounds));
+        assert_eq!(cache.lookup(ContentKey::of(b"other")), None);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_accepts_same_pin_and_rejects_foreign_index() {
+        let dir = temp_dir("reopen");
+        {
+            let cache = ResultCache::open(&dir).unwrap();
+            cache
+                .store(ContentKey::of(b"x"), "fp", &sample_bounds())
+                .unwrap();
+        }
+        let cache = ResultCache::open(&dir).unwrap();
+        assert!(cache.lookup(ContentKey::of(b"x")).is_some());
+
+        write_atomic(
+            &dir.join("index.json"),
+            r#"{"schema":"rtlb-cache-v0","key_algo":"fnv","canon":"old"}"#,
+        )
+        .unwrap();
+        let err = ResultCache::open(&dir).unwrap_err();
+        assert!(err.contains("schema"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_and_mislabeled_entries_are_misses() {
+        let dir = temp_dir("corrupt");
+        let cache = ResultCache::open(&dir).unwrap();
+        let key = ContentKey::of(b"victim");
+        cache.store(key, "fp", &sample_bounds()).unwrap();
+
+        // Truncated JSON: miss.
+        std::fs::write(cache.entry_path(key), "{\"schema\":").unwrap();
+        assert_eq!(cache.lookup(key), None);
+
+        // A valid entry copied under the wrong key: miss.
+        let other = ContentKey::of(b"somebody-else");
+        cache.store(other, "fp", &sample_bounds()).unwrap();
+        std::fs::create_dir_all(cache.entry_path(key).parent().unwrap()).unwrap();
+        std::fs::copy(cache.entry_path(other), cache.entry_path(key)).unwrap();
+        assert_eq!(cache.lookup(key), None);
+        assert!(cache.lookup(other).is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_leaves_no_temp() {
+        let dir = temp_dir("atomic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.json");
+        write_atomic(&path, "first").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "first");
+        write_atomic(&path, "second").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        assert_eq!(leftovers, vec![std::ffi::OsString::from("report.json")]);
+        std::fs::remove_dir_all(&dir).unwrap();
+        assert!(write_atomic(&dir.join("missing/x.json"), "y").is_err());
+    }
+
+    #[test]
+    fn resolve_bounds_rebinds_to_catalog_ids_or_misses() {
+        let mut catalog = Catalog::new();
+        let p1 = catalog.processor("P1");
+        let r1 = catalog.resource("r1");
+        let resolved = resolve_bounds(&catalog, &sample_bounds()).unwrap();
+        assert_eq!(resolved[0].resource, p1);
+        assert_eq!(resolved[1].resource, r1);
+        assert_eq!(resolved[0].bound, 3);
+        assert_eq!(resolved[0].witness, sample_bounds()[0].1.witness);
+        let foreign = vec![("ghost".to_owned(), sample_bounds()[0].1)];
+        assert_eq!(resolve_bounds(&catalog, &foreign), None);
+    }
+
+    #[test]
+    fn entries_shard_by_key_prefix() {
+        let dir = temp_dir("shards");
+        let cache = ResultCache::open(&dir).unwrap();
+        let key = ContentKey::of(b"sharded");
+        cache.store(key, "fp", &[]).unwrap();
+        let expected = dir.join(key.shard_prefix()).join(format!("{key}.json"));
+        assert!(expected.is_file());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -55,6 +55,35 @@ impl Default for AnalysisOptions {
     }
 }
 
+impl AnalysisOptions {
+    /// The stable fingerprint of every knob that can change a computed
+    /// bound, used by the result cache as part of an instance's content
+    /// key.
+    ///
+    /// `partitioning` and `candidates` select which bound is computed,
+    /// and `sweep` is included conservatively (the two strategies are
+    /// bit-identical by contract, but the naive oracle path is exactly
+    /// what we never want silently served from a fast-path cache entry
+    /// or vice versa when debugging a divergence). `parallelism` and
+    /// `chunk_columns` are pure execution shape — results are documented
+    /// and property-tested identical for every value — so they are
+    /// excluded: runs at different pool sizes share cache entries.
+    pub fn semantic_fingerprint(&self) -> String {
+        format!(
+            "partitioning={};candidates={};sweep={}",
+            self.partitioning,
+            match self.candidates {
+                CandidatePolicy::EstLct => "est-lct",
+                CandidatePolicy::Extended => "extended",
+            },
+            match self.sweep {
+                SweepStrategy::Naive => "naive",
+                SweepStrategy::Incremental => "incremental",
+            },
+        )
+    }
+}
+
 /// Everything the lower-bound analysis derives for one application and
 /// system model: task windows, per-resource partitions, and `LB_r` for
 /// every demanded resource.

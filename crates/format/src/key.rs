@@ -1,0 +1,192 @@
+//! A stable 128-bit content key for cache addressing.
+//!
+//! The persistent result cache (`rtlb batch --cache=DIR`) needs a hash
+//! that is **stable across builds, platforms, and releases** — which
+//! rules out [`std::collections::hash_map::DefaultHasher`], whose
+//! algorithm is explicitly unspecified. This module carries a small,
+//! fully specified SipHash-2-4 implementation with the 128-bit output
+//! extension, pinned by the reference implementation's test vectors, so
+//! a key written by one binary is found by every later one.
+//!
+//! SipHash-2-4-128 is not a cryptographic commitment here — nothing
+//! secret keys it — but it mixes far better than an ad-hoc FNV fold and
+//! makes accidental collisions across a million-instance corpus
+//! (2^-128 per pair) a non-concern.
+
+use std::fmt;
+
+/// The fixed 128-bit key of the cache hash, spelled in ASCII so the
+/// algorithm is reproducible from the docs alone: `k0 = "rtlb-cac"`,
+/// `k1 = "he-key-1"`, both little-endian.
+const K0: u64 = u64::from_le_bytes(*b"rtlb-cac");
+const K1: u64 = u64::from_le_bytes(*b"he-key-1");
+
+/// A 128-bit content key, displayed as 32 lowercase hex digits (the
+/// SipHash output bytes in order).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ContentKey(pub [u8; 16]);
+
+impl ContentKey {
+    /// Hashes `bytes` with the fixed-key SipHash-2-4-128.
+    pub fn of(bytes: &[u8]) -> ContentKey {
+        ContentKey(siphash_2_4_128(K0, K1, bytes))
+    }
+
+    /// The 32-hex-digit rendering (also what [`fmt::Display`] writes).
+    pub fn to_hex(self) -> String {
+        let mut out = String::with_capacity(32);
+        for b in self.0 {
+            use std::fmt::Write as _;
+            let _ = write!(out, "{b:02x}");
+        }
+        out
+    }
+
+    /// Parses the 32-hex-digit rendering back; `None` on any other
+    /// shape (wrong length, non-hex digit).
+    pub fn parse(hex: &str) -> Option<ContentKey> {
+        let bytes = hex.as_bytes();
+        if bytes.len() != 32 {
+            return None;
+        }
+        let mut out = [0u8; 16];
+        for (i, chunk) in bytes.chunks_exact(2).enumerate() {
+            let hi = (chunk[0] as char).to_digit(16)?;
+            let lo = (chunk[1] as char).to_digit(16)?;
+            out[i] = (hi * 16 + lo) as u8;
+        }
+        Some(ContentKey(out))
+    }
+
+    /// The two-hex-digit shard prefix the cache store fans directories
+    /// out on (256-way).
+    pub fn shard_prefix(self) -> String {
+        format!("{:02x}", self.0[0])
+    }
+}
+
+impl fmt::Display for ContentKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+#[inline]
+fn sipround(v: &mut [u64; 4]) {
+    v[0] = v[0].wrapping_add(v[1]);
+    v[1] = v[1].rotate_left(13) ^ v[0];
+    v[0] = v[0].rotate_left(32);
+    v[2] = v[2].wrapping_add(v[3]);
+    v[3] = v[3].rotate_left(16) ^ v[2];
+    v[0] = v[0].wrapping_add(v[3]);
+    v[3] = v[3].rotate_left(21) ^ v[0];
+    v[2] = v[2].wrapping_add(v[1]);
+    v[1] = v[1].rotate_left(17) ^ v[2];
+    v[2] = v[2].rotate_left(32);
+}
+
+/// SipHash-2-4 with the 128-bit output extension, exactly per the
+/// reference implementation (`outlen == 16` variant).
+pub fn siphash_2_4_128(k0: u64, k1: u64, data: &[u8]) -> [u8; 16] {
+    let mut v = [
+        k0 ^ 0x736f_6d65_7073_6575,
+        k1 ^ 0x646f_7261_6e64_6f6d,
+        k0 ^ 0x6c79_6765_6e65_7261,
+        k1 ^ 0x7465_6462_7974_6573,
+    ];
+    // The 128-bit variant's only initialization difference.
+    v[1] ^= 0xee;
+
+    let mut chunks = data.chunks_exact(8);
+    for chunk in &mut chunks {
+        let m = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        v[3] ^= m;
+        sipround(&mut v);
+        sipround(&mut v);
+        v[0] ^= m;
+    }
+    // Final block: length byte in the top 8 bits over the tail bytes.
+    let tail = chunks.remainder();
+    let mut b = (data.len() as u64) << 56;
+    for (i, &byte) in tail.iter().enumerate() {
+        b |= u64::from(byte) << (8 * i);
+    }
+    v[3] ^= b;
+    sipround(&mut v);
+    sipround(&mut v);
+    v[0] ^= b;
+
+    v[2] ^= 0xee;
+    for _ in 0..4 {
+        sipround(&mut v);
+    }
+    let first = v[0] ^ v[1] ^ v[2] ^ v[3];
+    v[1] ^= 0xdd;
+    for _ in 0..4 {
+        sipround(&mut v);
+    }
+    let second = v[0] ^ v[1] ^ v[2] ^ v[3];
+
+    let mut out = [0u8; 16];
+    out[..8].copy_from_slice(&first.to_le_bytes());
+    out[8..].copy_from_slice(&second.to_le_bytes());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The reference implementation's key: bytes 00..0f, little-endian.
+    const TK0: u64 = 0x0706_0504_0302_0100;
+    const TK1: u64 = 0x0f0e_0d0c_0b0a_0908;
+
+    fn hex(bytes: [u8; 16]) -> String {
+        ContentKey(bytes).to_hex()
+    }
+
+    #[test]
+    fn matches_the_reference_vectors() {
+        // vectors_sip128 from the SipHash reference implementation:
+        // input is the byte sequence 00, 01, ... of the given length.
+        let input: Vec<u8> = (0u8..64).collect();
+        assert_eq!(
+            hex(siphash_2_4_128(TK0, TK1, &input[..0])),
+            "a3817f04ba25a8e66df67214c7550293"
+        );
+        assert_eq!(
+            hex(siphash_2_4_128(TK0, TK1, &input[..1])),
+            "da87c1d86b99af44347659119b22fc45"
+        );
+        assert_eq!(
+            hex(siphash_2_4_128(TK0, TK1, &input[..2])),
+            "8177228da4a45dc7fca38bdef60affe4"
+        );
+        assert_eq!(
+            hex(siphash_2_4_128(TK0, TK1, &input[..3])),
+            "9c70b60c5267a94e5f33b6b02985ed51"
+        );
+    }
+
+    #[test]
+    fn hex_round_trips_and_rejects_garbage() {
+        let key = ContentKey::of(b"some canonical instance text");
+        assert_eq!(ContentKey::parse(&key.to_hex()), Some(key));
+        assert_eq!(key.to_hex().len(), 32);
+        assert!(key.shard_prefix().len() == 2);
+        assert!(key.to_hex().starts_with(&key.shard_prefix()));
+        assert_eq!(ContentKey::parse("short"), None);
+        assert_eq!(ContentKey::parse(&"g".repeat(32)), None);
+        assert_eq!(ContentKey::parse(&"a".repeat(33)), None);
+    }
+
+    #[test]
+    fn distinct_inputs_get_distinct_keys() {
+        let a = ContentKey::of(b"task t c=1");
+        let b = ContentKey::of(b"task t c=2");
+        let c = ContentKey::of(b"task t c=1 ");
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, ContentKey::of(b"task t c=1"));
+    }
+}

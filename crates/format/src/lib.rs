@@ -17,14 +17,28 @@
 //!
 //! Both parsers are pure (no IO) and report 1-based line numbers in their
 //! [`instance::ParseError`].
+//!
+//! Two further modules serve the content-addressed result cache:
+//!
+//! * [`canon`] — [`canon::canonical_text`] renders a parsed instance into
+//!   one normal form (sorted sections, explicit fields) so presentation
+//!   variants of the same system collapse; [`canon::content_key`] hashes
+//!   the canonical bytes plus an analysis-options fingerprint.
+//! * [`key`] — the stable std-only SipHash-2-4-128 behind
+//!   [`key::ContentKey`], pinned by reference vectors so keys persist
+//!   across builds and releases.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod canon;
 pub mod instance;
+pub mod key;
 pub mod scenario;
 
+pub use canon::{canonical_text, content_key};
 pub use instance::{parse, render, ParseError, ParsedSystem};
+pub use key::ContentKey;
 pub use scenario::{
     parse_edit_line, parse_scenarios, resolve, resolve_edits, Scenario, ScenarioEdit, ScenarioFile,
 };

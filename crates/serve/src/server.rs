@@ -22,19 +22,27 @@
 //! [`Server::shutdown`] (or a `shutdown` request) promptly; the daemon
 //! joins all of its threads before reporting the final
 //! [`MetricsSnapshot`].
+//!
+//! With [`ServeConfig::cache_dir`] set, `analyze` requests consult the
+//! content-addressed [`ResultCache`] before running the pipeline and
+//! store fresh `ok` bounds back (`cache.hit` / `cache.miss` /
+//! `cache.write` counters); a hit's response body is byte-identical to
+//! the fresh analysis it replaces.
 
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use rtlb_cache::{resolve_bounds, ResultCache};
 use rtlb_core::{
     analyze_ctl, classify, panic_message, AnalysisError, AnalysisOptions, AnalysisSession,
-    CancelToken, OutcomeKind, SystemModel,
+    CancelToken, OutcomeKind, ResourceBound, SystemModel,
 };
-use rtlb_format::{instance, ParseError, ParsedSystem};
+use rtlb_format::{content_key, instance, ParseError, ParsedSystem};
 use rtlb_obs::{Json, MetricsRegistry, MetricsSnapshot, NULL_PROBE};
 
 use crate::pool::{Checkout, SessionPool};
@@ -66,6 +74,10 @@ pub struct ServeConfig {
     /// Analysis options shared by every request (same defaults as
     /// `rtlb analyze`).
     pub options: AnalysisOptions,
+    /// Directory of the content-addressed result cache consulted (and
+    /// filled) by `analyze` requests; `None` disables caching. The
+    /// cached bounds body is byte-identical to a fresh analysis.
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -76,6 +88,7 @@ impl Default for ServeConfig {
             max_inflight: 4,
             default_deadline_ms: None,
             options: AnalysisOptions::default(),
+            cache_dir: None,
         }
     }
 }
@@ -89,6 +102,10 @@ struct Shared {
     registry: MetricsRegistry,
     stop: AtomicBool,
     parser: Box<InstanceParser>,
+    /// The content-addressed result cache `analyze` requests consult,
+    /// with the options fingerprint folded into every key.
+    cache: Option<ResultCache>,
+    fingerprint: String,
 }
 
 /// A running daemon. Dropping it shuts it down and joins its threads.
@@ -122,6 +139,13 @@ pub fn serve_with_parser(
     let addr = listener
         .local_addr()
         .map_err(|e| format!("cannot resolve bound address: {e}"))?;
+    // Open (or create) the cache before accepting traffic: a cache that
+    // cannot be pinned is a startup error, never a silent no-cache run.
+    let cache = match &config.cache_dir {
+        Some(dir) => Some(ResultCache::open(dir)?),
+        None => None,
+    };
+    let fingerprint = config.options.semantic_fingerprint();
     let max_sessions = config.max_sessions;
     let shared = Arc::new(Shared {
         config,
@@ -131,6 +155,8 @@ pub fn serve_with_parser(
         registry: MetricsRegistry::new(),
         stop: AtomicBool::new(false),
         parser,
+        cache,
+        fingerprint,
     });
     let accept_shared = Arc::clone(&shared);
     let accept = std::thread::spawn(move || accept_loop(listener, &accept_shared));
@@ -368,6 +394,26 @@ fn op_analyze(
     let token = deadline_token(deadline_ms, &shared.config);
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         let parsed = (shared.parser)(instance_text).map_err(parse_rpc_error)?;
+        // With a cache attached, the request is keyed by its canonical
+        // content: a hit skips the pipeline entirely and re-binds the
+        // stored name-keyed bounds to this parse's catalog, which makes
+        // the response body byte-identical to a fresh analysis.
+        let key = shared
+            .cache
+            .as_ref()
+            .map(|_| content_key(&parsed, &shared.fingerprint));
+        if let (Some(cache), Some(key)) = (&shared.cache, key) {
+            let served = cache
+                .lookup(key)
+                .and_then(|named| resolve_bounds(parsed.graph.catalog(), &named));
+            match served {
+                Some(bounds) => {
+                    shared.registry.counter_add("cache.hit", 1);
+                    return Ok((parsed.graph, bounds));
+                }
+                None => shared.registry.counter_add("cache.miss", 1),
+            }
+        }
         let analysis = analyze_ctl(
             &parsed.graph,
             &SystemModel::shared(),
@@ -376,14 +422,20 @@ fn op_analyze(
             &token,
         )
         .map_err(analysis_rpc_error)?;
-        Ok((parsed.graph, analysis))
+        let bounds: Vec<ResourceBound> = analysis.bounds().to_vec();
+        if let (Some(cache), Some(key)) = (&shared.cache, key) {
+            let named: rtlb_cache::NamedBounds = bounds
+                .iter()
+                .map(|b| (parsed.graph.catalog().name(b.resource).to_owned(), *b))
+                .collect();
+            if cache.store(key, &shared.fingerprint, &named).is_ok() {
+                shared.registry.counter_add("cache.write", 1);
+            }
+        }
+        Ok((parsed.graph, bounds))
     }));
-    let (graph, analysis) = request_outcome(id, outcome)?;
-    Ok(ok_response(
-        id,
-        "analyze",
-        bounds_body(&graph, analysis.bounds()),
-    ))
+    let (graph, bounds) = request_outcome(id, outcome)?;
+    Ok(ok_response(id, "analyze", bounds_body(&graph, &bounds)))
 }
 
 fn op_delta(

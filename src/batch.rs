@@ -27,15 +27,26 @@
 //!
 //! Two telemetry surfaces ride on the driver. A [`Probe`] passed to
 //! [`run_batch_probed`] sees every instance's pipeline spans plus
-//! batch-level counters (`batch.outcome.*`, `batch.instances`) and the
+//! batch-level counters (`batch.outcome.*`, `batch.instances`,
+//! `cache.hit` / `cache.miss` / `cache.write` / `cache.dedup`) and the
 //! `batch.instance_micros` duration distribution — attach a
 //! [`MetricsRegistry`](rtlb_obs::MetricsRegistry) and the whole fleet
 //! aggregates into one `rtlb-metrics-v1` export. And when
 //! [`BatchOptions::heartbeat`] is set, a monitor thread emits live
-//! progress (done/total, per-class counts, throughput, ETA, stragglers
-//! above the p95 completed duration) to stderr and optionally as
-//! `rtlb-heartbeat-v1` JSONL.
+//! progress (done/total, per-class counts, cache hits, throughput, ETA,
+//! stragglers above the p95 completed duration) to stderr and
+//! optionally as `rtlb-heartbeat-v1` JSONL.
+//!
+//! With [`BatchOptions::cache`] set, the driver is a consumer of the
+//! content-addressed [`ResultCache`]: every instance is keyed by its
+//! canonical text plus the semantic options fingerprint, healthy bounds
+//! are served from disk when the key is known (byte-identical to
+//! recomputation), and fresh `ok` results are stored back. Cache or
+//! not, instances that are content-identical **within one run** are
+//! deduped — the lowest-indexed one is analyzed, its aliases replicate
+//! the outcome — so N copies of a design point cost one analysis.
 
+use std::collections::BTreeMap;
 use std::io::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
@@ -43,13 +54,19 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use rtlb_cache::{NamedBounds, ResultCache};
 use rtlb_core::{
     analyze_ctl, effective_threads, run_jobs, AnalysisOptions, CancelToken, ResourceBound,
     SystemModel,
 };
+use rtlb_format::{content_key, ContentKey};
 use rtlb_obs::{Json, Probe, NULL_PROBE};
 
 use crate::format;
+
+// Atomic temp+rename writes moved to `rtlb-cache` (the cache store and
+// every exporter share one implementation); the old path keeps working.
+pub use rtlb_cache::write_atomic;
 
 /// Schema tag emitted by [`BatchReport::to_json`].
 pub const BATCH_SCHEMA: &str = "rtlb-batch-v1";
@@ -75,6 +92,9 @@ pub struct BatchOptions {
     pub tolerate: Vec<OutcomeKind>,
     /// Live progress reporting; `None` runs silently.
     pub heartbeat: Option<HeartbeatOptions>,
+    /// Directory of the content-addressed result cache; `None` disables
+    /// caching (in-run dedupe still applies).
+    pub cache: Option<PathBuf>,
 }
 
 /// Configuration of the live batch progress emitter.
@@ -136,44 +156,7 @@ impl BatchReport {
 
     /// The versioned `rtlb-batch-v1` JSON document.
     pub fn to_json(&self) -> Json {
-        let instances: Vec<Json> = self
-            .instances
-            .iter()
-            .map(|i| {
-                let mut fields = vec![
-                    ("path", Json::str(i.path.display().to_string())),
-                    ("outcome", Json::str(i.kind.label())),
-                    ("micros", Json::Int(int(i.micros))),
-                ];
-                if let Some(detail) = &i.detail {
-                    fields.push(("detail", Json::str(detail.as_str())));
-                }
-                if i.kind == OutcomeKind::Ok {
-                    let bounds: Vec<Json> = i
-                        .bounds
-                        .iter()
-                        .map(|(name, b)| {
-                            let witness = match &b.witness {
-                                None => Json::Null,
-                                Some(w) => Json::obj([
-                                    ("t1", Json::Int(w.t1.ticks())),
-                                    ("t2", Json::Int(w.t2.ticks())),
-                                    ("demand", Json::Int(w.demand.ticks())),
-                                ]),
-                            };
-                            Json::obj([
-                                ("resource", Json::str(name.as_str())),
-                                ("lb", Json::Int(i64::from(b.bound))),
-                                ("intervals_examined", Json::Int(int(b.intervals_examined))),
-                                ("witness", witness),
-                            ])
-                        })
-                        .collect();
-                    fields.push(("bounds", Json::Arr(bounds)));
-                }
-                Json::obj(fields)
-            })
-            .collect();
+        let instances: Vec<Json> = self.instances.iter().map(outcome_json).collect();
         let counts: Vec<(&str, Json)> = OUTCOME_KINDS
             .into_iter()
             .map(|k| (k.label(), Json::Int(self.count(k) as i64)))
@@ -236,6 +219,103 @@ impl BatchReport {
         );
         out
     }
+
+    /// Zeroes every wall-clock field, leaving only the deterministic
+    /// content: paths, outcomes, details, bounds. This is what shard
+    /// merging and byte-identity tests compare — two runs of the same
+    /// corpus agree on everything except how long the clock said they
+    /// took.
+    pub fn normalize_timing(&mut self) {
+        self.total_micros = 0;
+        for i in &mut self.instances {
+            i.micros = 0;
+        }
+    }
+}
+
+/// The JSON row for one instance outcome — the element shape of the
+/// `rtlb-batch-v1` `instances` array and (with a `key` field added) of
+/// each `rtlb-batch-shard-v1` stream line.
+pub(crate) fn outcome_json(i: &InstanceOutcome) -> Json {
+    let mut fields = vec![
+        ("path", Json::str(i.path.display().to_string())),
+        ("outcome", Json::str(i.kind.label())),
+        ("micros", Json::Int(int(i.micros))),
+    ];
+    if let Some(detail) = &i.detail {
+        fields.push(("detail", Json::str(detail.as_str())));
+    }
+    if i.kind == OutcomeKind::Ok {
+        let bounds: Vec<Json> = i
+            .bounds
+            .iter()
+            .map(|(name, b)| {
+                let witness = match &b.witness {
+                    None => Json::Null,
+                    Some(w) => Json::obj([
+                        ("t1", Json::Int(w.t1.ticks())),
+                        ("t2", Json::Int(w.t2.ticks())),
+                        ("demand", Json::Int(w.demand.ticks())),
+                    ]),
+                };
+                Json::obj([
+                    ("resource", Json::str(name.as_str())),
+                    ("lb", Json::Int(i64::from(b.bound))),
+                    ("intervals_examined", Json::Int(int(b.intervals_examined))),
+                    ("witness", witness),
+                ])
+            })
+            .collect();
+        fields.push(("bounds", Json::Arr(bounds)));
+    }
+    Json::obj(fields)
+}
+
+/// Parses an [`outcome_json`] row back; `None` on any malformed shape.
+/// The stored row carries resource *names*, not catalog ids, so the
+/// reconstructed [`ResourceBound::resource`] is the row position — fine
+/// for re-rendering (which goes by name), not for catalog lookups.
+pub(crate) fn outcome_from_json(doc: &Json) -> Option<InstanceOutcome> {
+    let path = PathBuf::from(doc.get("path")?.as_str()?);
+    let label = doc.get("outcome")?.as_str()?;
+    let kind = OUTCOME_KINDS.into_iter().find(|k| k.label() == label)?;
+    let micros = u64::try_from(doc.get("micros")?.as_int()?).ok()?;
+    let detail = match doc.get("detail") {
+        None => None,
+        Some(d) => Some(d.as_str()?.to_owned()),
+    };
+    let mut bounds = Vec::new();
+    if kind == OutcomeKind::Ok {
+        for (idx, row) in doc.get("bounds")?.as_arr()?.iter().enumerate() {
+            let name = row.get("resource")?.as_str()?.to_owned();
+            let lb = u32::try_from(row.get("lb")?.as_int()?).ok()?;
+            let intervals = u64::try_from(row.get("intervals_examined")?.as_int()?).ok()?;
+            let witness = match row.get("witness")? {
+                Json::Null => None,
+                w => Some(rtlb_core::IntervalWitness {
+                    t1: rtlb_graph::Time::new(w.get("t1")?.as_int()?),
+                    t2: rtlb_graph::Time::new(w.get("t2")?.as_int()?),
+                    demand: rtlb_graph::Dur::try_new(w.get("demand")?.as_int()?)?,
+                }),
+            };
+            bounds.push((
+                name,
+                ResourceBound {
+                    resource: rtlb_graph::ResourceId::from_index(idx),
+                    bound: lb,
+                    witness,
+                    intervals_examined: intervals,
+                },
+            ));
+        }
+    }
+    Some(InstanceOutcome {
+        path,
+        kind,
+        detail,
+        micros,
+        bounds,
+    })
 }
 
 /// Position of `kind` in [`OUTCOME_KINDS`] (report order).
@@ -266,6 +346,9 @@ struct Progress {
     started: Instant,
     done: AtomicUsize,
     counts: [AtomicUsize; OUTCOME_KINDS.len()],
+    /// Instances served without a fresh analysis: disk cache hits plus
+    /// in-run dedupe aliases.
+    cached: AtomicUsize,
     /// Durations of completed instances, in micros (unordered).
     completed: Mutex<Vec<u64>>,
     /// `(input index, start)` of instances currently being analyzed.
@@ -279,9 +362,14 @@ impl Progress {
             started: Instant::now(),
             done: AtomicUsize::new(0),
             counts: Default::default(),
+            cached: AtomicUsize::new(0),
             completed: Mutex::new(Vec::new()),
             in_flight: Mutex::new(Vec::new()),
         }
+    }
+
+    fn cache_hit(&self) {
+        self.cached.fetch_add(1, Ordering::Relaxed);
     }
 
     fn begin(&self, job: usize) {
@@ -351,6 +439,7 @@ impl Progress {
             done,
             total: self.total,
             counts,
+            cache_hits: self.cached.load(Ordering::Relaxed),
             in_flight: in_flight_elapsed.len(),
             p95_micros,
             throughput_milli: throughput_milli(done, elapsed_micros),
@@ -404,6 +493,9 @@ pub struct HeartbeatRecord {
     pub total: usize,
     /// Finished count per outcome label, in report order.
     pub counts: Vec<(&'static str, usize)>,
+    /// Instances served without a fresh analysis so far: disk cache
+    /// hits plus in-run dedupe aliases.
+    pub cache_hits: usize,
     /// Instances currently being analyzed.
     pub in_flight: usize,
     /// p95 of completed instance durations, once anything completed.
@@ -431,6 +523,9 @@ impl HeartbeatRecord {
             .collect();
         if !failures.is_empty() {
             let _ = write!(line, " ({})", failures.join(", "));
+        }
+        if self.cache_hits > 0 {
+            let _ = write!(line, ", {} cached", self.cache_hits);
         }
         let _ = write!(line, ", {} in-flight", self.in_flight);
         if let Some(per_milli) = self.throughput_milli {
@@ -462,6 +557,7 @@ impl HeartbeatRecord {
                         .collect(),
                 ),
             ),
+            ("cache_hits", Json::Int(self.cache_hits as i64)),
             ("in_flight", Json::Int(self.in_flight as i64)),
             (
                 "p95_micros",
@@ -482,22 +578,6 @@ impl HeartbeatRecord {
             ),
         ])
     }
-}
-
-/// Writes `contents` to `path` atomically: the bytes land in a sibling
-/// temp file first and are renamed into place, so a kill mid-write can
-/// never leave a truncated file at `path`.
-///
-/// # Errors
-///
-/// A human-readable message naming the failing path and OS error.
-pub fn write_atomic(path: &Path, contents: &str) -> Result<(), String> {
-    let mut tmp_name = path.file_name().unwrap_or_default().to_owned();
-    tmp_name.push(".tmp");
-    let tmp = path.with_file_name(tmp_name);
-    std::fs::write(&tmp, contents).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
-    std::fs::rename(&tmp, path)
-        .map_err(|e| format!("cannot rename {} into place: {e}", tmp.display()))
 }
 
 /// Sink for heartbeat records: stderr always, plus the JSONL file when
@@ -570,19 +650,52 @@ pub fn run_batch_probed(
     if inputs.is_empty() {
         return Err(format!("no .rtlb instances under {}", target.display()));
     }
+    let started = Instant::now();
+    let instances = drive(&inputs, options, probe, &BTreeMap::new(), &|_, _| {})?;
+    Ok(BatchReport {
+        root: target.display().to_string(),
+        instances,
+        total_micros: u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
+    })
+}
 
-    // One level of parallelism: when the batch fans out, each instance
-    // runs its sweep serially; a single-worker batch lets the instance
-    // use its own configured pool.
-    let workers = effective_threads(options.jobs).min(inputs.len());
-    let mut per_instance = options.analysis;
-    if workers > 1 {
-        per_instance.parallelism = 1;
-    }
+/// What the scan phase learned about one instance.
+enum Scan {
+    /// Parsed; keyed by canonical content + options fingerprint.
+    Keyed(ContentKey),
+    /// Read/parse failed (or panicked): the outcome is already decided.
+    Failed(OutcomeKind, Option<String>, u64),
+}
+
+/// The batch engine shared by [`run_batch_probed`] and the shard driver:
+/// scans and keys every input, dedupes content-identical instances,
+/// consults `preloaded` results and the on-disk cache, analyzes what is
+/// left on the pool, stores fresh `ok` bounds back, and replicates
+/// representative outcomes to their aliases.
+///
+/// `on_complete` fires once per input as its outcome becomes final —
+/// from worker threads during the analysis phase — which is what lets a
+/// shard stream its result file as instances finish. Each call carries
+/// the instance's content key when one could be computed (parse
+/// failures have none). Results come back in input order regardless of
+/// completion order.
+pub(crate) fn drive(
+    inputs: &[PathBuf],
+    options: &BatchOptions,
+    probe: &dyn Probe,
+    preloaded: &BTreeMap<ContentKey, NamedBounds>,
+    on_complete: &(dyn Fn(&InstanceOutcome, Option<ContentKey>) + Sync),
+) -> Result<Vec<InstanceOutcome>, String> {
+    let cache = match &options.cache {
+        Some(dir) => Some(ResultCache::open(dir)?),
+        None => None,
+    };
+    let fingerprint = options.analysis.semantic_fingerprint();
     let timeout = options.timeout_ms.map(Duration::from_millis);
+    let pool = effective_threads(options.jobs);
 
     probe.add("batch.instances", inputs.len() as u64);
-    probe.add("batch.workers", workers as u64);
+    probe.add("batch.workers", pool.min(inputs.len()) as u64);
 
     let sink = match &options.heartbeat {
         Some(hb) => Some(HeartbeatSink::open(hb)?),
@@ -591,14 +704,17 @@ pub fn run_batch_probed(
     let progress = Progress::new(inputs.len());
     let stop = AtomicBool::new(false);
 
-    let started = Instant::now();
-    let instances = std::thread::scope(|scope| {
+    let mut outcomes: Vec<Option<InstanceOutcome>> = (0..inputs.len()).map(|_| None).collect();
+    let mut keys: Vec<Option<ContentKey>> = vec![None; inputs.len()];
+
+    std::thread::scope(|scope| {
         // The monitor wakes in short slices so a finished batch never
-        // waits out a long interval before joining.
+        // waits out a long interval before joining. It spans every
+        // phase: scan, cache consult, analysis, replication.
         if let (Some(sink), Some(hb)) = (&sink, &options.heartbeat) {
             if hb.interval_secs > 0 {
                 let interval = Duration::from_secs(hb.interval_secs);
-                let (progress, stop, inputs) = (&progress, &stop, &inputs);
+                let (progress, stop) = (&progress, &stop);
                 scope.spawn(move || {
                     let mut last = Instant::now();
                     while !stop.load(Ordering::Relaxed) {
@@ -611,49 +727,204 @@ pub fn run_batch_probed(
                 });
             }
         }
-        let instances = run_jobs(&NULL_PROBE, workers, inputs.len(), |job| {
-            let path = &inputs[job];
-            progress.begin(job);
-            let instance_start = Instant::now();
-            // The job boundary is the fault-isolation line: a panic
-            // anywhere in read/parse/analyze becomes a `panicked`
-            // outcome for this instance only.
+
+        // Phase 1 — scan: read, parse, and key every input on the pool.
+        // Parse failures are decided here; everything else gets a key.
+        let scans = run_jobs(&NULL_PROBE, pool.min(inputs.len()), inputs.len(), |job| {
+            let start = Instant::now();
             let result = catch_unwind(AssertUnwindSafe(|| {
-                analyze_instance(path, per_instance, timeout, probe)
+                scan_instance(&inputs[job], &fingerprint)
             }));
-            let micros = u64::try_from(instance_start.elapsed().as_micros()).unwrap_or(u64::MAX);
-            let (kind, detail, bounds) = match result {
-                Ok(outcome) => outcome,
-                Err(payload) => (
+            let micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+            match result {
+                Ok(Ok(key)) => Scan::Keyed(key),
+                Ok(Err((kind, detail))) => Scan::Failed(kind, Some(detail), micros),
+                Err(payload) => Scan::Failed(
                     OutcomeKind::Panicked,
                     Some(panic_message(payload.as_ref())),
-                    Vec::new(),
+                    micros,
                 ),
-            };
-            progress.finish(job, kind, micros);
-            probe.add(outcome_counter(kind), 1);
-            probe.observe("batch.instance_micros", micros);
-            InstanceOutcome {
-                path: path.clone(),
-                kind,
-                detail,
-                micros,
-                bounds,
             }
         });
+
+        // Phase 2 — group and consult: content-identical inputs form one
+        // group; the lowest index is the representative. Representatives
+        // whose key is already answered (resume preload, then the disk
+        // cache) finish immediately; the rest form the work list.
+        let finalize = |idx: usize,
+                        outcome: InstanceOutcome,
+                        key: Option<ContentKey>,
+                        outcomes: &mut Vec<Option<InstanceOutcome>>| {
+            progress.finish(idx, outcome.kind, outcome.micros);
+            probe.add(outcome_counter(outcome.kind), 1);
+            probe.observe("batch.instance_micros", outcome.micros);
+            on_complete(&outcome, key);
+            outcomes[idx] = Some(outcome);
+        };
+
+        let mut groups: BTreeMap<ContentKey, Vec<usize>> = BTreeMap::new();
+        for (idx, scan) in scans.iter().enumerate() {
+            match scan {
+                Scan::Keyed(key) => {
+                    keys[idx] = Some(*key);
+                    groups.entry(*key).or_default().push(idx);
+                }
+                Scan::Failed(kind, detail, micros) => {
+                    finalize(
+                        idx,
+                        InstanceOutcome {
+                            path: inputs[idx].clone(),
+                            kind: *kind,
+                            detail: detail.clone(),
+                            micros: *micros,
+                            bounds: Vec::new(),
+                        },
+                        None,
+                        &mut outcomes,
+                    );
+                }
+            }
+        }
+
+        let mut worklist: Vec<usize> = Vec::new();
+        for (key, members) in &groups {
+            let rep = members[0];
+            let start = Instant::now();
+            let served = preloaded.get(key).cloned().or_else(|| {
+                cache.as_ref().and_then(|c| {
+                    let hit = c.lookup(*key);
+                    probe.add(
+                        if hit.is_some() {
+                            "cache.hit"
+                        } else {
+                            "cache.miss"
+                        },
+                        1,
+                    );
+                    hit
+                })
+            });
+            match served {
+                Some(bounds) => {
+                    let micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+                    progress.cache_hit();
+                    finalize(
+                        rep,
+                        InstanceOutcome {
+                            path: inputs[rep].clone(),
+                            kind: OutcomeKind::Ok,
+                            detail: None,
+                            micros,
+                            bounds,
+                        },
+                        Some(*key),
+                        &mut outcomes,
+                    );
+                }
+                None => worklist.push(rep),
+            }
+        }
+
+        // Phase 3 — analyze the remaining representatives on the pool.
+        // One level of parallelism: when the batch fans out, each
+        // instance runs its sweep serially; a single-worker batch lets
+        // the instance use its own configured pool. Fresh `ok` bounds
+        // are stored to the cache from the worker, so a kill loses at
+        // most in-flight analyses, never finished ones.
+        if !worklist.is_empty() {
+            let workers = pool.min(worklist.len());
+            let mut per_instance = options.analysis;
+            if workers > 1 {
+                per_instance.parallelism = 1;
+            }
+            let analyzed = run_jobs(&NULL_PROBE, workers, worklist.len(), |job| {
+                let idx = worklist[job];
+                let path = &inputs[idx];
+                progress.begin(idx);
+                let start = Instant::now();
+                // The job boundary is the fault-isolation line: a panic
+                // anywhere in read/parse/analyze becomes a `panicked`
+                // outcome for this instance only.
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    analyze_instance(path, per_instance, timeout, probe)
+                }));
+                let micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+                let (kind, detail, bounds) = match result {
+                    Ok(outcome) => outcome,
+                    Err(payload) => (
+                        OutcomeKind::Panicked,
+                        Some(panic_message(payload.as_ref())),
+                        Vec::new(),
+                    ),
+                };
+                let key = keys[idx];
+                if kind == OutcomeKind::Ok {
+                    if let (Some(cache), Some(key)) = (&cache, key) {
+                        if cache.store(key, &fingerprint, &bounds).is_ok() {
+                            probe.add("cache.write", 1);
+                        }
+                    }
+                }
+                let outcome = InstanceOutcome {
+                    path: path.clone(),
+                    kind,
+                    detail,
+                    micros,
+                    bounds,
+                };
+                progress.finish(idx, outcome.kind, outcome.micros);
+                probe.add(outcome_counter(outcome.kind), 1);
+                probe.observe("batch.instance_micros", outcome.micros);
+                on_complete(&outcome, key);
+                (idx, outcome)
+            });
+            for (idx, outcome) in analyzed {
+                outcomes[idx] = Some(outcome);
+            }
+        }
+
+        // Phase 4 — replicate: aliases take their representative's
+        // outcome verbatim (path aside), whatever it was — identical
+        // content gets an identical verdict at the cost of one analysis.
+        for members in groups.values() {
+            let rep_outcome = outcomes[members[0]]
+                .clone()
+                .expect("representative outcome decided");
+            for &alias in &members[1..] {
+                progress.cache_hit();
+                probe.add("cache.dedup", 1);
+                finalize(
+                    alias,
+                    InstanceOutcome {
+                        path: inputs[alias].clone(),
+                        micros: 0,
+                        ..rep_outcome.clone()
+                    },
+                    keys[alias],
+                    &mut outcomes,
+                );
+            }
+        }
         stop.store(true, Ordering::Relaxed);
-        instances
     });
+
     // The final heartbeat is unconditional: even `--heartbeat` larger
     // than the whole run emits at least this one complete line.
     if let Some(sink) = &sink {
-        sink.emit(&progress.snapshot(&inputs));
+        sink.emit(&progress.snapshot(inputs));
     }
-    Ok(BatchReport {
-        root: target.display().to_string(),
-        instances,
-        total_micros: u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
-    })
+    Ok(outcomes
+        .into_iter()
+        .map(|outcome| outcome.expect("every input decided"))
+        .collect())
+}
+
+/// Reads, parses, and keys one instance for the scan phase.
+fn scan_instance(path: &Path, fingerprint: &str) -> Result<ContentKey, (OutcomeKind, String)> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| (OutcomeKind::ParseError, format!("cannot read: {e}")))?;
+    let parsed = format::parse(&text).map_err(|e| (OutcomeKind::ParseError, e.to_string()))?;
+    Ok(content_key(&parsed, fingerprint))
 }
 
 /// Reads, parses, and analyzes one instance; never panics on bad input
@@ -696,7 +967,7 @@ fn analyze_instance(
 }
 
 /// Resolves the batch target into an ordered instance list.
-fn collect_instances(target: &Path) -> Result<Vec<PathBuf>, String> {
+pub(crate) fn collect_instances(target: &Path) -> Result<Vec<PathBuf>, String> {
     let meta = std::fs::metadata(target)
         .map_err(|e| format!("cannot access {}: {e}", target.display()))?;
     if meta.is_dir() {
@@ -716,11 +987,18 @@ fn collect_instances(target: &Path) -> Result<Vec<PathBuf>, String> {
         let text = std::fs::read_to_string(target)
             .map_err(|e| format!("cannot read manifest {}: {e}", target.display()))?;
         let base = target.parent().unwrap_or_else(|| Path::new("."));
+        // `str::trim` strips `\r` along with spaces, so CRLF manifests
+        // (checked out or generated on Windows) resolve the same paths
+        // as LF ones. Duplicate entries are collapsed to their first
+        // occurrence — listing an instance twice must not analyze (or
+        // count) it twice.
+        let mut seen = std::collections::BTreeSet::new();
         Ok(text
             .lines()
             .map(str::trim)
             .filter(|line| !line.is_empty() && !line.starts_with('#'))
             .map(|line| base.join(line))
+            .filter(|path| seen.insert(path.clone()))
             .collect())
     }
 }
@@ -861,6 +1139,7 @@ mod tests {
             done: 1,
             total: 2,
             counts: vec![("ok", 1)],
+            cache_hits: 0,
             in_flight: 1,
             p95_micros: Some(0),
             throughput_milli: throughput_milli(1, 0),
@@ -874,24 +1153,6 @@ mod tests {
         assert!(rtlb_obs::json::parse(&line).is_ok(), "{line}");
         let rendered = record.render_line();
         assert!(!rendered.contains("inf") && !rendered.contains("NaN"));
-    }
-
-    #[test]
-    fn write_atomic_replaces_and_leaves_no_temp() {
-        let dir = std::env::temp_dir().join(format!("rtlb-atomic-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("report.json");
-        write_atomic(&path, "first").unwrap();
-        assert_eq!(std::fs::read_to_string(&path).unwrap(), "first");
-        write_atomic(&path, "second").unwrap();
-        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second");
-        let leftovers: Vec<_> = std::fs::read_dir(&dir)
-            .unwrap()
-            .map(|e| e.unwrap().file_name())
-            .collect();
-        assert_eq!(leftovers, vec![std::ffi::OsString::from("report.json")]);
-        std::fs::remove_dir_all(&dir).unwrap();
-        assert!(write_atomic(&dir.join("missing/x.json"), "y").is_err());
     }
 
     #[test]

@@ -19,12 +19,14 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use rtlb::batch::{run_batch_probed, write_atomic, BatchOptions, HeartbeatOptions, OutcomeKind};
-use rtlb::check::check_document;
+use rtlb::cache::{resolve_bounds, NamedBounds, ResultCache};
+use rtlb::check::{check_document, check_shard_stream};
 use rtlb::core::{
     analyze_with, analyze_with_probe, build_run_report, effective_threads, render_analysis,
-    render_dedicated_cost, render_shared_cost, AnalysisOptions, AnalysisSession, CandidatePolicy,
-    SweepStrategy, SystemModel,
+    render_bounds, render_dedicated_cost, render_shared_cost, AnalysisOptions, AnalysisSession,
+    CandidatePolicy, SweepStrategy, SystemModel,
 };
+use rtlb::fmt::content_key;
 use rtlb::format::{parse, render};
 use rtlb::graph::to_dot;
 use rtlb::obs::{
@@ -34,6 +36,7 @@ use rtlb::obs::{
 use rtlb::scenario::{parse_scenarios, resolve};
 use rtlb::sched::{list_schedule, validate_schedule, Capacities};
 use rtlb::serve::{LoadConfig, ServeConfig, Workload, RPC_SCHEMA};
+use rtlb::shard::{merge_shards, run_shard_probed, ShardOptions};
 use rtlb::workloads::paper_example;
 
 const USAGE: &str = "\
@@ -54,11 +57,17 @@ usage:
                                 (or listed one-per-line in a manifest file),
                                 isolating parse errors, infeasibility,
                                 overflows, timeouts, and panics per instance
+  rtlb merge-shards <file>...   fold complete rtlb-batch-shard-v1 stream
+                                files back into one rtlb-batch-v1 aggregate
+                                (rows sorted by path, timing zeroed — byte-
+                                identical however the shards were produced)
   rtlb check-metrics <file>     validate a file against the rtlb-metrics-v1
                                 schema (exit 0 iff it parses and validates)
   rtlb check-report <file>...   validate rtlb-report-v1, rtlb-batch-v1,
-                                rtlb-scenarios-v1, or rtlb-metrics-v1 JSON
-                                documents, dispatching on their schema tag
+                                rtlb-scenarios-v1, rtlb-metrics-v1,
+                                rtlb-cache-v1, or rtlb-cache-entry-v1 JSON
+                                documents (dispatching on their schema tag)
+                                and rtlb-batch-shard-v1 JSONL streams
                                 (exit 0 iff every file validates)
   rtlb serve [flags]            run the analysis-as-a-service TCP daemon
                                 speaking rtlb-rpc-v1 (one JSON request per
@@ -96,6 +105,13 @@ analyze flags:
   --trace-out=FILE           write a Chrome trace-event JSON file (open in
                              chrome://tracing or https://ui.perfetto.dev);
                              counter increments appear as counter tracks
+  --cache=DIR                consult (and fill) the content-addressed result
+                             cache in DIR, keyed by the instance's canonical
+                             text plus the analysis options; prints only the
+                             bounds table, byte-identical whether the bounds
+                             came from the cache or a fresh analysis (cache
+                             status goes to stderr). Not combinable with
+                             --metrics= or --trace-out=
 
 telemetry flags (accepted by analyze, sweep-scenarios, and batch):
   --profile                  print a per-phase wall-time breakdown (EST/LCT
@@ -140,6 +156,28 @@ flags):
                              a final heartbeat is always emitted
   --heartbeat-out=FILE       also append each heartbeat to FILE as one
                              rtlb-heartbeat-v1 JSON line (JSONL)
+  --cache=DIR                content-addressed result cache: healthy bounds
+                             are served from DIR when the canonical content
+                             + options key is already stored (byte-identical
+                             to recomputation) and fresh ok results are
+                             written back; content-identical instances
+                             within one run are deduped either way
+  --shards=N                 split the corpus into N deterministic slices
+                             (instance i of the sorted discovery order goes
+                             to shard i mod N) and run only one of them;
+                             needs --shard-out=
+  --shard=K                  which slice to run, 0-based (default: 0)
+  --shard-out=FILE           stream one rtlb-batch-shard-v1 JSON line into
+                             FILE per instance as it finishes; the file is
+                             the checkpoint --resume replays
+  --resume                   replay FILE's completed rows (tolerating the
+                             torn last line a kill leaves) and analyze only
+                             the instances that are left
+
+merge-shards flags:
+  --json                     print the rtlb-batch-v1 aggregate as JSON
+                             instead of the text table
+  --out=FILE                 write the aggregate atomically to FILE
 
 serve flags (plus --sweep=, --jobs=, --chunk=, --extended, --no-partition,
 and the telemetry flags; telemetry exports are written when the daemon
@@ -158,6 +196,10 @@ stops):
   --deadline-ms=N            default per-request deadline for requests
                              that do not carry their own deadline_ms
                              (an expired request reports `timeout`)
+  --cache=DIR                consult (and fill) the content-addressed
+                             result cache on every `analyze` request; a
+                             hit's response is byte-identical to the fresh
+                             analysis it replaces
 
 bench-serve flags:
   --addr=HOST:PORT           drive an already-running daemon instead of
@@ -183,6 +225,10 @@ examples:
   rtlb batch examples/batch --tolerate=infeasible --json
   rtlb batch examples/batch --heartbeat=1 --heartbeat-out=hb.jsonl \\
       --out=report.json --prom-out=metrics.prom
+  rtlb batch examples/batch --cache=.rtlb-cache --json
+  rtlb batch examples/batch --shards=2 --shard=0 --shard-out=s0.jsonl
+  rtlb batch examples/batch --shards=2 --shard=1 --shard-out=s1.jsonl --resume
+  rtlb merge-shards s0.jsonl s1.jsonl --out=aggregate.json
   rtlb check-metrics metrics.json
   rtlb check-report report.json batch.json
   rtlb serve --addr=127.0.0.1:7421 --max-sessions=8 --max-inflight=4 &
@@ -219,6 +265,7 @@ fn main() -> ExitCode {
         // `batch` owns its success exit code: per-instance failures are
         // report rows plus exit 1, not a driver error.
         Some("batch") => cmd_batch(&args),
+        Some("merge-shards") => cmd_merge_shards(&args),
         Some("check-metrics") => cmd_check_metrics(&args),
         Some("check-report") => cmd_check_report(&args),
         Some("serve") => cmd_serve(&args),
@@ -390,9 +437,22 @@ fn cmd_check_report(args: &[String]) -> Result<ExitCode, Failure> {
             )));
         }
         let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        let doc =
-            rtlb::obs::json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
-        let summary = check_document(&doc).map_err(|e| format!("{path}: {e}"))?;
+        // A shard stream is JSONL, not one document: sniff the first
+        // line's schema tag and validate the whole stream when it is
+        // one. A pretty-printed document's first line (`{`) does not
+        // parse on its own, so it falls through to the document path.
+        let is_stream = rtlb::obs::json::parse(text.lines().next().unwrap_or(""))
+            .ok()
+            .is_some_and(|header| {
+                header.get("schema").and_then(Json::as_str) == Some(rtlb::shard::SHARD_SCHEMA)
+            });
+        let summary = if is_stream {
+            check_shard_stream(&text).map_err(|e| format!("{path}: {e}"))?
+        } else {
+            let doc =
+                rtlb::obs::json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+            check_document(&doc).map_err(|e| format!("{path}: {e}"))?
+        };
         println!("{path}: {summary}");
     }
     Ok(ExitCode::SUCCESS)
@@ -405,6 +465,7 @@ struct AnalyzeArgs {
     metrics: MetricsMode,
     trace_out: Option<String>,
     telemetry: TelemetryArgs,
+    cache: Option<String>,
 }
 
 /// Parses `analyze` flags (everything after the file argument).
@@ -445,13 +506,76 @@ fn analyze_options(flags: &[String]) -> Result<AnalyzeArgs, String> {
                 return Err("--trace-out needs a file path".to_owned());
             }
             args.trace_out = Some(path.to_owned());
+        } else if let Some(dir) = flag.strip_prefix("--cache=") {
+            if dir.is_empty() {
+                return Err("--cache needs a directory path".to_owned());
+            }
+            args.cache = Some(dir.to_owned());
         } else if telemetry_flag(&mut args.telemetry, flag)? {
             // consumed by the shared telemetry flags
         } else {
             return Err(format!("unknown flag `{flag}` (see `rtlb --help`)"));
         }
     }
+    if args.cache.is_some() && (args.metrics != MetricsMode::Off || args.trace_out.is_some()) {
+        return Err(
+            "--cache prints only the bounds table and cannot be combined with \
+             --metrics= or --trace-out="
+                .to_owned(),
+        );
+    }
     Ok(args)
+}
+
+/// `rtlb analyze --cache=DIR`: the bounds-only, cache-consulting mode.
+/// Hit or miss, stdout is exactly the [`render_bounds`] table — a hit
+/// re-binds the stored name-keyed bounds to this parse's catalog, a
+/// miss runs the pipeline and stores the result back, and the two are
+/// byte-identical by construction. Cache status goes to stderr.
+fn cmd_analyze_cached(
+    parsed: &rtlb::format::ParsedSystem,
+    dir: &str,
+    options: AnalysisOptions,
+    telemetry: &TelemetryArgs,
+) -> Result<(), Failure> {
+    let registry = MetricsRegistry::new();
+    let probe: &dyn Probe = if telemetry.enabled() {
+        &registry
+    } else {
+        &NULL_PROBE
+    };
+    let cache = ResultCache::open(std::path::Path::new(dir))?;
+    let fingerprint = options.semantic_fingerprint();
+    let key = content_key(parsed, &fingerprint);
+    let served = cache
+        .lookup(key)
+        .and_then(|named| resolve_bounds(parsed.graph.catalog(), &named));
+    let bounds = match served {
+        Some(bounds) => {
+            probe.add("cache.hit", 1);
+            eprintln!("rtlb analyze: cache hit {key}");
+            bounds
+        }
+        None => {
+            probe.add("cache.miss", 1);
+            let analysis =
+                analyze_with_probe(&parsed.graph, &SystemModel::shared(), options, probe)
+                    .map_err(|e| e.to_string())?;
+            let named: NamedBounds = analysis
+                .bounds()
+                .iter()
+                .map(|b| (parsed.graph.catalog().name(b.resource).to_owned(), *b))
+                .collect();
+            if cache.store(key, &fingerprint, &named).is_ok() {
+                probe.add("cache.write", 1);
+            }
+            eprintln!("rtlb analyze: cache miss {key}, stored");
+            analysis.bounds().to_vec()
+        }
+    };
+    print!("{}", render_bounds(&parsed.graph, &bounds));
+    export_telemetry(&registry, telemetry, effective_threads(options.parallelism))?;
+    Ok(())
 }
 
 fn cmd_analyze(parsed: &rtlb::format::ParsedSystem, args: &[String]) -> Result<(), Failure> {
@@ -460,7 +584,11 @@ fn cmd_analyze(parsed: &rtlb::format::ParsedSystem, args: &[String]) -> Result<(
         metrics,
         trace_out,
         telemetry,
+        cache,
     } = analyze_options(&args[2..]).map_err(Failure::Usage)?;
+    if let Some(dir) = &cache {
+        return cmd_analyze_cached(parsed, dir, options, &telemetry);
+    }
     let recorder = Recorder::new();
     let registry = MetricsRegistry::new();
     let tee = TeeProbe::new(&recorder, &registry);
@@ -565,6 +693,11 @@ fn serve_options(flags: &[String]) -> Result<ServeArgs, String> {
         } else if let Some(ms) = flag.strip_prefix("--deadline-ms=") {
             args.config.default_deadline_ms =
                 Some(ms.parse().map_err(|_| format!("invalid deadline `{ms}`"))?);
+        } else if let Some(dir) = flag.strip_prefix("--cache=") {
+            if dir.is_empty() {
+                return Err("--cache needs a directory path".to_owned());
+            }
+            args.config.cache_dir = Some(dir.into());
         } else if let Some(strategy) = flag.strip_prefix("--sweep=") {
             args.config.options.sweep = match strategy {
                 "naive" => SweepStrategy::Naive,
@@ -942,6 +1075,12 @@ struct BatchArgs {
     json: bool,
     out: Option<String>,
     telemetry: TelemetryArgs,
+    /// `--shards=` / `--shard=` / `--shard-out=` / `--resume`: any of
+    /// them switches the run into sharded streaming mode.
+    shards: Option<usize>,
+    shard: Option<usize>,
+    shard_out: Option<String>,
+    resume: bool,
 }
 
 /// Parses `batch` flags (everything after the directory/manifest).
@@ -998,11 +1137,39 @@ fn batch_options(flags: &[String]) -> Result<BatchArgs, String> {
                 .heartbeat
                 .get_or_insert_with(HeartbeatOptions::default)
                 .out = Some(path.into());
+        } else if let Some(dir) = flag.strip_prefix("--cache=") {
+            if dir.is_empty() {
+                return Err("--cache needs a directory path".to_owned());
+            }
+            args.options.cache = Some(dir.into());
+        } else if let Some(n) = flag.strip_prefix("--shards=") {
+            let shards: usize = n
+                .parse()
+                .map_err(|_| format!("invalid shard count `{n}`"))?;
+            if shards == 0 {
+                return Err("--shards must be at least 1".to_owned());
+            }
+            args.shards = Some(shards);
+        } else if let Some(k) = flag.strip_prefix("--shard=") {
+            args.shard = Some(
+                k.parse()
+                    .map_err(|_| format!("invalid shard index `{k}`"))?,
+            );
+        } else if let Some(path) = flag.strip_prefix("--shard-out=") {
+            if path.is_empty() {
+                return Err("--shard-out needs a file path".to_owned());
+            }
+            args.shard_out = Some(path.to_owned());
+        } else if flag == "--resume" {
+            args.resume = true;
         } else if telemetry_flag(&mut args.telemetry, flag)? {
             // consumed by the shared telemetry flags
         } else {
             return Err(format!("unknown flag `{flag}` (see `rtlb --help`)"));
         }
+    }
+    if args.shard_out.is_none() && (args.shards.is_some() || args.shard.is_some() || args.resume) {
+        return Err("--shards/--shard/--resume need --shard-out=FILE (the stream file)".to_owned());
     }
     Ok(args)
 }
@@ -1018,6 +1185,10 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, Failure> {
         json,
         out,
         telemetry,
+        shards,
+        shard,
+        shard_out,
+        resume,
     } = batch_options(&args[2..]).map_err(Failure::Usage)?;
     let registry = MetricsRegistry::new();
     let probe: &dyn Probe = if telemetry.enabled() {
@@ -1025,8 +1196,31 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, Failure> {
     } else {
         &NULL_PROBE
     };
-    let report = run_batch_probed(std::path::Path::new(&args[1]), &options, probe)?;
-    export_telemetry(&registry, &telemetry, effective_threads(options.jobs))?;
+    let jobs = options.jobs;
+    let tolerate = options.tolerate.clone();
+    let report = match shard_out {
+        // Sharded streaming mode: run one deterministic slice of the
+        // corpus, checkpointing each instance into the stream file. The
+        // printed report covers this shard's assignment only; the
+        // cross-shard aggregate comes from `rtlb merge-shards`.
+        Some(stream) => {
+            let shard_options = ShardOptions {
+                batch: options,
+                shards: shards.unwrap_or(1),
+                shard: shard.unwrap_or(0),
+                out: stream.clone().into(),
+                resume,
+            };
+            let summary = run_shard_probed(std::path::Path::new(&args[1]), &shard_options, probe)?;
+            eprintln!(
+                "batch shard {}/{}: {} assigned, {} resumed, stream {stream}",
+                shard_options.shard, shard_options.shards, summary.assigned, summary.resumed
+            );
+            summary.report
+        }
+        None => run_batch_probed(std::path::Path::new(&args[1]), &options, probe)?,
+    };
+    export_telemetry(&registry, &telemetry, effective_threads(jobs))?;
     if let Some(path) = &out {
         let mut doc = report.to_json().pretty();
         doc.push('\n');
@@ -1037,11 +1231,59 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, Failure> {
     } else {
         print!("{}", report.render_text());
     }
-    Ok(if report.violations(&options.tolerate) == 0 {
+    Ok(if report.violations(&tolerate) == 0 {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
     })
+}
+
+/// Everything `rtlb merge-shards` accepts: shard stream files plus the
+/// output flags.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct MergeArgs {
+    files: Vec<std::path::PathBuf>,
+    json: bool,
+    out: Option<String>,
+}
+
+/// Parses `merge-shards` arguments (files and flags in any order).
+fn merge_options(args: &[String]) -> Result<MergeArgs, String> {
+    let mut parsed = MergeArgs::default();
+    for arg in args {
+        if arg == "--json" {
+            parsed.json = true;
+        } else if let Some(path) = arg.strip_prefix("--out=") {
+            if path.is_empty() {
+                return Err("--out needs a file path".to_owned());
+            }
+            parsed.out = Some(path.to_owned());
+        } else if arg.starts_with("--") {
+            return Err(format!("unknown flag `{arg}` (see `rtlb --help`)"));
+        } else {
+            parsed.files.push(std::path::PathBuf::from(arg));
+        }
+    }
+    if parsed.files.is_empty() {
+        return Err("`merge-shards` needs at least one shard file".to_owned());
+    }
+    Ok(parsed)
+}
+
+fn cmd_merge_shards(args: &[String]) -> Result<ExitCode, Failure> {
+    let parsed = merge_options(&args[1..]).map_err(Failure::Usage)?;
+    let report = merge_shards(&parsed.files)?;
+    if let Some(path) = &parsed.out {
+        let mut doc = report.to_json().pretty();
+        doc.push('\n');
+        write_atomic(std::path::Path::new(path), &doc)?;
+    }
+    if parsed.json {
+        println!("{}", report.to_json().pretty());
+    } else {
+        print!("{}", report.render_text());
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_dot(parsed: &rtlb::format::ParsedSystem, _args: &[String]) -> Result<(), Failure> {
@@ -1279,8 +1521,13 @@ mod tests {
             "--out=report.json",
             "--heartbeat=2",
             "--heartbeat-out=hb.jsonl",
+            "--cache=.cache",
         ]))
         .unwrap();
+        assert_eq!(
+            args.options.cache.as_deref(),
+            Some(std::path::Path::new(".cache"))
+        );
         assert_eq!(args.options.analysis.sweep, SweepStrategy::Naive);
         assert_eq!(args.options.analysis.candidates, CandidatePolicy::Extended);
         assert!(!args.options.analysis.partitioning);
@@ -1321,6 +1568,82 @@ mod tests {
         let args = batch_options(&[]).unwrap();
         assert_eq!(args.options, BatchOptions::default());
         assert!(!args.json);
+        assert_eq!(args.shards, None);
+        assert_eq!(args.shard, None);
+        assert_eq!(args.shard_out, None);
+        assert!(!args.resume);
+    }
+
+    #[test]
+    fn shard_flags_parse_and_require_the_stream_file() {
+        let args = batch_options(&flags(&[
+            "--shards=4",
+            "--shard=2",
+            "--shard-out=s2.jsonl",
+            "--resume",
+        ]))
+        .unwrap();
+        assert_eq!(args.shards, Some(4));
+        assert_eq!(args.shard, Some(2));
+        assert_eq!(args.shard_out.as_deref(), Some("s2.jsonl"));
+        assert!(args.resume);
+        // --shard-out alone is a one-shard streaming run.
+        let args = batch_options(&flags(&["--shard-out=s.jsonl"])).unwrap();
+        assert_eq!(args.shards, None);
+        assert!(args.shard_out.is_some());
+        for bad in ["--shards=2", "--shard=0", "--resume"] {
+            let err = batch_options(&flags(&[bad])).unwrap_err();
+            assert!(err.contains("--shard-out"), "{bad}: {err}");
+        }
+        let err = batch_options(&flags(&["--shards=0", "--shard-out=s.jsonl"])).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        let err = batch_options(&flags(&["--shards=few", "--shard-out=s.jsonl"])).unwrap_err();
+        assert!(err.contains("invalid shard count"), "{err}");
+        let err = batch_options(&flags(&["--shard=k", "--shard-out=s.jsonl"])).unwrap_err();
+        assert!(err.contains("invalid shard index"), "{err}");
+        let err = batch_options(&flags(&["--shard-out="])).unwrap_err();
+        assert!(err.contains("--shard-out"), "{err}");
+        let err = batch_options(&flags(&["--cache="])).unwrap_err();
+        assert!(err.contains("--cache"), "{err}");
+    }
+
+    #[test]
+    fn analyze_cache_flag_is_bounds_only() {
+        let args = analyze_options(&flags(&["--cache=.cache", "--jobs=2"])).unwrap();
+        assert_eq!(args.cache.as_deref(), Some(".cache"));
+        assert_eq!(args.options.parallelism, 2);
+        let err = analyze_options(&flags(&["--cache="])).unwrap_err();
+        assert!(err.contains("--cache"), "{err}");
+        for conflicting in ["--metrics=json", "--metrics=text", "--trace-out=t.json"] {
+            let err = analyze_options(&flags(&["--cache=.cache", conflicting])).unwrap_err();
+            assert!(err.contains("--cache"), "{conflicting}: {err}");
+        }
+    }
+
+    #[test]
+    fn merge_options_take_files_and_flags_in_any_order() {
+        let args = merge_options(&flags(&[
+            "s0.jsonl",
+            "--json",
+            "s1.jsonl",
+            "--out=aggregate.json",
+        ]))
+        .unwrap();
+        assert_eq!(
+            args.files,
+            vec![
+                std::path::PathBuf::from("s0.jsonl"),
+                std::path::PathBuf::from("s1.jsonl")
+            ]
+        );
+        assert!(args.json);
+        assert_eq!(args.out.as_deref(), Some("aggregate.json"));
+        let err = merge_options(&[]).unwrap_err();
+        assert!(err.contains("at least one"), "{err}");
+        let err = merge_options(&flags(&["s0.jsonl", "--bogus"])).unwrap_err();
+        assert!(err.contains("unknown flag"), "{err}");
+        let err = merge_options(&flags(&["s0.jsonl", "--out="])).unwrap_err();
+        assert!(err.contains("--out"), "{err}");
     }
 
     #[test]
@@ -1346,6 +1669,33 @@ mod tests {
         ] {
             assert!(USAGE.contains(needle), "usage is missing {needle}");
         }
+    }
+
+    #[test]
+    fn usage_mentions_the_cache_and_shard_surface() {
+        for needle in [
+            "--cache=",
+            "--shards=",
+            "--shard=",
+            "--shard-out=",
+            "--resume",
+            "rtlb merge-shards",
+            "rtlb-batch-shard-v1",
+            "rtlb-cache-v1",
+        ] {
+            assert!(USAGE.contains(needle), "usage is missing {needle}");
+        }
+    }
+
+    #[test]
+    fn serve_cache_flag_sets_the_cache_dir() {
+        let args = serve_options(&flags(&["--cache=.rtlb-cache"])).unwrap();
+        assert_eq!(
+            args.config.cache_dir.as_deref(),
+            Some(std::path::Path::new(".rtlb-cache"))
+        );
+        let err = serve_options(&flags(&["--cache="])).unwrap_err();
+        assert!(err.contains("--cache"), "{err}");
     }
 
     #[test]

@@ -13,7 +13,16 @@
 //!   ([`check_scenarios`]);
 //! * `rtlb-metrics-v1` — delegated to
 //!   [`MetricsSnapshot::from_json`](rtlb_obs::MetricsSnapshot::from_json),
-//!   the same validation `rtlb check-metrics` runs.
+//!   the same validation `rtlb check-metrics` runs;
+//! * `rtlb-cache-v1` — a result-cache `index.json` pin
+//!   ([`check_cache_index`]);
+//! * `rtlb-cache-entry-v1` — one stored cache entry
+//!   ([`check_cache_entry`]).
+//!
+//! The `rtlb-batch-shard-v1` stream format is line-delimited rather
+//! than one document, so it gets its own entry point over the raw text
+//! ([`check_shard_stream`]); `rtlb check-report` sniffs the first line
+//! and dispatches there.
 //!
 //! Validators are pure functions over the parsed [`Json`] tree and
 //! return a one-line summary on success — CI smoke steps assert on the
@@ -21,9 +30,11 @@
 
 use std::collections::BTreeMap;
 
-use rtlb_obs::{Json, MetricsSnapshot};
+use rtlb_format::ContentKey;
+use rtlb_obs::{json, Json, MetricsSnapshot};
 
 use crate::batch::{OutcomeKind, OUTCOME_KINDS};
+use crate::shard::SHARD_SCHEMA;
 
 /// Validates any supported document, dispatching on its `schema` tag.
 ///
@@ -45,9 +56,145 @@ pub fn check_document(doc: &Json) -> Result<String, String> {
                 snapshot.histograms.len()
             ))
         }
+        Some("rtlb-cache-v1") => check_cache_index(doc),
+        Some("rtlb-cache-entry-v1") => check_cache_entry(doc),
         Some(other) => Err(format!("unsupported schema `{other}`")),
         None => Err("missing `schema` tag".to_owned()),
     }
+}
+
+/// Validates a result cache's `rtlb-cache-v1` `index.json`: the pins
+/// this build relies on (key algorithm and canonical-form version) must
+/// be present and non-empty strings.
+///
+/// # Errors
+///
+/// See [`check_document`].
+pub fn check_cache_index(doc: &Json) -> Result<String, String> {
+    let key_algo = str_field(doc, "", "key_algo")?;
+    let canon = str_field(doc, "", "canon")?;
+    if key_algo.is_empty() {
+        return Err("key_algo: must be non-empty".to_owned());
+    }
+    if canon.is_empty() {
+        return Err("canon: must be non-empty".to_owned());
+    }
+    Ok(format!("valid rtlb-cache-v1 (keys {key_algo}, {canon})"))
+}
+
+/// Validates one stored `rtlb-cache-entry-v1` document: a well-formed
+/// content key, the recorded options fingerprint, and bounds rows with
+/// the same witness invariants as a batch report plus each row's
+/// catalog `index`.
+///
+/// # Errors
+///
+/// See [`check_document`].
+pub fn check_cache_entry(doc: &Json) -> Result<String, String> {
+    let key = str_field(doc, "", "key")?;
+    if ContentKey::parse(&key).is_none() {
+        return Err(format!("key: `{key}` is not a 128-bit hex content key"));
+    }
+    str_field(doc, "", "options")?;
+    let bounds = arr_field(doc, "bounds")?;
+    for (i, bound) in bounds.iter().enumerate() {
+        let path = format!("bounds[{i}]");
+        nonneg_field(bound, &path, "index")?;
+        check_bound_row(bound, &path, true)?;
+    }
+    Ok(format!(
+        "valid rtlb-cache-entry-v1 ({key}, {} bound(s))",
+        bounds.len()
+    ))
+}
+
+/// Validates an `rtlb-batch-shard-v1` stream over its raw text: the
+/// header pin (root, a coherent `shard < shards` split, the assigned
+/// `total`), then every row as a batch instance row plus its content
+/// `key` (null for parse failures, 128-bit hex otherwise). A stream
+/// with fewer rows than `total`, or whose *final* line is torn
+/// mid-write, is *valid but incomplete* — that is the checkpoint state
+/// a kill leaves behind — and the summary says so; more rows than
+/// `total` or an unparseable line with rows after it is an error.
+///
+/// # Errors
+///
+/// A message naming the offending line (1-based) and field.
+pub fn check_shard_stream(text: &str) -> Result<String, String> {
+    let mut lines = text.lines();
+    let header_line = lines.next().ok_or("empty shard stream")?;
+    let header =
+        json::parse(header_line).map_err(|e| format!("line 1: invalid header JSON: {e}"))?;
+    if header.get("schema").and_then(Json::as_str) != Some(SHARD_SCHEMA) {
+        return Err(format!("line 1: not an {SHARD_SCHEMA} header"));
+    }
+    str_field(&header, "", "root")?;
+    let shards = nonneg_field(&header, "", "shards")?;
+    let shard = nonneg_field(&header, "", "shard")?;
+    let total = nonneg_field(&header, "", "total")?;
+    if shards < 1 || shard >= shards {
+        return Err(format!(
+            "line 1: shard {shard} of {shards} is not a valid split"
+        ));
+    }
+    let mut rows = 0i64;
+    let mut torn = false;
+    let mut lines = lines.enumerate().peekable();
+    while let Some((i, line)) = lines.next() {
+        let lineno = i + 2;
+        let row = match json::parse(line) {
+            Ok(row) => row,
+            // A kill mid-write tears at most the final row; that is the
+            // checkpoint state `--resume` repairs, not corruption. An
+            // unparseable line with rows after it *is* corruption.
+            Err(_) if lines.peek().is_none() => {
+                torn = true;
+                break;
+            }
+            Err(e) => return Err(format!("line {lineno}: invalid JSON: {e}")),
+        };
+        let path = format!("line {lineno}");
+        str_field(&row, &path, "path")?;
+        nonneg_field(&row, &path, "micros")?;
+        let outcome = str_field(&row, &path, "outcome")?;
+        let kind = OutcomeKind::from_label(&outcome)
+            .ok_or_else(|| format!("{path}.outcome: unknown outcome `{outcome}`"))?;
+        if kind == OutcomeKind::Ok {
+            let bounds = arr_field(&row, &format!("{path}.bounds"))?;
+            for (j, bound) in bounds.iter().enumerate() {
+                check_bound_row(bound, &format!("{path}.bounds[{j}]"), true)?;
+            }
+        } else if row.get("bounds").is_some() {
+            return Err(format!("{path}: a `{outcome}` row must not carry bounds"));
+        }
+        match row.get("key") {
+            Some(Json::Null) => {}
+            Some(Json::Str(key)) if ContentKey::parse(key).is_some() => {}
+            Some(_) => {
+                return Err(format!(
+                    "{path}.key: must be null or a 128-bit hex content key"
+                ))
+            }
+            None => return Err(format!("{path}: missing `key`")),
+        }
+        rows += 1;
+    }
+    if rows > total || (torn && rows == total) {
+        return Err(format!(
+            "stream has {} row(s) but the header assigned only {total}",
+            rows + i64::from(torn)
+        ));
+    }
+    let state = if torn {
+        "incomplete (torn tail) — resume to finish"
+    } else if rows == total {
+        "complete"
+    } else {
+        "incomplete — resume to finish"
+    };
+    Ok(format!(
+        "valid rtlb-batch-shard-v1 (shard {shard}/{shards}, {rows} of {total} instance(s), {state})"
+    ))
 }
 
 /// Validates a `rtlb-report-v1` document.
@@ -430,6 +577,81 @@ mod tests {
         .unwrap();
         let summary = check_document(&doc).expect("valid");
         assert!(summary.contains("2 scenario(s), 1 applied"), "{summary}");
+    }
+
+    #[test]
+    fn cache_index_and_entry_documents_validate() {
+        let index = json::parse(
+            r#"{"schema":"rtlb-cache-v1","key_algo":"siphash-2-4-128","canon":"rtlb-canon-v1"}"#,
+        )
+        .unwrap();
+        let summary = check_document(&index).expect("valid index");
+        assert!(summary.contains("siphash-2-4-128"), "{summary}");
+        let bare = json::parse(r#"{"schema":"rtlb-cache-v1","key_algo":"x"}"#).unwrap();
+        assert!(check_document(&bare).unwrap_err().contains("canon"));
+
+        let key = "a".repeat(32);
+        let entry = json::parse(&format!(
+            r#"{{"schema":"rtlb-cache-entry-v1","key":"{key}","options":"fp",
+                "bounds":[{{"resource":"r1","index":0,"lb":1,"intervals_examined":3,
+                            "witness":{{"t1":0,"t2":4,"demand":5}}}}]}}"#
+        ))
+        .unwrap();
+        let summary = check_document(&entry).expect("valid entry");
+        assert!(summary.contains("1 bound(s)"), "{summary}");
+        let entry = json::parse(
+            r#"{"schema":"rtlb-cache-entry-v1","key":"nope","options":"fp","bounds":[]}"#,
+        )
+        .unwrap();
+        let err = check_document(&entry).expect_err("bad key");
+        assert!(err.contains("content key"), "{err}");
+    }
+
+    #[test]
+    fn shard_streams_validate_with_completeness_state() {
+        let key = "b".repeat(32);
+        let header =
+            r#"{"schema":"rtlb-batch-shard-v1","root":"corpus","shards":2,"shard":0,"total":2}"#;
+        let ok_row =
+            format!(r#"{{"path":"a.rtlb","outcome":"ok","micros":9,"bounds":[],"key":"{key}"}}"#);
+        let err_row =
+            r#"{"path":"b.rtlb","outcome":"parse-error","micros":2,"detail":"bad","key":null}"#;
+
+        let complete = format!("{header}\n{ok_row}\n{err_row}\n");
+        let summary = check_shard_stream(&complete).expect("valid stream");
+        assert!(summary.contains("2 of 2"), "{summary}");
+        assert!(summary.contains("complete"), "{summary}");
+
+        let partial = format!("{header}\n{ok_row}\n");
+        let summary = check_shard_stream(&partial).expect("partial is valid");
+        assert!(summary.contains("1 of 2"), "{summary}");
+        assert!(summary.contains("incomplete"), "{summary}");
+
+        let overfull = format!("{header}\n{ok_row}\n{err_row}\n{ok_row}\n");
+        let err = check_shard_stream(&overfull).expect_err("too many rows");
+        assert!(err.contains("assigned only 2"), "{err}");
+
+        let torn = format!("{header}\n{ok_row}\n{{\"path\":\"c.rtlb\",\"outco");
+        let summary = check_shard_stream(&torn).expect("torn tail is resumable");
+        assert!(summary.contains("1 of 2"), "{summary}");
+        assert!(summary.contains("torn tail"), "{summary}");
+
+        let torn_mid = format!("{header}\n{{\"path\":\"c.rtlb\",\"outco\n{ok_row}\n");
+        let err = check_shard_stream(&torn_mid).expect_err("corruption mid-stream");
+        assert!(err.contains("line 2"), "{err}");
+
+        let torn_overfull = format!("{header}\n{ok_row}\n{err_row}\n{{\"path\":\"c.rtlb\",\"ou");
+        let err = check_shard_stream(&torn_overfull).expect_err("torn row past total");
+        assert!(err.contains("assigned only 2"), "{err}");
+
+        let bad_split =
+            r#"{"schema":"rtlb-batch-shard-v1","root":"c","shards":2,"shard":2,"total":0}"#;
+        let err = check_shard_stream(bad_split).expect_err("shard out of range");
+        assert!(err.contains("not a valid split"), "{err}");
+
+        let not_stream = r#"{"schema":"rtlb-batch-v1"}"#;
+        let err = check_shard_stream(not_stream).expect_err("wrong schema");
+        assert!(err.contains("header"), "{err}");
     }
 
     #[test]

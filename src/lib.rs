@@ -60,6 +60,7 @@
 
 pub mod batch;
 pub mod check;
+pub mod shard;
 
 // The text formats moved to the `rtlb-format` crate (the serve daemon and
 // the bench crate parse instances without depending on this facade); the
@@ -68,6 +69,7 @@ pub use rtlb_format::instance as format;
 pub use rtlb_format::scenario;
 
 pub use rtlb_baselines as baselines;
+pub use rtlb_cache as cache;
 pub use rtlb_core as core;
 pub use rtlb_format as fmt;
 pub use rtlb_graph as graph;

@@ -1,0 +1,494 @@
+//! Sharded, resumable batch runs and their deterministic merge.
+//!
+//! `rtlb batch --shards=N --shard=K --shard-out=FILE` runs the `K`-th
+//! of `N` deterministic slices of a corpus (instance `i` of the
+//! discovery order belongs to shard `i mod N`), **streaming** one
+//! result line per instance into `FILE` as it finishes. The file is the
+//! checkpoint: kill the process at any point and `--resume` replays the
+//! completed lines — tolerating a torn final line from the kill — and
+//! analyzes only what is left. Completed `ok` results double as an
+//! in-memory cache on resume, so aliases of an already-finished
+//! representative are served without recomputation even without
+//! `--cache`.
+//!
+//! The stream format (`rtlb-batch-shard-v1`) is line-delimited JSON: a
+//! header line pinning the corpus (`root`, `shards`, `shard`, `total`),
+//! then one [`outcome_json`](crate::batch) row per instance with its
+//! content `key` attached. `rtlb merge-shards FILE...` folds complete
+//! shard files back into one `rtlb-batch-v1` aggregate. The merge is
+//! **deterministic by construction**: rows sort by instance path and
+//! every wall-clock field is zeroed ([`BatchReport::normalize_timing`]),
+//! so straight-through, killed-and-resumed, and differently-interleaved
+//! runs of the same corpus produce byte-identical aggregates. Timings
+//! live in the shard files, which keep their measured micros.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use rtlb_cache::{write_atomic, NamedBounds};
+use rtlb_format::ContentKey;
+use rtlb_obs::{json, Json, Probe, NULL_PROBE};
+
+use crate::batch::{
+    collect_instances, drive, outcome_from_json, outcome_json, BatchOptions, BatchReport,
+    InstanceOutcome, OutcomeKind,
+};
+
+/// Schema tag of the shard stream's header line.
+pub const SHARD_SCHEMA: &str = "rtlb-batch-shard-v1";
+
+/// How to run one shard of a corpus.
+#[derive(Clone, Debug)]
+pub struct ShardOptions {
+    /// The per-instance batch options (analysis knobs, jobs, timeout,
+    /// heartbeat, cache).
+    pub batch: BatchOptions,
+    /// Total number of shards the corpus is split into (≥ 1).
+    pub shards: usize,
+    /// Which shard this invocation runs (0-based, `< shards`).
+    pub shard: usize,
+    /// The `rtlb-batch-shard-v1` stream file this shard writes.
+    pub out: PathBuf,
+    /// Resume from an existing stream file: completed instances are
+    /// kept, only the remainder is analyzed. Without this flag an
+    /// existing file is started over.
+    pub resume: bool,
+}
+
+/// What one shard invocation did.
+#[derive(Clone, Debug)]
+pub struct ShardSummary {
+    /// Instances assigned to this shard by the deterministic split.
+    pub assigned: usize,
+    /// Instances replayed from the stream file (`--resume`).
+    pub resumed: usize,
+    /// The shard's report over all assigned instances (replayed and
+    /// fresh), in discovery order. `total_micros` is this invocation's
+    /// wall time.
+    pub report: BatchReport,
+}
+
+/// Runs one shard of the corpus under `target`; see the module docs.
+///
+/// # Errors
+///
+/// Driver-level problems only: unreadable corpus, an unwritable stream
+/// file, or a resume file that disagrees with the current invocation
+/// (different corpus size, shard split, or root). Per-instance failures
+/// are outcomes in the stream, not errors.
+pub fn run_shard(target: &Path, options: &ShardOptions) -> Result<ShardSummary, String> {
+    run_shard_probed(target, options, &NULL_PROBE)
+}
+
+/// [`run_shard`] with a telemetry sink attached (same contract as
+/// [`run_batch_probed`](crate::batch::run_batch_probed)).
+///
+/// # Errors
+///
+/// As [`run_shard`].
+pub fn run_shard_probed(
+    target: &Path,
+    options: &ShardOptions,
+    probe: &dyn Probe,
+) -> Result<ShardSummary, String> {
+    if options.shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    if options.shard >= options.shards {
+        return Err(format!(
+            "--shard={} out of range for --shards={}",
+            options.shard, options.shards
+        ));
+    }
+    let inputs = collect_instances(target)?;
+    if inputs.is_empty() {
+        return Err(format!("no .rtlb instances under {}", target.display()));
+    }
+    let assigned: Vec<PathBuf> = inputs
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| i % options.shards == options.shard)
+        .map(|(_, p)| p)
+        .collect();
+
+    let header = Json::obj([
+        ("schema", Json::str(SHARD_SCHEMA)),
+        ("root", Json::str(target.display().to_string())),
+        ("shards", Json::Int(options.shards as i64)),
+        ("shard", Json::Int(options.shard as i64)),
+        ("total", Json::Int(assigned.len() as i64)),
+    ]);
+
+    let started = Instant::now();
+
+    // Replay the stream file on resume: keep the longest valid prefix
+    // (a kill can tear at most the final line), drop rows that are not
+    // in this shard's assignment, and rewrite the checkpoint so the
+    // append stream continues from a clean state.
+    let mut replayed: BTreeMap<PathBuf, (InstanceOutcome, Option<ContentKey>)> = BTreeMap::new();
+    if options.resume {
+        match std::fs::read_to_string(&options.out) {
+            Ok(text) => {
+                let rows = parse_stream(&text, true)?;
+                check_header(&rows.header, &header, &options.out)?;
+                let assigned_set: BTreeSet<&PathBuf> = assigned.iter().collect();
+                for (outcome, key) in rows.rows {
+                    if assigned_set.contains(&outcome.path) {
+                        replayed
+                            .entry(outcome.path.clone())
+                            .or_insert((outcome, key));
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => {
+                return Err(format!("cannot read {}: {e}", options.out.display()));
+            }
+        }
+    }
+    let mut checkpoint = header.render();
+    checkpoint.push('\n');
+    for (outcome, key) in replayed.values() {
+        checkpoint.push_str(&stream_row(outcome, *key).render());
+        checkpoint.push('\n');
+    }
+    write_atomic(&options.out, &checkpoint)?;
+
+    // Completed `ok` rows act as a resume-local result cache: an alias
+    // (same content key) of a finished representative is served from
+    // the replayed bounds instead of being analyzed again.
+    let mut preloaded: BTreeMap<ContentKey, NamedBounds> = BTreeMap::new();
+    for (outcome, key) in replayed.values() {
+        if let (OutcomeKind::Ok, Some(key)) = (outcome.kind, key) {
+            preloaded
+                .entry(*key)
+                .or_insert_with(|| outcome.bounds.clone());
+        }
+    }
+
+    let remaining: Vec<PathBuf> = assigned
+        .iter()
+        .filter(|p| !replayed.contains_key(*p))
+        .cloned()
+        .collect();
+
+    let mut fresh: BTreeMap<PathBuf, InstanceOutcome> = BTreeMap::new();
+    if !remaining.is_empty() {
+        let file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&options.out)
+            .map_err(|e| format!("cannot append to {}: {e}", options.out.display()))?;
+        let writer = Mutex::new(file);
+        let completed = drive(
+            &remaining,
+            &options.batch,
+            probe,
+            &preloaded,
+            &|outcome, key| {
+                let mut file = writer.lock().expect("stream writer poisoned");
+                // One row per line, flushed as the instance finishes: the
+                // line is the checkpoint granularity.
+                let _ = writeln!(file, "{}", stream_row(outcome, key).render());
+                let _ = file.flush();
+            },
+        )?;
+        for outcome in completed {
+            fresh.insert(outcome.path.clone(), outcome);
+        }
+    }
+
+    let instances: Vec<InstanceOutcome> = assigned
+        .iter()
+        .map(|p| {
+            replayed
+                .get(p)
+                .map(|(outcome, _)| outcome.clone())
+                .or_else(|| fresh.get(p).cloned())
+                .expect("every assigned instance decided")
+        })
+        .collect();
+    Ok(ShardSummary {
+        assigned: assigned.len(),
+        resumed: replayed.len(),
+        report: BatchReport {
+            root: target.display().to_string(),
+            instances,
+            total_micros: u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
+        },
+    })
+}
+
+/// Merges complete shard stream files into the aggregate `rtlb-batch-v1`
+/// report: rows from every shard, sorted by instance path, wall-clock
+/// fields zeroed — byte-identical however the shards were produced.
+///
+/// # Errors
+///
+/// Unreadable or torn files (resume the shard first), a header mismatch
+/// across files (different corpus or split), missing or duplicate
+/// shards, an incomplete shard (fewer rows than its header's `total`),
+/// or the same instance path appearing twice.
+pub fn merge_shards(files: &[PathBuf]) -> Result<BatchReport, String> {
+    if files.is_empty() {
+        return Err("merge-shards needs at least one shard file".into());
+    }
+    let mut root: Option<String> = None;
+    let mut shards: Option<i64> = None;
+    let mut seen_shards: BTreeSet<i64> = BTreeSet::new();
+    let mut instances: Vec<InstanceOutcome> = Vec::new();
+    for file in files {
+        let text = std::fs::read_to_string(file)
+            .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+        let stream = parse_stream(&text, false)
+            .map_err(|e| format!("{}: {e} (resume the shard to repair)", file.display()))?;
+        let header = &stream.header;
+        let this_root = header
+            .get("root")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{}: header has no root", file.display()))?;
+        let this_shards = header.get("shards").and_then(Json::as_int).unwrap_or(0);
+        let this_shard = header.get("shard").and_then(Json::as_int).unwrap_or(-1);
+        let total = header.get("total").and_then(Json::as_int).unwrap_or(-1);
+        match (&root, &shards) {
+            (None, None) => {
+                root = Some(this_root.to_owned());
+                shards = Some(this_shards);
+            }
+            (Some(r), Some(n)) => {
+                if r != this_root || *n != this_shards {
+                    return Err(format!(
+                        "{}: shard of a different run (root {this_root:?} / {this_shards} shards, \
+                         expected {r:?} / {n})",
+                        file.display()
+                    ));
+                }
+            }
+            _ => unreachable!("root and shards are set together"),
+        }
+        if !seen_shards.insert(this_shard) {
+            return Err(format!("{}: duplicate shard {this_shard}", file.display()));
+        }
+        if stream.rows.len() as i64 != total {
+            return Err(format!(
+                "{}: incomplete shard — {} of {total} instances done (resume it first)",
+                file.display(),
+                stream.rows.len()
+            ));
+        }
+        instances.extend(stream.rows.into_iter().map(|(outcome, _)| outcome));
+    }
+    let n = shards.expect("at least one file");
+    let expected: BTreeSet<i64> = (0..n).collect();
+    if seen_shards != expected {
+        let missing: Vec<String> = expected
+            .difference(&seen_shards)
+            .map(|s| s.to_string())
+            .collect();
+        return Err(format!(
+            "missing shard file(s) for shard {}",
+            missing.join(", ")
+        ));
+    }
+
+    instances.sort_by(|a, b| a.path.cmp(&b.path));
+    for window in instances.windows(2) {
+        if window[0].path == window[1].path {
+            return Err(format!(
+                "instance {} appears in more than one shard",
+                window[0].path.display()
+            ));
+        }
+    }
+    let mut report = BatchReport {
+        root: root.expect("at least one file"),
+        instances,
+        total_micros: 0,
+    };
+    report.normalize_timing();
+    Ok(report)
+}
+
+/// One parsed shard stream: the header plus the outcome rows.
+#[derive(Debug)]
+struct Stream {
+    header: Json,
+    rows: Vec<(InstanceOutcome, Option<ContentKey>)>,
+}
+
+/// Parses a shard stream. With `tolerate_tail`, an invalid or torn
+/// final segment is dropped (the resume path); without it, any invalid
+/// line is an error (the merge path, which requires complete shards).
+fn parse_stream(text: &str, tolerate_tail: bool) -> Result<Stream, String> {
+    let mut lines = text.lines();
+    let header_line = lines.next().ok_or("empty shard file")?;
+    let header = json::parse(header_line).map_err(|e| format!("bad shard header: {e}"))?;
+    if header.get("schema").and_then(Json::as_str) != Some(SHARD_SCHEMA) {
+        return Err(format!("not an {SHARD_SCHEMA} stream"));
+    }
+    let mut rows = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let parsed = json::parse(line).ok().and_then(|doc| {
+            let key = match doc.get("key") {
+                Some(Json::Null) | None => None,
+                Some(k) => Some(ContentKey::parse(k.as_str()?)?),
+            };
+            Some((outcome_from_json(&doc)?, key))
+        });
+        match parsed {
+            Some(row) => rows.push(row),
+            None if tolerate_tail => break,
+            None => return Err(format!("invalid stream row on line {}", i + 2)),
+        }
+    }
+    Ok(Stream { header, rows })
+}
+
+/// One stream line: the batch row plus the instance's content key.
+fn stream_row(outcome: &InstanceOutcome, key: Option<ContentKey>) -> Json {
+    let row = outcome_json(outcome);
+    let Json::Obj(mut fields) = row else {
+        unreachable!("outcome_json returns an object")
+    };
+    fields.push((
+        "key".to_owned(),
+        key.map_or(Json::Null, |k| Json::str(k.to_hex())),
+    ));
+    Json::Obj(fields)
+}
+
+/// A resume file must belong to this exact invocation: same corpus
+/// root, same split, same assignment size.
+fn check_header(found: &Json, expected: &Json, path: &Path) -> Result<(), String> {
+    for field in ["root", "shards", "shard", "total"] {
+        if found.get(field) != expected.get(field) {
+            return Err(format!(
+                "{}: resume header mismatch on {field} (found {}, this invocation is {}) — \
+                 the corpus or shard split changed",
+                path.display(),
+                found.get(field).map_or("absent".into(), Json::render),
+                expected.get(field).map_or("absent".into(), Json::render),
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(path: &str, kind: OutcomeKind) -> InstanceOutcome {
+        InstanceOutcome {
+            path: PathBuf::from(path),
+            kind,
+            detail: (kind != OutcomeKind::Ok).then(|| "why".to_owned()),
+            micros: 123,
+            bounds: Vec::new(),
+        }
+    }
+
+    fn stream_text(shard: usize, shards: usize, total: usize, rows: &[InstanceOutcome]) -> String {
+        let header = Json::obj([
+            ("schema", Json::str(SHARD_SCHEMA)),
+            ("root", Json::str("corpus")),
+            ("shards", Json::Int(shards as i64)),
+            ("shard", Json::Int(shard as i64)),
+            ("total", Json::Int(total as i64)),
+        ]);
+        let mut text = header.render();
+        text.push('\n');
+        for row in rows {
+            text.push_str(&stream_row(row, Some(ContentKey::of(b"k"))).render());
+            text.push('\n');
+        }
+        text
+    }
+
+    #[test]
+    fn stream_rows_round_trip_through_parse() {
+        let rows = vec![
+            outcome("a.rtlb", OutcomeKind::Ok),
+            outcome("b.rtlb", OutcomeKind::ParseError),
+        ];
+        let text = stream_text(0, 1, 2, &rows);
+        let stream = parse_stream(&text, false).unwrap();
+        assert_eq!(stream.rows.len(), 2);
+        assert_eq!(stream.rows[0].0, rows[0]);
+        assert_eq!(stream.rows[0].1, Some(ContentKey::of(b"k")));
+        assert_eq!(stream.rows[1].0.detail.as_deref(), Some("why"));
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_on_resume_but_fatal_on_merge() {
+        let rows = vec![outcome("a.rtlb", OutcomeKind::Ok)];
+        let mut text = stream_text(0, 1, 2, &rows);
+        text.push_str("{\"path\":\"b.rtlb\",\"outco"); // the kill tore here
+        let stream = parse_stream(&text, true).unwrap();
+        assert_eq!(stream.rows.len(), 1, "torn line dropped");
+        let err = parse_stream(&text, false).unwrap_err();
+        assert!(err.contains("invalid stream row"), "{err}");
+    }
+
+    #[test]
+    fn merge_rejects_incomplete_missing_and_duplicate_shards() {
+        let dir = std::env::temp_dir().join(format!("rtlb-shard-merge-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let write = |name: &str, text: &str| {
+            let path = dir.join(name);
+            std::fs::write(&path, text).unwrap();
+            path
+        };
+
+        // Incomplete: header says 2, only 1 row.
+        let incomplete = write(
+            "incomplete.jsonl",
+            &stream_text(0, 1, 2, &[outcome("a.rtlb", OutcomeKind::Ok)]),
+        );
+        let err = merge_shards(std::slice::from_ref(&incomplete)).unwrap_err();
+        assert!(err.contains("incomplete"), "{err}");
+
+        // Missing shard 1 of 2.
+        let s0 = write(
+            "s0.jsonl",
+            &stream_text(0, 2, 1, &[outcome("a.rtlb", OutcomeKind::Ok)]),
+        );
+        let err = merge_shards(std::slice::from_ref(&s0)).unwrap_err();
+        assert!(err.contains("missing shard"), "{err}");
+
+        // The same shard twice.
+        let err = merge_shards(&[s0.clone(), s0.clone()]).unwrap_err();
+        assert!(err.contains("duplicate shard"), "{err}");
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn merge_sorts_rows_and_zeroes_timing_regardless_of_file_order() {
+        let dir = std::env::temp_dir().join(format!("rtlb-shard-order-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let s0 = dir.join("s0.jsonl");
+        let s1 = dir.join("s1.jsonl");
+        std::fs::write(
+            &s0,
+            stream_text(0, 2, 1, &[outcome("b.rtlb", OutcomeKind::Ok)]),
+        )
+        .unwrap();
+        std::fs::write(
+            &s1,
+            stream_text(1, 2, 1, &[outcome("a.rtlb", OutcomeKind::Infeasible)]),
+        )
+        .unwrap();
+        let forward = merge_shards(&[s0.clone(), s1.clone()]).unwrap();
+        let backward = merge_shards(&[s1, s0]).unwrap();
+        assert_eq!(forward.to_json().render(), backward.to_json().render());
+        assert_eq!(forward.instances[0].path, PathBuf::from("a.rtlb"));
+        assert_eq!(forward.total_micros, 0);
+        assert!(forward.instances.iter().all(|i| i.micros == 0));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

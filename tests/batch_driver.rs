@@ -1,7 +1,8 @@
 //! End-to-end tests of the fault-isolated `rtlb batch` driver.
 //!
-//! The committed `examples/batch/` directory mixes two healthy instances
-//! with a malformed file, an infeasible instance, and one whose
+//! The committed `examples/batch/` directory mixes three healthy
+//! instances (two small ones and the blessed 400-task dense mesh) with
+//! a malformed file, an infeasible instance, and one whose
 //! magnitudes overflow the exact arithmetic. A batch run must classify
 //! every one, never panic, and report healthy bounds bit-identical to
 //! `rtlb analyze` on the same file.
@@ -26,9 +27,10 @@ fn outcome_of(report: &BatchReport, file: &str) -> OutcomeKind {
 #[test]
 fn mixed_directory_isolates_every_failure() {
     let report = run_batch(Path::new(MIXED_DIR), &BatchOptions::default()).unwrap();
-    assert_eq!(report.instances.len(), 5);
+    assert_eq!(report.instances.len(), 6);
     assert_eq!(outcome_of(&report, "good_pipeline.rtlb"), OutcomeKind::Ok);
     assert_eq!(outcome_of(&report, "good_fanout.rtlb"), OutcomeKind::Ok);
+    assert_eq!(outcome_of(&report, "dense_mesh.rtlb"), OutcomeKind::Ok);
     assert_eq!(
         outcome_of(&report, "malformed.rtlb"),
         OutcomeKind::ParseError
@@ -70,7 +72,7 @@ fn healthy_instances_match_analyze_bit_for_bit() {
             .iter()
             .filter(|i| i.kind == OutcomeKind::Ok)
             .collect();
-        assert_eq!(healthy.len(), 2);
+        assert_eq!(healthy.len(), 3);
         for instance in healthy {
             let text = std::fs::read_to_string(&instance.path).unwrap();
             let parsed = rtlb::format::parse(&text).unwrap();
@@ -113,6 +115,7 @@ fn expired_deadline_times_out_per_instance() {
         outcome_of(&report, "good_fanout.rtlb"),
         OutcomeKind::Timeout
     );
+    assert_eq!(outcome_of(&report, "dense_mesh.rtlb"), OutcomeKind::Timeout);
     assert_eq!(outcome_of(&report, "infeasible.rtlb"), OutcomeKind::Timeout);
     // Parsing happens before the token is consulted; the magnitude guard
     // rejects the overflow instance before the first checkpoint.
@@ -171,11 +174,11 @@ fn json_report_has_the_v1_shape() {
         doc.get("schema").and_then(Json::as_str),
         Some("rtlb-batch-v1")
     );
-    assert_eq!(doc.get("total").and_then(Json::as_int), Some(5));
+    assert_eq!(doc.get("total").and_then(Json::as_int), Some(6));
 
     let counts = doc.get("counts").unwrap();
     for (label, expect) in [
-        ("ok", 2),
+        ("ok", 3),
         ("parse-error", 1),
         ("infeasible", 1),
         ("overflow", 1),
@@ -190,7 +193,7 @@ fn json_report_has_the_v1_shape() {
     }
 
     let rows = doc.get("instances").and_then(Json::as_arr).unwrap();
-    assert_eq!(rows.len(), 5);
+    assert_eq!(rows.len(), 6);
     for row in rows {
         assert!(row.get("path").and_then(Json::as_str).is_some());
         let outcome = row.get("outcome").and_then(Json::as_str).unwrap();

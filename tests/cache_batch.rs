@@ -1,0 +1,301 @@
+//! End-to-end tests of the content-addressed result cache and the
+//! sharded, resumable batch pipeline.
+//!
+//! The contracts under test:
+//!
+//! * a warm cache serves every healthy instance without recomputation,
+//!   and the served bounds are byte-identical to a cold run;
+//! * content-identical files in one corpus cost exactly one analysis;
+//! * a shard stream killed at *any* byte past its header resumes to the
+//!   same completed state, and `merge-shards` of the resumed streams is
+//!   byte-identical to an uninterrupted run's normalized report;
+//! * CRLF and duplicate manifest entries resolve like clean LF ones.
+
+use std::path::{Path, PathBuf};
+
+use proptest::prelude::*;
+use rtlb::batch::{run_batch, run_batch_probed, BatchOptions, BatchReport, OutcomeKind};
+use rtlb::obs::MetricsRegistry;
+use rtlb::shard::{merge_shards, run_shard, ShardOptions};
+use rtlb::workloads::framed_tasks;
+
+const MIXED_DIR: &str = "examples/batch";
+/// Healthy instances in the committed mixed corpus (the two small ones
+/// plus the blessed dense mesh).
+const MIXED_OK: u64 = 3;
+/// Instances that parse — and therefore get a content key — but are
+/// never cached because their outcome is not `ok` (infeasible,
+/// overflow).
+const MIXED_KEYED_UNCACHEABLE: u64 = 2;
+
+fn temp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rtlb-cache-batch-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Everything about a report except wall-clock timing.
+fn shape(report: &BatchReport) -> Vec<(PathBuf, OutcomeKind, Option<String>, usize)> {
+    report
+        .instances
+        .iter()
+        .map(|i| (i.path.clone(), i.kind, i.detail.clone(), i.bounds.len()))
+        .collect()
+}
+
+fn normalized_json(mut report: BatchReport) -> String {
+    report.normalize_timing();
+    report.to_json().render()
+}
+
+/// The committed `dense_mesh.rtlb` corpus instance, regenerated from
+/// its generator so the file can never drift from the workload it
+/// claims to be.
+fn dense_mesh_text() -> String {
+    format!(
+        "# Dense periodic workload: framed_tasks(100, 4, 42) — 400 tasks in 100\n\
+         # time-disjoint frames on one processor with one shared resource.\n\
+         # Blessed by `RTLB_BLESS_CORPUS=1 cargo test --test cache_batch`.\n\
+         {}",
+        rtlb::fmt::render(&framed_tasks(100, 4, 42), None, None)
+    )
+}
+
+/// The committed corpus file matches its generator byte for byte. Run
+/// with `RTLB_BLESS_CORPUS=1` to rewrite it after changing the
+/// generator or the renderer.
+#[test]
+fn dense_mesh_corpus_file_matches_its_generator() {
+    let path = Path::new("examples/batch/dense_mesh.rtlb");
+    let expected = dense_mesh_text();
+    if std::env::var_os("RTLB_BLESS_CORPUS").is_some() {
+        std::fs::write(path, &expected).unwrap();
+    }
+    let committed = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {} ({e}); bless it first", path.display()));
+    assert_eq!(
+        committed, expected,
+        "dense_mesh.rtlb drifted from framed_tasks(100, 4, 42); \
+         rebless with RTLB_BLESS_CORPUS=1"
+    );
+}
+
+/// A second batch over the same corpus and cache directory answers
+/// every healthy instance from the store — no recomputation, no drift.
+#[test]
+fn warm_batch_is_byte_identical_and_all_hits() {
+    let dir = temp("warm");
+    let options = BatchOptions {
+        cache: Some(dir.join("cache")),
+        ..BatchOptions::default()
+    };
+
+    let cold_registry = MetricsRegistry::new();
+    let cold = run_batch_probed(Path::new(MIXED_DIR), &options, &cold_registry).unwrap();
+    let cold_counters = cold_registry.snapshot();
+    assert_eq!(cold_counters.counter("cache.hit"), 0);
+    assert_eq!(
+        cold_counters.counter("cache.miss"),
+        MIXED_OK + MIXED_KEYED_UNCACHEABLE
+    );
+    assert_eq!(cold_counters.counter("cache.write"), MIXED_OK);
+
+    let warm_registry = MetricsRegistry::new();
+    let warm = run_batch_probed(Path::new(MIXED_DIR), &options, &warm_registry).unwrap();
+    let warm_counters = warm_registry.snapshot();
+    assert_eq!(warm_counters.counter("cache.hit"), MIXED_OK);
+    assert_eq!(
+        warm_counters.counter("cache.miss"),
+        MIXED_KEYED_UNCACHEABLE,
+        "only uncacheable outcomes are recomputed"
+    );
+    assert_eq!(warm_counters.counter("cache.write"), 0);
+
+    assert_eq!(shape(&cold), shape(&warm));
+    assert_eq!(
+        warm.instances
+            .iter()
+            .map(|i| i.bounds.clone())
+            .collect::<Vec<_>>(),
+        cold.instances
+            .iter()
+            .map(|i| i.bounds.clone())
+            .collect::<Vec<_>>(),
+        "cached bounds must be byte-identical to recomputation"
+    );
+    assert_eq!(normalized_json(cold), normalized_json(warm));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Content-identical files (different names, reformatted text) in one
+/// run are analyzed once: the representative's verdict replicates to
+/// its aliases, and only one cache entry is written.
+#[test]
+fn content_identical_instances_cost_one_analysis() {
+    let dir = temp("dedup");
+    let corpus = dir.join("corpus");
+    std::fs::create_dir_all(&corpus).unwrap();
+    let text = std::fs::read_to_string("examples/batch/good_pipeline.rtlb").unwrap();
+    std::fs::write(corpus.join("a.rtlb"), &text).unwrap();
+    // Reformatted alias: extra comment and blank lines, same content.
+    std::fs::write(
+        corpus.join("b.rtlb"),
+        format!("# an alias of a.rtlb, reformatted\n\n{text}\n"),
+    )
+    .unwrap();
+
+    let registry = MetricsRegistry::new();
+    let options = BatchOptions {
+        cache: Some(dir.join("cache")),
+        ..BatchOptions::default()
+    };
+    let report = run_batch_probed(&corpus, &options, &registry).unwrap();
+    let counters = registry.snapshot();
+    assert_eq!(counters.counter("cache.dedup"), 1);
+    assert_eq!(counters.counter("cache.miss"), 1, "one consult per group");
+    assert_eq!(counters.counter("cache.write"), 1);
+
+    assert_eq!(report.instances.len(), 2);
+    assert!(report.instances.iter().all(|i| i.kind == OutcomeKind::Ok));
+    assert_eq!(
+        report.instances[0].bounds, report.instances[1].bounds,
+        "aliases carry their representative's bounds verbatim"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// CRLF line endings and duplicate entries in a manifest resolve to the
+/// same (deduplicated) instance list as a clean LF manifest.
+#[test]
+fn crlf_and_duplicate_manifest_entries_collapse() {
+    let dir = temp("manifest");
+    let good = std::fs::canonicalize("examples/batch/good_pipeline.rtlb").unwrap();
+    let fanout = std::fs::canonicalize("examples/batch/good_fanout.rtlb").unwrap();
+    let manifest = dir.join("batch.list");
+    std::fs::write(
+        &manifest,
+        format!(
+            "# CRLF manifest with a duplicate\r\n\r\n{}\r\n{}\r\n{}\r\n",
+            good.display(),
+            fanout.display(),
+            good.display()
+        ),
+    )
+    .unwrap();
+
+    let report = run_batch(&manifest, &BatchOptions::default()).unwrap();
+    assert_eq!(
+        report.instances.len(),
+        2,
+        "the duplicate entry must not be analyzed or counted twice"
+    );
+    assert_eq!(report.instances[0].path, good);
+    assert_eq!(report.instances[1].path, fanout);
+    assert!(report.instances.iter().all(|i| i.kind == OutcomeKind::Ok));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The acceptance cycle: shard the mixed corpus in two, kill shard 0
+/// mid-stream (a torn final line), resume it, and merge — the aggregate
+/// is byte-identical to an uninterrupted single-process run.
+#[test]
+fn kill_resume_merge_is_byte_identical_to_uninterrupted_run() {
+    let dir = temp("resume");
+    let target = Path::new(MIXED_DIR);
+    let expected = normalized_json(run_batch(target, &BatchOptions::default()).unwrap());
+
+    let shard_options = |shard: usize, resume: bool| ShardOptions {
+        batch: BatchOptions::default(),
+        shards: 2,
+        shard,
+        out: dir.join(format!("s{shard}.jsonl")),
+        resume,
+    };
+
+    // Shard 0 runs to completion once, then the "kill": drop the last
+    // complete row and leave a torn fragment of it behind.
+    let full = run_shard(target, &shard_options(0, false)).unwrap();
+    assert_eq!(full.assigned, 3);
+    let stream = std::fs::read_to_string(dir.join("s0.jsonl")).unwrap();
+    let lines: Vec<&str> = stream.lines().collect();
+    assert_eq!(lines.len(), 1 + full.assigned, "header plus one row each");
+    let torn = format!(
+        "{}\n{}\n",
+        lines[..lines.len() - 1].join("\n"),
+        &lines[lines.len() - 1][..10]
+    );
+    std::fs::write(dir.join("s0.jsonl"), torn).unwrap();
+
+    let resumed = run_shard(target, &shard_options(0, true)).unwrap();
+    assert_eq!(resumed.assigned, 3);
+    assert_eq!(resumed.resumed, 2, "the torn row is analyzed again");
+    assert_eq!(shape(&full.report), shape(&resumed.report));
+
+    // Shard 1 runs straight through in a "different process".
+    run_shard(target, &shard_options(1, false)).unwrap();
+
+    let merged = merge_shards(&[dir.join("s0.jsonl"), dir.join("s1.jsonl")]).unwrap();
+    assert_eq!(
+        merged.to_json().render(),
+        expected,
+        "merged aggregate must be byte-identical to the uninterrupted run"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A tiny corpus for the truncation property: two healthy instances,
+/// a content-identical alias, and one malformed file.
+fn tiny_corpus(dir: &Path) {
+    std::fs::create_dir_all(dir).unwrap();
+    let a = "processor P\ntask t c=2 proc=P deadline=10\n";
+    let b = "processor P\nresource r\ntask u c=3 proc=P uses=r deadline=9\n";
+    std::fs::write(dir.join("a.rtlb"), a).unwrap();
+    std::fs::write(dir.join("a_alias.rtlb"), format!("# alias\n{a}")).unwrap();
+    std::fs::write(dir.join("b.rtlb"), b).unwrap();
+    std::fs::write(dir.join("broken.rtlb"), "task without a processor\n").unwrap();
+}
+
+proptest! {
+    /// Kill the single-shard stream at *any* byte offset past its
+    /// atomically-written header: resume completes the shard and the
+    /// merged aggregate never drifts from the uninterrupted run.
+    #[test]
+    fn resume_from_any_truncation_point_merges_identically(cut_frac in 0u32..1000) {
+        let dir = std::env::temp_dir().join(format!(
+            "rtlb-cache-batch-anycut-{}-{cut_frac}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let corpus = dir.join("corpus");
+        tiny_corpus(&corpus);
+
+        let options = |resume: bool| ShardOptions {
+            batch: BatchOptions::default(),
+            shards: 1,
+            shard: 0,
+            out: dir.join("s0.jsonl"),
+            resume,
+        };
+        let expected = normalized_json(run_batch(&corpus, &BatchOptions::default()).unwrap());
+        run_shard(&corpus, &options(false)).unwrap();
+        let stream = std::fs::read_to_string(dir.join("s0.jsonl")).unwrap();
+
+        // The header line is written atomically before any row, so a
+        // kill can truncate anywhere in [header end, stream end].
+        let header_end = stream.find('\n').unwrap() + 1;
+        let cut = header_end + (stream.len() - header_end) * cut_frac as usize / 1000;
+        std::fs::write(dir.join("s0.jsonl"), &stream[..cut]).unwrap();
+
+        let resumed = run_shard(&corpus, &options(true)).unwrap();
+        prop_assert_eq!(resumed.assigned, 4);
+        let merged = merge_shards(&[dir.join("s0.jsonl")]).unwrap();
+        prop_assert_eq!(merged.to_json().render(), expected);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -107,7 +107,7 @@ fn check_report_validates_documents_end_to_end() {
 
     // ...a corrupted rollup does not.
     let text = String::from_utf8(output.stdout).expect("utf-8 report");
-    std::fs::write(&bad, text.replace("\"total\": 5", "\"total\": 6")).expect("write bad");
+    std::fs::write(&bad, text.replace("\"total\": 6", "\"total\": 7")).expect("write bad");
     assert_eq!(
         exit_code(&["check-report", bad.to_str().expect("utf-8 path")]),
         1

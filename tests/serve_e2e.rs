@@ -259,6 +259,67 @@ fn stats_embeds_a_valid_metrics_snapshot() {
     );
 }
 
+/// The cache contract over the wire: a daemon pointed at `--cache=DIR`
+/// answers repeated (and reformatted) requests from the store with
+/// byte-identical bounds, and a second daemon sharing the directory
+/// starts warm.
+#[test]
+fn shared_cache_serves_byte_identical_bounds_across_daemons() {
+    let dir = std::env::temp_dir().join(format!("rtlb-serve-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = || ServeConfig {
+        cache_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    };
+    let instance = read(INSTANCES[1]);
+
+    let first = serve(config()).expect("daemon binds");
+    let mut client = Client::connect(first.addr()).expect("client connects");
+    let cold = client.analyze(&instance, None).expect("analyze answers");
+    assert!(rtlb::serve::client::is_ok(&cold), "{cold:?}");
+    let warm = client.analyze(&instance, None).expect("analyze answers");
+    assert_eq!(warm.get("bounds"), cold.get("bounds"));
+    assert_eq!(warm.get("text"), cold.get("text"));
+
+    // Reformatting — comments, indentation, blank lines — still hits:
+    // the key is content-addressed, not text-addressed.
+    let reformatted = format!(
+        "# a reformatting comment\n{}\n\n",
+        instance.replace('\n', "  \n")
+    );
+    let reread = client.analyze(&reformatted, None).expect("analyze answers");
+    assert_eq!(reread.get("bounds"), cold.get("bounds"));
+    assert_eq!(reread.get("text"), cold.get("text"));
+
+    let stats = client.stats().expect("stats answers");
+    let counters = stats
+        .get("metrics")
+        .and_then(|m| m.get("counters"))
+        .expect("counters");
+    assert_eq!(counters.get("cache.miss").and_then(Json::as_int), Some(1));
+    assert_eq!(counters.get("cache.write").and_then(Json::as_int), Some(1));
+    assert!(counters.get("cache.hit").and_then(Json::as_int) >= Some(2));
+    drop(client);
+    first.shutdown();
+
+    // A fresh daemon on the same directory starts warm: its first answer
+    // comes from the store, byte-identical to the first daemon's.
+    let second = serve(config()).expect("daemon binds");
+    let mut client = Client::connect(second.addr()).expect("client connects");
+    let served = client.analyze(&instance, None).expect("analyze answers");
+    assert_eq!(served.get("bounds"), cold.get("bounds"));
+    assert_eq!(served.get("text"), cold.get("text"));
+    let stats = client.stats().expect("stats answers");
+    let counters = stats
+        .get("metrics")
+        .and_then(|m| m.get("counters"))
+        .expect("counters");
+    assert_eq!(counters.get("cache.hit").and_then(Json::as_int), Some(1));
+    assert_eq!(counters.get("cache.miss").and_then(Json::as_int), None);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn shutdown_request_stops_the_daemon() {
     let server = serve(ServeConfig::default()).expect("daemon binds");
