@@ -9,9 +9,10 @@ use crate::bounds::{resource_bound_unpartitioned_ctl, CandidatePolicy, ResourceB
 use crate::cancel::CancelToken;
 use crate::cost::{dedicated_cost_bound, shared_cost_bound, DedicatedCostBound, SharedCostBound};
 use crate::error::AnalysisError;
-use crate::estlct::{compute_timing_ctl, TimingAnalysis};
+use crate::estlct::{compute_timing_ctl_packed, TimingAnalysis};
 use crate::model::SystemModel;
 use crate::partition::{partition_all, ResourcePartition};
+use crate::propagate::{refine_bounds, PropagationLevel};
 use crate::sweep::{sweep_partitions_ctl, SweepStrategy};
 
 /// Tuning knobs for [`analyze_with`].
@@ -41,6 +42,13 @@ pub struct AnalysisOptions {
     /// taken literally. Results are identical for every value — chunk
     /// maxima merge in ascending-`t1` order with the serial tie-break.
     pub chunk_columns: usize,
+    /// Window-packing engine and post-sweep filtering level.
+    /// [`PropagationLevel::Paper`] and the default
+    /// [`PropagationLevel::Timeline`] produce bit-identical bounds;
+    /// [`PropagationLevel::Filtered`] additionally runs
+    /// capacity-conditional detectable-precedence / edge-finding
+    /// filtering after the sweep and can only raise bounds.
+    pub propagation: PropagationLevel,
 }
 
 impl Default for AnalysisOptions {
@@ -51,6 +59,7 @@ impl Default for AnalysisOptions {
             sweep: SweepStrategy::default(),
             parallelism: 1,
             chunk_columns: 0,
+            propagation: PropagationLevel::default(),
         }
     }
 }
@@ -64,13 +73,16 @@ impl AnalysisOptions {
     /// and `sweep` is included conservatively (the two strategies are
     /// bit-identical by contract, but the naive oracle path is exactly
     /// what we never want silently served from a fast-path cache entry
-    /// or vice versa when debugging a divergence). `parallelism` and
+    /// or vice versa when debugging a divergence). `propagation` is
+    /// included for the same two reasons at once: `filtered` computes a
+    /// genuinely different (tighter) bound, and `paper`/`timeline` are
+    /// bit-identical only by contract. `parallelism` and
     /// `chunk_columns` are pure execution shape — results are documented
     /// and property-tested identical for every value — so they are
     /// excluded: runs at different pool sizes share cache entries.
     pub fn semantic_fingerprint(&self) -> String {
         format!(
-            "partitioning={};candidates={};sweep={}",
+            "partitioning={};candidates={};sweep={};propagation={}",
             self.partitioning,
             match self.candidates {
                 CandidatePolicy::EstLct => "est-lct",
@@ -80,6 +92,7 @@ impl AnalysisOptions {
                 SweepStrategy::Naive => "naive",
                 SweepStrategy::Incremental => "incremental",
             },
+            self.propagation.label(),
         )
     }
 }
@@ -333,7 +346,7 @@ pub fn analyze_ctl(
 
     let timing = {
         let _step = span(probe, "analyze.timing", Label::None);
-        compute_timing_ctl(graph, model, probe, ctl)?
+        compute_timing_ctl_packed(graph, model, options.propagation.packing(), probe, ctl)?
     };
 
     {
@@ -383,6 +396,12 @@ pub fn analyze_ctl(
         );
         (Vec::new(), bounds)
     };
+
+    let mut bounds = bounds;
+    if options.propagation.filters() {
+        let _step = span(probe, "analyze.propagate", Label::None);
+        refine_bounds(graph, &timing, &partitions, &mut bounds, probe, ctl)?;
+    }
 
     Ok(Analysis {
         timing,

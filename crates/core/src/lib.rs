@@ -70,9 +70,11 @@ mod metrics;
 mod model;
 mod overlap;
 mod partition;
+mod propagate;
 mod report;
 mod session;
 mod sweep;
+mod timeline;
 
 pub use analysis::{
     analyze, analyze_ctl, analyze_with, analyze_with_probe, Analysis, AnalysisOptions,
@@ -96,6 +98,7 @@ pub use metrics::{build_run_report, options_as_json};
 pub use model::{DedicatedModel, NodeType, NodeTypeId, SharedModel, SystemModel};
 pub use overlap::{overlap, task_overlap};
 pub use partition::{partition_all, partition_tasks, PartitionBlock, ResourcePartition};
+pub use propagate::PropagationLevel;
 pub use report::{
     render_analysis, render_bounds, render_dedicated_cost, render_partitions, render_shared_cost,
     render_timing_table,

@@ -34,6 +34,10 @@ pub fn options_as_json(options: AnalysisOptions) -> Vec<(String, Json)> {
         ("jobs".to_owned(), Json::Int(options.parallelism as i64)),
         ("chunk".to_owned(), Json::Int(options.chunk_columns as i64)),
         ("partitioning".to_owned(), Json::Bool(options.partitioning)),
+        (
+            "propagation".to_owned(),
+            Json::str(options.propagation.label()),
+        ),
     ]
 }
 
@@ -208,11 +212,13 @@ mod tests {
             sweep: SweepStrategy::Naive,
             parallelism: 4,
             chunk_columns: 16,
+            propagation: crate::PropagationLevel::Filtered,
         };
         let pairs = options_as_json(options);
         let obj = Json::Obj(pairs.clone());
         assert_eq!(obj.get("sweep").unwrap().as_str(), Some("naive"));
         assert_eq!(obj.get("candidates").unwrap().as_str(), Some("extended"));
+        assert_eq!(obj.get("propagation").unwrap().as_str(), Some("filtered"));
         assert_eq!(obj.get("jobs").unwrap().as_int(), Some(4));
         assert_eq!(obj.get("chunk").unwrap().as_int(), Some(16));
         assert_eq!(obj.get("partitioning"), Some(&Json::Bool(false)));

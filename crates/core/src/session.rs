@@ -44,10 +44,11 @@ use crate::analysis::{Analysis, AnalysisOptions};
 use crate::bounds::{resource_bound_unpartitioned_ctl, RatioMax, ResourceBound};
 use crate::cancel::CancelToken;
 use crate::error::AnalysisError;
-use crate::estlct::{compute_timing_ctl, est_of, lct_of, TimingAnalysis};
+use crate::estlct::{compute_timing_ctl_packed, est_of, lct_of, Packer, TimingAnalysis};
 use crate::exec::{effective_threads, run_jobs};
 use crate::model::SystemModel;
 use crate::partition::{partition_tasks, ResourcePartition};
+use crate::propagate::{refine_block, refine_resource_flat};
 use crate::sweep::{plan_block, BlockPlan};
 
 /// The zero bound of an unswept resource — the placeholder a cache holds
@@ -143,31 +144,40 @@ impl ApplyStats {
     }
 }
 
-/// An old block's identity and cached maximum, keyed by leading task
-/// during re-partitioning: (member list, window span, sweep maximum).
-type CachedBlock = (Vec<TaskId>, (Time, Time), RatioMax);
+/// An old block's identity and cached results, keyed by leading task
+/// during re-partitioning: (member list, window span, sweep maximum,
+/// filtered refinement).
+type CachedBlock = (Vec<TaskId>, (Time, Time), RatioMax, u32);
 
 /// Cached sweep state for one resource: its partition, one folded
-/// [`RatioMax`] per block (empty when partitioning is off), and the
+/// [`RatioMax`] plus one filtered-refinement capacity per block (both
+/// empty when partitioning is off; refinements are all zero below
+/// [`PropagationLevel::Filtered`](crate::PropagationLevel)), and the
 /// resulting bound.
 #[derive(Clone, Debug)]
 struct ResourceCache {
     resource: ResourceId,
     partition: ResourcePartition,
     block_maxima: Vec<RatioMax>,
+    block_refined: Vec<u32>,
     bound: ResourceBound,
 }
 
 impl ResourceCache {
     /// Folds the per-block maxima into the resource bound, in block order
     /// — bit-identical to the serial whole-partition sweep because
-    /// [`RatioMax::merge`] preserves serial offer order.
+    /// [`RatioMax::merge`] preserves serial offer order — then lifts it to
+    /// the largest per-block filtered refinement, exactly as the scratch
+    /// pipeline's propagation pass does.
     fn fold_bound(&mut self) -> Result<(), AnalysisError> {
         let mut total = RatioMax::default();
         for max in &self.block_maxima {
             total.merge(*max);
         }
         self.bound = total.into_bound(self.resource)?;
+        if let Some(&refined) = self.block_refined.iter().max() {
+            self.bound.bound = self.bound.bound.max(refined);
+        }
         Ok(())
     }
 }
@@ -275,7 +285,8 @@ impl AnalysisSession {
     ) -> Result<AnalysisSession, AnalysisError> {
         let _run = span(probe, "session.analyze", Label::None);
         model.validate(&graph)?;
-        let timing = compute_timing_ctl(&graph, &model, probe, ctl)?;
+        let timing =
+            compute_timing_ctl_packed(&graph, &model, options.propagation.packing(), probe, ctl)?;
         timing.check_feasible(&graph)?;
         let mut session = AnalysisSession {
             graph,
@@ -307,7 +318,7 @@ impl AnalysisSession {
                 effective_threads(self.options.parallelism),
                 resources.len(),
                 |j| {
-                    let bound = resource_bound_unpartitioned_ctl(
+                    let mut bound = resource_bound_unpartitioned_ctl(
                         &self.graph,
                         &self.timing,
                         resources[j],
@@ -315,6 +326,16 @@ impl AnalysisSession {
                         ctl,
                     )?;
                     probe.add("sweep.pairs_offered", bound.intervals_examined);
+                    if self.options.propagation.filters() {
+                        let refined = refine_resource_flat(
+                            &self.graph,
+                            &self.timing,
+                            resources[j],
+                            probe,
+                            ctl,
+                        )?;
+                        bound.bound = bound.bound.max(refined);
+                    }
                     Ok(bound)
                 },
             );
@@ -329,6 +350,7 @@ impl AnalysisSession {
                             blocks: Vec::new(),
                         },
                         block_maxima: Vec::new(),
+                        block_refined: Vec::new(),
                         bound: bound?,
                     })
                 })
@@ -392,15 +414,35 @@ impl AnalysisSession {
             .into_iter()
             .zip(block_maxima)
             .map(|(partition, block_maxima)| {
+                let block_refined = self.refine_partition(&partition, probe, ctl)?;
                 let mut cache = ResourceCache {
                     resource: partition.resource,
                     bound: empty_bound(partition.resource),
                     partition,
                     block_maxima,
+                    block_refined,
                 };
                 cache.fold_bound()?;
                 Ok(cache)
             })
+            .collect()
+    }
+
+    /// One filtered-refinement capacity per block of `partition` under the
+    /// current timing (all zeros below the `Filtered` level).
+    fn refine_partition(
+        &self,
+        partition: &ResourcePartition,
+        probe: &dyn Probe,
+        ctl: &CancelToken,
+    ) -> Result<Vec<u32>, AnalysisError> {
+        if !self.options.propagation.filters() {
+            return Ok(vec![0; partition.blocks.len()]);
+        }
+        partition
+            .blocks
+            .iter()
+            .map(|b| refine_block(&self.graph, &self.timing, &b.tasks, probe, ctl))
             .collect()
     }
 
@@ -722,12 +764,13 @@ impl AnalysisSession {
             .map(|i| self.timing.est(TaskId::from_index(i)))
             .collect();
         let mut recomputed = 0u64;
+        let mut packer = Packer::new(self.options.propagation.packing());
         for &i in self.graph.topological_order() {
             if !dirty[i.index()] {
                 continue;
             }
             recomputed += 1;
-            let (value, merged, _) = est_of(&self.graph, &self.model, i, &est);
+            let (value, merged, _) = est_of(&self.graph, &self.model, i, &est, &mut packer);
             if value != est[i.index()] {
                 est[i.index()] = value;
                 self.pending_touched.insert(i);
@@ -757,12 +800,13 @@ impl AnalysisSession {
             .map(|i| self.timing.lct(TaskId::from_index(i)))
             .collect();
         let mut recomputed = 0u64;
+        let mut packer = Packer::new(self.options.propagation.packing());
         for i in self.graph.reverse_topological_order() {
             if !dirty[i.index()] {
                 continue;
             }
             recomputed += 1;
-            let (value, merged, _) = lct_of(&self.graph, &self.model, i, &lct);
+            let (value, merged, _) = lct_of(&self.graph, &self.model, i, &lct, &mut packer);
             if value != lct[i.index()] {
                 lct[i.index()] = value;
                 self.pending_touched.insert(i);
@@ -849,6 +893,7 @@ impl AnalysisSession {
                                 blocks: Vec::new(),
                             },
                             block_maxima: Vec::new(),
+                            block_refined: Vec::new(),
                             bound: empty_bound(r),
                         });
                     }
@@ -900,8 +945,25 @@ impl AnalysisSession {
             }
             let targets: Vec<(usize, usize)> = plans.iter().map(|(ci, bi, _)| (*ci, *bi)).collect();
             drop(plans);
-            for ((ci, bi), max) in targets.into_iter().zip(folded) {
+            for (&(ci, bi), max) in targets.iter().zip(folded) {
                 caches[ci].block_maxima[bi] = max;
+            }
+            // Re-swept blocks recompute their filtered refinement under
+            // the fresh timing; reused blocks replay the cached value —
+            // valid under exactly the maxima-reuse invariants (identical
+            // member list, unchanged windows, no touched member), because
+            // refinement is pure in the members' windows, computations,
+            // and modes.
+            if self.options.propagation.filters() {
+                for &(ci, bi) in &targets {
+                    caches[ci].block_refined[bi] = refine_block(
+                        &self.graph,
+                        &self.timing,
+                        &caches[ci].partition.blocks[bi].tasks,
+                        probe,
+                        ctl,
+                    )?;
+                }
             }
             for ci in rebuilt {
                 caches[ci].fold_bound()?;
@@ -909,7 +971,7 @@ impl AnalysisSession {
         } else {
             let results = run_jobs(probe, threads, jobs.len(), |j| {
                 let r = caches[jobs[j].0].resource;
-                let bound = resource_bound_unpartitioned_ctl(
+                let mut bound = resource_bound_unpartitioned_ctl(
                     &self.graph,
                     &self.timing,
                     r,
@@ -917,6 +979,10 @@ impl AnalysisSession {
                     ctl,
                 )?;
                 probe.add("sweep.pairs_offered", bound.intervals_examined);
+                if self.options.propagation.filters() {
+                    let refined = refine_resource_flat(&self.graph, &self.timing, r, probe, ctl)?;
+                    bound.bound = bound.bound.max(refined);
+                }
                 Ok(bound)
             });
             for (j, bound) in results.into_iter().enumerate() {
@@ -951,6 +1017,7 @@ impl AnalysisSession {
         for (bi, block) in cache.partition.blocks.iter().enumerate() {
             if block.tasks.iter().any(|t| touched.contains(t)) {
                 cache.block_maxima[bi] = RatioMax::default();
+                cache.block_refined[bi] = 0;
                 pending_jobs.push(bi);
                 stats.blocks_resweeped += 1;
             } else {
@@ -970,27 +1037,36 @@ impl AnalysisSession {
         let partition = partition_tasks(&self.graph, &self.timing, r);
         let mut old_blocks: BTreeMap<TaskId, CachedBlock> = BTreeMap::new();
         if let Some(prev) = previous {
-            for (block, max) in prev.partition.blocks.into_iter().zip(prev.block_maxima) {
+            for ((block, max), refined) in prev
+                .partition
+                .blocks
+                .into_iter()
+                .zip(prev.block_maxima)
+                .zip(prev.block_refined)
+            {
                 let span = block.window_span();
-                old_blocks.insert(block.tasks[0], (block.tasks, span, max));
+                old_blocks.insert(block.tasks[0], (block.tasks, span, max, refined));
             }
         }
 
         let mut block_maxima = Vec::with_capacity(partition.blocks.len());
+        let mut block_refined = Vec::with_capacity(partition.blocks.len());
         let mut pending_jobs = Vec::new();
         for (bi, block) in partition.blocks.iter().enumerate() {
             let reusable = old_blocks
                 .get(&block.tasks[0])
-                .is_some_and(|(tasks, span, _)| {
+                .is_some_and(|(tasks, span, ..)| {
                     tasks == &block.tasks
                         && *span == block.window_span()
                         && block.tasks.iter().all(|t| !touched.contains(t))
                 });
             if reusable {
                 block_maxima.push(old_blocks[&block.tasks[0]].2);
+                block_refined.push(old_blocks[&block.tasks[0]].3);
                 stats.blocks_reused += 1;
             } else {
                 block_maxima.push(RatioMax::default());
+                block_refined.push(0);
                 pending_jobs.push(bi);
                 stats.blocks_resweeped += 1;
             }
@@ -1000,6 +1076,7 @@ impl AnalysisSession {
                 resource: r,
                 partition,
                 block_maxima,
+                block_refined,
                 bound: empty_bound(r),
             },
             pending_jobs,

@@ -1,0 +1,260 @@
+//! Union-find **Timeline**: amortized near-linear earliest-completion-time
+//! packing, in the style of disjunctive-scheduling propagators.
+//!
+//! The paper's `ect(A)` (Equation 4.5) packs a task set sequentially in
+//! increasing-EST order; its value equals the preemptive single-machine
+//! makespan `max_i (E_i + Σ_{E_j ≥ E_i} C_j)`. That identity lets the
+//! Timeline evaluate `ect` *incrementally*: tasks are poured one at a time
+//! (in any order) into the earliest free capacity at or after their
+//! release, busy segments coalesce through a union-find, and the running
+//! maximum completion over all pours equals the packed `ect` of the set
+//! inserted so far. The Figure 2/3 merge scans read the value after every
+//! insert, turning the per-prefix `O(k log k)` re-sort into amortized
+//! near-linear work over the whole scan. `lst(A)` is the mirror image:
+//! `lst` over `{(L_j, C_j)}` equals `-ect` over `{(-L_j, C_j)}`.
+//!
+//! Times here are raw `i64` ticks; the §7 magnitude guard
+//! (`check_magnitudes`) keeps every sum formed below within `±3·(i64::MAX/4)`,
+//! so none of the additions can wrap.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// A set of coalesced busy segments on the integer timeline.
+///
+/// Each segment is a half-open interval `[start, end)` owned by a
+/// union-find root; `by_start` indexes the roots by their start tick.
+/// Pouring work never moves placed work, so segment ends only ever grow
+/// by coalescing, and the running maximum completion is exact for the
+/// set-level `ect` after every insert.
+#[derive(Debug, Default)]
+pub(crate) struct Timeline {
+    parent: Vec<usize>,
+    start: Vec<i64>,
+    end: Vec<i64>,
+    by_start: BTreeMap<i64, usize>,
+    unions: u64,
+    ect: Option<i64>,
+}
+
+impl Timeline {
+    pub(crate) fn new() -> Timeline {
+        Timeline::default()
+    }
+
+    /// Empties the timeline for reuse, keeping allocations.
+    pub(crate) fn clear(&mut self) {
+        self.parent.clear();
+        self.start.clear();
+        self.end.clear();
+        self.by_start.clear();
+        self.ect = None;
+    }
+
+    /// The packed earliest completion time of every task inserted since
+    /// the last [`Timeline::clear`], or `None` for the empty set. The
+    /// caller decides what an empty set means — no sentinel is ever
+    /// produced here.
+    pub(crate) fn ect(&self) -> Option<i64> {
+        self.ect
+    }
+
+    /// Total segment coalescings performed over the timeline's lifetime
+    /// (survives [`Timeline::clear`]; surfaced as the `timeline.unions`
+    /// counter).
+    pub(crate) fn unions(&self) -> u64 {
+        self.unions
+    }
+
+    /// Pours `work` ticks of preemptible demand released at `release`
+    /// into the earliest free capacity, and returns the completion tick
+    /// of its last unit (for `work == 0`: the end of the busy run
+    /// covering `release`, or `release` itself on free timeline).
+    pub(crate) fn insert(&mut self, release: i64, work: i64) -> i64 {
+        debug_assert!(work >= 0, "work must be non-negative");
+        let mut cur = release;
+        let mut remaining = work;
+        loop {
+            // Inside a busy run: skip to its end (one find, amortized by
+            // path compression and segment coalescing).
+            if let Some((_, &b)) = self.by_start.range(..=cur).next_back() {
+                let r = self.find(b);
+                if self.end[r] > cur {
+                    cur = self.end[r];
+                    continue;
+                }
+            }
+            if remaining == 0 {
+                break;
+            }
+            // `cur` is free; fill up to the next segment start.
+            let next = self
+                .by_start
+                .range((Bound::Excluded(cur), Bound::Unbounded))
+                .next()
+                .map(|(&s, _)| s);
+            let fill = next.map_or(remaining, |s| remaining.min(s - cur));
+            let id = self.push_segment(cur, cur + fill);
+            self.by_start.insert(cur, id);
+            self.coalesce(id);
+            remaining -= fill;
+            cur += fill;
+        }
+        self.ect = Some(self.ect.map_or(cur, |e| e.max(cur)));
+        cur
+    }
+
+    fn push_segment(&mut self, start: i64, end: i64) -> usize {
+        let id = self.parent.len();
+        self.parent.push(id);
+        self.start.push(start);
+        self.end.push(end);
+        id
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Merges the freshly inserted segment with neighbors it touches.
+    /// Each union removes one `by_start` key, so the map stays keyed by
+    /// root segments only.
+    fn coalesce(&mut self, id: usize) {
+        let mut root = self.find(id);
+        // Left neighbor ending exactly where this segment starts.
+        let s = self.start[root];
+        if let Some((_, &lb)) = self.by_start.range(..s).next_back() {
+            let left = self.find(lb);
+            if self.end[left] == s {
+                self.by_start.remove(&s);
+                self.parent[root] = left;
+                self.end[left] = self.end[root];
+                self.unions += 1;
+                root = left;
+            }
+        }
+        // Right neighbor starting exactly where this segment ends.
+        let t = self.end[root];
+        if let Some(&rb) = self.by_start.get(&t) {
+            let right = self.find(rb);
+            self.by_start.remove(&t);
+            self.parent[right] = root;
+            self.end[root] = self.end[right];
+            self.unions += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The classical formula the pour must reproduce for every set.
+    fn formula_ect(tasks: &[(i64, i64)]) -> Option<i64> {
+        if tasks.is_empty() {
+            return None;
+        }
+        tasks
+            .iter()
+            .map(|&(e, _)| {
+                e + tasks
+                    .iter()
+                    .filter(|&&(e2, _)| e2 >= e)
+                    .map(|&(_, c)| c)
+                    .sum::<i64>()
+            })
+            .max()
+    }
+
+    /// The paper's sequential increasing-EST packing.
+    fn sequential_ect(tasks: &[(i64, i64)]) -> Option<i64> {
+        let mut sorted = tasks.to_vec();
+        sorted.sort();
+        let mut finish: Option<i64> = None;
+        for (e, c) in sorted {
+            let start = finish.map_or(e, |f| f.max(e));
+            finish = Some(start + c);
+        }
+        finish
+    }
+
+    #[test]
+    fn empty_timeline_has_no_ect() {
+        let t = Timeline::new();
+        assert_eq!(t.ect(), None);
+    }
+
+    #[test]
+    fn single_task_completes_at_release_plus_work() {
+        let mut t = Timeline::new();
+        assert_eq!(t.insert(5, 3), 8);
+        assert_eq!(t.ect(), Some(8));
+    }
+
+    #[test]
+    fn gaps_are_filled_and_segments_coalesce() {
+        let mut t = Timeline::new();
+        t.insert(5, 2); // [5,7)
+        t.insert(0, 10); // [0,5) + [7,12)
+        assert_eq!(t.ect(), Some(12));
+        assert!(t.unions() >= 2, "fills must coalesce with both neighbors");
+    }
+
+    #[test]
+    fn zero_work_reads_the_covering_run() {
+        let mut t = Timeline::new();
+        t.insert(3, 4); // [3,7)
+        assert_eq!(t.insert(5, 0), 7);
+        assert_eq!(t.insert(100, 0), 100);
+        assert_eq!(t.ect(), Some(100));
+    }
+
+    #[test]
+    fn clear_resets_values_but_keeps_union_count() {
+        let mut t = Timeline::new();
+        t.insert(0, 2);
+        t.insert(2, 2);
+        let unions = t.unions();
+        t.clear();
+        assert_eq!(t.ect(), None);
+        assert_eq!(t.unions(), unions);
+        t.insert(7, 1);
+        assert_eq!(t.ect(), Some(8));
+    }
+
+    #[test]
+    fn pour_matches_sequential_packing_in_any_order() {
+        // Deterministic pseudo-random task sets, inserted in generation
+        // order (not EST order) — the value must still equal the paper's
+        // sorted sequential packing and the closed-form max.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for case in 0..200 {
+            let n = 1 + (next() % 9) as usize;
+            let tasks: Vec<(i64, i64)> = (0..n)
+                .map(|_| ((next() % 40) as i64 - 10, (next() % 12) as i64))
+                .collect();
+            let mut t = Timeline::new();
+            let mut inserted = Vec::new();
+            for &(e, c) in &tasks {
+                t.insert(e, c);
+                inserted.push((e, c));
+                assert_eq!(
+                    t.ect(),
+                    sequential_ect(&inserted),
+                    "case {case}: prefix {inserted:?} diverged from sequential packing"
+                );
+                assert_eq!(t.ect(), formula_ect(&inserted), "case {case}");
+            }
+        }
+    }
+}

@@ -144,4 +144,32 @@ proptest! {
         let b = parse(&edited).expect("edited parses");
         prop_assert_ne!(content_key(&a, "fp"), content_key(&b, "fp"));
     }
+
+    /// The options fingerprint is part of the key: the same instance
+    /// analyzed at different propagation levels must never alias one
+    /// cache entry (the filtered level computes genuinely different
+    /// bounds), while the same level keys identically. The fingerprint
+    /// strings below mirror `AnalysisOptions::semantic_fingerprint`,
+    /// which appends `;propagation=<level>`.
+    #[test]
+    fn propagation_levels_never_share_a_key(
+        tasks in proptest::collection::vec((1i64..40, 0i64..10, 10i64..80, any::<bool>(), any::<bool>()), 1..10),
+        raw_edges in proptest::collection::vec((0usize..16, 0usize..16, 0i64..6), 0..14),
+    ) {
+        let edges = forward_edges(&raw_edges, tasks.len());
+        let text = base_text(&tasks, &edges);
+        let parsed = parse(&text).expect("base parses");
+        let fp = |level: &str| {
+            format!("partitioning=true;candidates=est-lct;sweep=incremental;propagation={level}")
+        };
+        let keys = [
+            content_key(&parsed, &fp("paper")),
+            content_key(&parsed, &fp("timeline")),
+            content_key(&parsed, &fp("filtered")),
+        ];
+        prop_assert_ne!(keys[0], keys[1]);
+        prop_assert_ne!(keys[1], keys[2]);
+        prop_assert_ne!(keys[0], keys[2]);
+        prop_assert_eq!(content_key(&parsed, &fp("filtered")), keys[2]);
+    }
 }

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Regenerates every experiment in EXPERIMENTS.md (E1-E17), in order.
+# Regenerates every experiment in EXPERIMENTS.md (E1-E18), in order.
 # Usage: ./reproduce.sh [--release]
 set -euo pipefail
 profile="${1:-}"
@@ -15,7 +15,7 @@ for exp in table1 step2_partitions step3_bounds step4_cost fig5_overlap \
            trace_merges validity_study tightness_study partition_ablation \
            synthesis_search baseline_comparison extended_validity \
            candidate_ablation network_contention scenario_sweep \
-           serve_load batch_cache; do
+           serve_load batch_cache windows_study; do
     run "$exp"
 done
 echo

@@ -24,7 +24,7 @@ use rtlb::check::{check_document, check_shard_stream};
 use rtlb::core::{
     analyze_with, analyze_with_probe, build_run_report, effective_threads, render_analysis,
     render_bounds, render_dedicated_cost, render_shared_cost, AnalysisOptions, AnalysisSession,
-    CandidatePolicy, SweepStrategy, SystemModel,
+    CandidatePolicy, PropagationLevel, SweepStrategy, SystemModel,
 };
 use rtlb::fmt::content_key;
 use rtlb::format::{parse, render};
@@ -98,6 +98,13 @@ analyze flags:
                              forced-overlap corners E_i+C_i and L_i−C_i)
   --no-partition             skip the Theorem 5 partitioning and sweep each
                              resource flat (ablation mode)
+  --propagation=LEVEL        window packing / filtering level: `paper`
+                             (sequential re-packing, the differential
+                             baseline), `timeline` (union-find Timeline
+                             packing, default; bit-identical bounds), or
+                             `filtered` (adds capacity-conditional
+                             detectable-precedence / edge-finding filtering
+                             after the sweep; bounds only get tighter)
   --metrics=off|text|json    observability sink (default: off).
                              text appends a stage/counter summary after the
                              normal output; json prints only the versioned
@@ -126,15 +133,15 @@ telemetry flags (accepted by analyze, sweep-scenarios, and batch):
                              exposition format atomically to FILE
 
 sweep-scenarios flags (plus --sweep=, --jobs=, --chunk=, --extended,
---no-partition, and the telemetry flags):
+--no-partition, --propagation=, and the telemetry flags):
   --check                    re-analyze every scenario from scratch and fail
                              unless the incremental bounds, witnesses, and
                              interval counts are bit-identical (CI oracle)
   --json                     print only a versioned rtlb-scenarios-v1 JSON
                              report on stdout
 
-batch flags (plus --sweep=, --extended, --no-partition, and the telemetry
-flags):
+batch flags (plus --sweep=, --extended, --no-partition, --propagation=, and
+the telemetry flags):
   --jobs=N                   batch worker threads, one instance per job;
                              0 = one per core (default: 0). With more than
                              one worker each instance sweeps serially
@@ -180,8 +187,8 @@ merge-shards flags:
   --out=FILE                 write the aggregate atomically to FILE
 
 serve flags (plus --sweep=, --jobs=, --chunk=, --extended, --no-partition,
-and the telemetry flags; telemetry exports are written when the daemon
-stops):
+--propagation=, and the telemetry flags; telemetry exports are written when
+the daemon stops):
   --addr=HOST:PORT           bind address (default: 127.0.0.1:0; port 0
                              lets the OS pick — the bound address is the
                              first stdout line, for scripts to capture)
@@ -458,6 +465,13 @@ fn cmd_check_report(args: &[String]) -> Result<ExitCode, Failure> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// Parses a `--propagation=` value shared by every analyzing subcommand.
+fn parse_propagation(value: &str) -> Result<PropagationLevel, String> {
+    PropagationLevel::parse(value).ok_or_else(|| {
+        format!("unknown propagation level `{value}` (expected paper, timeline, or filtered)")
+    })
+}
+
 /// Everything `rtlb analyze` accepts after the file argument.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 struct AnalyzeArgs {
@@ -490,6 +504,8 @@ fn analyze_options(flags: &[String]) -> Result<AnalyzeArgs, String> {
             args.options.candidates = CandidatePolicy::Extended;
         } else if flag == "--no-partition" {
             args.options.partitioning = false;
+        } else if let Some(level) = flag.strip_prefix("--propagation=") {
+            args.options.propagation = parse_propagation(level)?;
         } else if let Some(mode) = flag.strip_prefix("--metrics=") {
             args.metrics = match mode {
                 "off" => MetricsMode::Off,
@@ -716,6 +732,8 @@ fn serve_options(flags: &[String]) -> Result<ServeArgs, String> {
             args.config.options.candidates = CandidatePolicy::Extended;
         } else if flag == "--no-partition" {
             args.config.options.partitioning = false;
+        } else if let Some(level) = flag.strip_prefix("--propagation=") {
+            args.config.options.propagation = parse_propagation(level)?;
         } else if telemetry_flag(&mut args.telemetry, flag)? {
             // consumed by the shared telemetry flags
         } else {
@@ -904,6 +922,8 @@ fn scenario_options(flags: &[String]) -> Result<ScenarioArgs, String> {
             args.options.candidates = CandidatePolicy::Extended;
         } else if flag == "--no-partition" {
             args.options.partitioning = false;
+        } else if let Some(level) = flag.strip_prefix("--propagation=") {
+            args.options.propagation = parse_propagation(level)?;
         } else if flag == "--check" {
             args.check = true;
         } else if flag == "--json" {
@@ -1101,6 +1121,8 @@ fn batch_options(flags: &[String]) -> Result<BatchArgs, String> {
             args.options.analysis.candidates = CandidatePolicy::Extended;
         } else if flag == "--no-partition" {
             args.options.analysis.partitioning = false;
+        } else if let Some(level) = flag.strip_prefix("--propagation=") {
+            args.options.analysis.propagation = parse_propagation(level)?;
         } else if let Some(ms) = flag.strip_prefix("--timeout-ms=") {
             args.options.timeout_ms =
                 Some(ms.parse().map_err(|_| format!("invalid timeout `{ms}`"))?);
@@ -1460,6 +1482,56 @@ mod tests {
     }
 
     #[test]
+    fn propagation_levels_parse_on_every_subcommand() {
+        for (raw, level) in [
+            ("--propagation=paper", PropagationLevel::Paper),
+            ("--propagation=timeline", PropagationLevel::Timeline),
+            ("--propagation=filtered", PropagationLevel::Filtered),
+        ] {
+            assert_eq!(
+                analyze_options(&flags(&[raw])).unwrap().options.propagation,
+                level
+            );
+            assert_eq!(
+                scenario_options(&flags(&[raw]))
+                    .unwrap()
+                    .options
+                    .propagation,
+                level
+            );
+            assert_eq!(
+                batch_options(&flags(&[raw]))
+                    .unwrap()
+                    .options
+                    .analysis
+                    .propagation,
+                level
+            );
+            assert_eq!(
+                serve_options(&flags(&[raw]))
+                    .unwrap()
+                    .config
+                    .options
+                    .propagation,
+                level
+            );
+        }
+        // The default level is the Timeline packing without filtering.
+        assert_eq!(
+            analyze_options(&[]).unwrap().options.propagation,
+            PropagationLevel::Timeline
+        );
+    }
+
+    #[test]
+    fn bad_propagation_level_is_rejected() {
+        let err = analyze_options(&flags(&["--propagation=psychic"])).unwrap_err();
+        assert!(err.contains("unknown propagation level"), "{err}");
+        let err = batch_options(&flags(&["--propagation="])).unwrap_err();
+        assert!(err.contains("unknown propagation level"), "{err}");
+    }
+
+    #[test]
     fn empty_trace_path_is_rejected() {
         let err = analyze_options(&flags(&["--trace-out="])).unwrap_err();
         assert!(err.contains("--trace-out"), "{err}");
@@ -1473,6 +1545,7 @@ mod tests {
             "--chunk=",
             "--extended",
             "--no-partition",
+            "--propagation=",
             "--metrics=",
             "--trace-out=",
         ] {

@@ -18,7 +18,7 @@ use rand::{RngExt, SeedableRng};
 
 use rtlb::core::{
     analyze_with, AnalysisError, AnalysisOptions, AnalysisSession, CandidatePolicy, Delta,
-    SystemModel,
+    PropagationLevel, SystemModel,
 };
 use rtlb::graph::{
     Catalog, Dur, ExecutionMode, ResourceId, TaskGraph, TaskGraphBuilder, TaskId, TaskSpec, Time,
@@ -154,8 +154,8 @@ proptest! {
     }
 
     /// Every options corner: extended candidates, flat (unpartitioned)
-    /// sweeps, parallel fan-out, and explicit chunk sizes must all stay
-    /// bit-identical.
+    /// sweeps, parallel fan-out, explicit chunk sizes, and all three
+    /// propagation levels must all stay bit-identical.
     #[test]
     fn session_matches_scratch_under_all_options(
         seed in 0u64..1_000_000,
@@ -164,6 +164,7 @@ proptest! {
         extended in 0u32..2,
         threads in 0usize..5,
         chunk in 0usize..4,
+        propagation in 0usize..3,
     ) {
         let graph = independent_tasks(count, 4, seed);
         let options = AnalysisOptions {
@@ -175,10 +176,110 @@ proptest! {
             },
             parallelism: threads,
             chunk_columns: [0, 1, 3, 16][chunk],
+            propagation: [
+                PropagationLevel::Paper,
+                PropagationLevel::Timeline,
+                PropagationLevel::Filtered,
+            ][propagation],
             ..AnalysisOptions::default()
         };
         assert_session_matches_scratch(graph, options, seed ^ 0xca5e, 5)?;
     }
+
+    /// Delta edits under `--propagation=filtered` on precedence-heavy
+    /// DAGs: the cached per-block refinements must invalidate exactly
+    /// with the dirty cone and replay bit-identically everywhere else.
+    #[test]
+    fn session_matches_scratch_filtered_on_layered(
+        seed in 0u64..1_000_000,
+        layers in 2usize..5,
+        width in 1usize..5,
+    ) {
+        let config = LayeredConfig {
+            layers,
+            width,
+            resource_types: 2,
+            ..LayeredConfig::default()
+        };
+        let graph = layered(&config, seed);
+        let options = AnalysisOptions {
+            propagation: PropagationLevel::Filtered,
+            ..AnalysisOptions::default()
+        };
+        assert_session_matches_scratch(graph, options, seed ^ 0xf117, 6)?;
+    }
+}
+
+/// Directed filtered-session check on the precedence-cascade instance
+/// whose filtered bound (2) strictly beats the density bound (1): edits
+/// that loosen and re-tighten the cascade must track the scratch
+/// pipeline exactly, including the refined bound's invalidation.
+#[test]
+fn filtered_session_tracks_refined_bound_through_edits() {
+    let mut c = Catalog::new();
+    let p = c.processor("P");
+    let r = c.resource("r");
+    let mut b = TaskGraphBuilder::new(c);
+    let s = b
+        .add_task(
+            TaskSpec::new("s", Dur::new(3), p)
+                .release(Time::new(0))
+                .deadline(Time::new(4))
+                .resource(r),
+        )
+        .unwrap();
+    b.add_task(
+        TaskSpec::new("a", Dur::new(5), p)
+            .release(Time::new(0))
+            .deadline(Time::new(11))
+            .resource(r),
+    )
+    .unwrap();
+    b.add_task(
+        TaskSpec::new("b", Dur::new(2), p)
+            .release(Time::new(5))
+            .deadline(Time::new(7))
+            .resource(r),
+    )
+    .unwrap();
+    let graph = b.build().unwrap();
+
+    let model = SystemModel::shared();
+    let options = AnalysisOptions {
+        propagation: PropagationLevel::Filtered,
+        ..AnalysisOptions::default()
+    };
+    let mut session = AnalysisSession::new(graph, model.clone(), options).unwrap();
+    assert_eq!(session.units_required(r), 2, "cascade refutes one unit");
+    assert_eq!(
+        analyze_with(session.graph(), &model, options)
+            .unwrap()
+            .units_required(r),
+        2
+    );
+
+    // Loosen s so nothing is forced any more: the refined bound must drop
+    // with the cascade, in the session and from scratch alike.
+    session
+        .apply(&[Delta::SetDeadline {
+            task: s,
+            deadline: Time::new(40),
+        }])
+        .unwrap();
+    let scratch = analyze_with(session.graph(), &model, options).unwrap();
+    assert_eq!(session.units_required(r), scratch.units_required(r));
+    assert_eq!(session.units_required(r), 1);
+
+    // Re-tighten: the cascade (and the refined bound) must come back.
+    session
+        .apply(&[Delta::SetDeadline {
+            task: s,
+            deadline: Time::new(4),
+        }])
+        .unwrap();
+    let scratch = analyze_with(session.graph(), &model, options).unwrap();
+    assert_eq!(session.bounds(), scratch.bounds().to_vec());
+    assert_eq!(session.units_required(r), 2);
 }
 
 /// Three-task chain where the middle task's own deadline caps its LCT:

@@ -39,6 +39,7 @@ fn bounds_with(
             sweep,
             parallelism,
             chunk_columns: 0,
+            ..AnalysisOptions::default()
         },
     )
     .ok()
@@ -63,6 +64,7 @@ fn bounds_chunked(
             sweep,
             parallelism,
             chunk_columns,
+            ..AnalysisOptions::default()
         },
     )
     .ok()
